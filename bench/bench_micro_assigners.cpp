@@ -1,0 +1,97 @@
+// Micro-benchmarks: end-to-end single-batch latency of every assigner at
+// several scales — the per-batch costs behind Figures 2b-8b, measured
+// with google-benchmark statistics instead of single-shot stopwatches.
+
+#include <benchmark/benchmark.h>
+
+#include "algo/gt_assigner.h"
+#include "algo/maxflow_assigner.h"
+#include "algo/random_assigner.h"
+#include "algo/tpg_assigner.h"
+#include "algo/upper_bound.h"
+#include "common/rng.h"
+#include "gen/synthetic.h"
+
+namespace casc {
+namespace {
+
+Instance MakeInstance(int m) {
+  Rng rng(42);
+  SyntheticInstanceConfig config;
+  config.num_workers = m;
+  config.num_tasks = m / 2;
+  return GenerateSyntheticInstance(config, 0.0, &rng);
+}
+
+void BM_Tpg(benchmark::State& state) {
+  const Instance instance = MakeInstance(static_cast<int>(state.range(0)));
+  TpgAssigner assigner;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(assigner.Run(instance).NumAssigned());
+  }
+}
+
+void BM_Gt(benchmark::State& state) {
+  const Instance instance = MakeInstance(static_cast<int>(state.range(0)));
+  GtAssigner assigner;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(assigner.Run(instance).NumAssigned());
+  }
+}
+
+void BM_GtAll(benchmark::State& state) {
+  const Instance instance = MakeInstance(static_cast<int>(state.range(0)));
+  GtOptions options;
+  options.use_tsi = true;
+  options.use_lub = true;
+  GtAssigner assigner(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(assigner.Run(instance).NumAssigned());
+  }
+}
+
+void BM_Mflow(benchmark::State& state) {
+  const Instance instance = MakeInstance(static_cast<int>(state.range(0)));
+  MaxFlowAssigner assigner;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(assigner.Run(instance).NumAssigned());
+  }
+}
+
+void BM_Rand(benchmark::State& state) {
+  const Instance instance = MakeInstance(static_cast<int>(state.range(0)));
+  RandomAssigner assigner(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(assigner.Run(instance).NumAssigned());
+  }
+}
+
+void BM_Upper(benchmark::State& state) {
+  const Instance instance = MakeInstance(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeUpperBound(instance));
+  }
+}
+
+void BM_ValidPairComputation(benchmark::State& state) {
+  Rng rng(42);
+  SyntheticInstanceConfig config;
+  config.num_workers = static_cast<int>(state.range(0));
+  config.num_tasks = config.num_workers / 2;
+  for (auto _ : state) {
+    Rng fresh = rng;  // same instance every iteration
+    const Instance instance = GenerateSyntheticInstance(config, 0.0, &fresh);
+    benchmark::DoNotOptimize(instance.NumValidPairs());
+  }
+}
+
+BENCHMARK(BM_Tpg)->Arg(200)->Arg(500)->Arg(1000);
+BENCHMARK(BM_Gt)->Arg(200)->Arg(500)->Arg(1000);
+BENCHMARK(BM_GtAll)->Arg(200)->Arg(500)->Arg(1000);
+BENCHMARK(BM_Mflow)->Arg(200)->Arg(500)->Arg(1000);
+BENCHMARK(BM_Rand)->Arg(200)->Arg(500)->Arg(1000);
+BENCHMARK(BM_Upper)->Arg(500)->Arg(1000);
+BENCHMARK(BM_ValidPairComputation)->Arg(500)->Arg(1000);
+
+}  // namespace
+}  // namespace casc

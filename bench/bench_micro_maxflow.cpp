@@ -1,0 +1,59 @@
+// Micro-benchmarks: Dinic max-flow on bipartite assignment networks of
+// the exact shape the MFLOW baseline builds each batch.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "graph/dinic.h"
+#include "graph/flow_network.h"
+#include "graph/ford_fulkerson.h"
+
+namespace casc {
+namespace {
+
+/// Builds a random worker/task bipartite flow network: m workers, n tasks
+/// of capacity 4, each worker valid for ~`degree` random tasks.
+FlowNetwork MakeAssignmentNetwork(int m, int n, int degree, uint64_t seed) {
+  Rng rng(seed);
+  FlowNetwork network(m + n + 2);
+  const int source = 0;
+  const int sink = m + n + 1;
+  for (int w = 0; w < m; ++w) network.AddEdge(source, 1 + w, 1);
+  for (int w = 0; w < m; ++w) {
+    for (int d = 0; d < degree; ++d) {
+      const int t =
+          static_cast<int>(rng.UniformInt(static_cast<uint64_t>(n)));
+      network.AddEdge(1 + w, 1 + m + t, 1);
+    }
+  }
+  for (int t = 0; t < n; ++t) network.AddEdge(1 + m + t, sink, 4);
+  return network;
+}
+
+void BM_DinicAssignment(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int n = m / 2;
+  FlowNetwork network = MakeAssignmentNetwork(m, n, 8, 42);
+  for (auto _ : state) {
+    network.ResetFlow();
+    benchmark::DoNotOptimize(DinicMaxFlow(&network, 0, m + n + 1));
+  }
+  state.SetItemsProcessed(state.iterations() * network.num_edges());
+}
+
+void BM_FordFulkersonAssignment(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int n = m / 2;
+  FlowNetwork network = MakeAssignmentNetwork(m, n, 8, 42);
+  for (auto _ : state) {
+    network.ResetFlow();
+    benchmark::DoNotOptimize(FordFulkersonMaxFlow(&network, 0, m + n + 1));
+  }
+  state.SetItemsProcessed(state.iterations() * network.num_edges());
+}
+
+BENCHMARK(BM_DinicAssignment)->Arg(100)->Arg(1000)->Arg(5000);
+BENCHMARK(BM_FordFulkersonAssignment)->Arg(100)->Arg(1000);
+
+}  // namespace
+}  // namespace casc

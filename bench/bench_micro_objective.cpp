@@ -1,0 +1,119 @@
+// Micro-benchmarks: the objective-function primitives on the GT hot path
+// (Equation 2 group scores, Equation 4/5 marginals, best-subset
+// selection, full best-response evaluation).
+
+#include <benchmark/benchmark.h>
+
+#include "algo/best_response.h"
+#include "algo/tpg_assigner.h"
+#include "common/rng.h"
+#include "gen/synthetic.h"
+#include "model/objective.h"
+#include "model/score_keeper.h"
+
+namespace casc {
+namespace {
+
+Instance MakeInstance(int m, int n) {
+  Rng rng(42);
+  SyntheticInstanceConfig config;
+  config.num_workers = m;
+  config.num_tasks = n;
+  return GenerateSyntheticInstance(config, 0.0, &rng);
+}
+
+void BM_GroupScore(benchmark::State& state) {
+  const Instance instance = MakeInstance(64, 4);
+  const int size = static_cast<int>(state.range(0));
+  std::vector<WorkerIndex> group;
+  for (int i = 0; i < size; ++i) group.push_back(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GroupScore(instance, 0, group));
+  }
+}
+
+void BM_BestSubsetOverflowByOne(benchmark::State& state) {
+  // The exact case the GT crowding rule hits: |group| = capacity + 1.
+  const Instance instance = MakeInstance(64, 4);
+  const int capacity = static_cast<int>(state.range(0));
+  std::vector<WorkerIndex> group;
+  for (int i = 0; i <= capacity; ++i) group.push_back(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BestSubset(instance.coop(), group, capacity));
+  }
+}
+
+void BM_GainOfJoining(benchmark::State& state) {
+  const Instance instance = MakeInstance(64, 4);
+  std::vector<WorkerIndex> group = {0, 1, 2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GainOfJoining(instance, 0, group, 5));
+  }
+}
+
+void BM_BestResponse(benchmark::State& state) {
+  const Instance instance =
+      MakeInstance(static_cast<int>(state.range(0)), 200);
+  TpgAssigner tpg;
+  const Assignment assignment = tpg.Run(instance);
+  Rng rng(7);
+  for (auto _ : state) {
+    const WorkerIndex w = static_cast<WorkerIndex>(
+        rng.UniformInt(static_cast<uint64_t>(instance.num_workers())));
+    benchmark::DoNotOptimize(ComputeBestResponse(instance, assignment, w));
+  }
+}
+
+void BM_TotalScore(benchmark::State& state) {
+  const Instance instance =
+      MakeInstance(static_cast<int>(state.range(0)), 200);
+  TpgAssigner tpg;
+  const Assignment assignment = tpg.Run(instance);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TotalScore(instance, assignment));
+  }
+}
+
+// Incremental total-score maintenance (ScoreKeeper) vs full recompute,
+// under a churn of assignment mutations.
+void BM_ScoreKeeperChurn(benchmark::State& state) {
+  const Instance instance =
+      MakeInstance(static_cast<int>(state.range(0)), 200);
+  TpgAssigner tpg;
+  const Assignment assignment = tpg.Run(instance);
+  ScoreKeeper keeper(instance);
+  keeper.Sync(assignment);
+  Rng rng(7);
+  for (auto _ : state) {
+    // One move: pull a random assigned worker off its task and back on.
+    const WorkerIndex w = static_cast<WorkerIndex>(
+        rng.UniformInt(static_cast<uint64_t>(instance.num_workers())));
+    const TaskIndex t = assignment.TaskOf(w);
+    if (t == kNoTask) continue;
+    keeper.Remove(w, t);
+    keeper.Add(w, t);
+    benchmark::DoNotOptimize(keeper.TotalScore());
+  }
+}
+
+void BM_FullRecomputeChurn(benchmark::State& state) {
+  const Instance instance =
+      MakeInstance(static_cast<int>(state.range(0)), 200);
+  TpgAssigner tpg;
+  const Assignment assignment = tpg.Run(instance);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TotalScore(instance, assignment));
+  }
+}
+
+BENCHMARK(BM_ScoreKeeperChurn)->Arg(500)->Arg(2000);
+BENCHMARK(BM_FullRecomputeChurn)->Arg(500)->Arg(2000);
+
+BENCHMARK(BM_GroupScore)->Arg(3)->Arg(4)->Arg(6);
+BENCHMARK(BM_BestSubsetOverflowByOne)->Arg(3)->Arg(4)->Arg(6);
+BENCHMARK(BM_GainOfJoining);
+BENCHMARK(BM_BestResponse)->Arg(500)->Arg(1000);
+BENCHMARK(BM_TotalScore)->Arg(500)->Arg(1000);
+
+}  // namespace
+}  // namespace casc

@@ -1,0 +1,101 @@
+// Wi-Fi signal-strength survey: the paper's motivating task class where
+// each building must be measured by a small team (B = 3) and the platform
+// learns cooperation qualities from task ratings over time (Equation 1).
+//
+// The example runs several campaign waves through the library's
+// QualityLearningLoop: each wave GT assigns teams using the platform's
+// *believed* qualities, requesters rate the finished teams against the
+// hidden ground truth (with observation noise), and the ratings feed
+// Equation 1's estimator. Watch the estimation error fall and the true
+// quality of the assignments rise.
+
+#include <cstdio>
+#include <vector>
+
+#include "algo/gt_assigner.h"
+#include "common/rng.h"
+#include "gen/distributions.h"
+#include "model/objective.h"
+#include "sim/rating_model.h"
+
+namespace {
+
+constexpr int kSurveyors = 60;   // field workers with smartphones
+constexpr int kBuildings = 15;   // buildings to survey per wave
+constexpr int kWaves = 8;
+constexpr int kTeamSize = 3;     // B: minimum surveyors per building
+
+}  // namespace
+
+int main() {
+  casc::Rng rng(2024);
+
+  // Hidden ground truth: how well each pair *actually* works together.
+  casc::CooperationMatrix ground_truth(kSurveyors);
+  for (int i = 0; i < kSurveyors; ++i) {
+    for (int k = i + 1; k < kSurveyors; ++k) {
+      ground_truth.SetSymmetric(i, k, rng.Uniform());
+    }
+  }
+
+  // Equation 1 estimator + noisy requester ratings.
+  casc::QualityLearningLoop loop(ground_truth, /*alpha=*/0.3,
+                                 /*omega=*/0.5, /*noise_stddev=*/0.05,
+                                 /*seed=*/7);
+
+  // Fixed fleet of surveyors spread over the city.
+  std::vector<casc::Worker> workers;
+  casc::SpatialGenConfig city;
+  city.distribution = casc::LocationDistribution::kSkewed;
+  for (int i = 0; i < kSurveyors; ++i) {
+    casc::Worker worker;
+    worker.id = i;
+    worker.location = casc::SampleLocation(city, &rng);
+    worker.speed = 0.05;
+    worker.radius = 0.45;
+    worker.arrival_time = 0.0;
+    workers.push_back(worker);
+  }
+
+  std::printf("%-6s %-12s %-12s %-10s %-10s\n", "wave", "believed Q",
+              "true Q", "teams", "est.err");
+  for (int wave = 0; wave < kWaves; ++wave) {
+    // New buildings appear each wave.
+    std::vector<casc::Task> buildings;
+    for (int b = 0; b < kBuildings; ++b) {
+      casc::Task task;
+      task.id = wave * kBuildings + b;
+      task.location = casc::SampleLocation(city, &rng);
+      task.create_time = wave;
+      task.deadline = wave + 5.0;
+      task.capacity = 4;
+      buildings.push_back(task);
+    }
+    for (auto& worker : workers) worker.arrival_time = wave;
+
+    // Assign with GT using the *believed* qualities.
+    casc::Instance instance(workers, buildings, loop.BelievedQualities(),
+                            /*now=*/wave, kTeamSize);
+    instance.ComputeValidPairs();
+    casc::GtAssigner gt;
+    const casc::Assignment assignment = gt.Run(instance);
+
+    // Gather finished teams and close the feedback loop.
+    std::vector<std::vector<int>> finished_teams;
+    for (casc::TaskIndex t = 0; t < instance.num_tasks(); ++t) {
+      const auto& team = assignment.GroupOf(t);
+      if (static_cast<int>(team.size()) < kTeamSize) continue;
+      finished_teams.emplace_back(team.begin(), team.end());
+    }
+    const casc::WaveResult result = loop.RecordWave(finished_teams);
+    std::printf("%-6d %-12.2f %-12.2f %-10d %-10.4f\n", wave + 1,
+                result.believed_score, result.actual_score,
+                result.teams_rated, result.estimation_error);
+  }
+
+  std::printf(
+      "\nAs ratings accumulate, Equation 1 pulls the believed qualities\n"
+      "toward the truth (falling est.err) and the *true* quality of GT's\n"
+      "assignments rises.\n");
+  return 0;
+}

@@ -1,0 +1,3 @@
+#include "algo/assigner.h"
+
+// Assigner is an interface; this translation unit anchors its vtable.

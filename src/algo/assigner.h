@@ -1,0 +1,61 @@
+#ifndef CASC_ALGO_ASSIGNER_H_
+#define CASC_ALGO_ASSIGNER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/assignment.h"
+#include "model/instance.h"
+
+namespace casc {
+
+/// Per-run diagnostics shared by all assigners; the GT fields stay zero
+/// for single-pass algorithms.
+struct AssignerStats {
+  /// Best-response rounds executed (GT family).
+  int rounds = 0;
+  /// Strategy changes applied (GT family).
+  int64_t moves = 0;
+  /// Best-response evaluations performed (GT family).
+  int64_t best_response_evals = 0;
+  /// Best-response evaluations skipped by the LUB optimization.
+  int64_t best_response_skips = 0;
+  /// Objective value of the initialization (TPG score for GT).
+  double init_score = 0.0;
+  /// Objective value of the returned assignment.
+  double final_score = 0.0;
+  /// True when the GT loop reached a verified Nash equilibrium (as
+  /// opposed to stopping early via TSI or the round cap).
+  bool converged = true;
+  /// Objective value after each best-response round (GT family): the
+  /// potential-function trajectory of Lemma V.1. Empty for single-pass
+  /// algorithms.
+  std::vector<double> round_scores;
+};
+
+/// Interface for one-batch CA-SC solvers (Algorithm 1, line 6).
+///
+/// `Run` expects `instance.ComputeValidPairs()` to have been called and
+/// returns an assignment satisfying the constraints of Definition 4.
+class Assigner {
+ public:
+  virtual ~Assigner() = default;
+
+  /// Short display name used by the experiment tables ("TPG", "GT+ALL"...).
+  virtual std::string Name() const = 0;
+
+  /// Solves one batch. Requires instance.valid_pairs_ready().
+  virtual Assignment Run(const Instance& instance) = 0;
+
+  /// Diagnostics of the most recent Run().
+  const AssignerStats& stats() const { return stats_; }
+
+ protected:
+  AssignerStats stats_;
+};
+
+}  // namespace casc
+
+#endif  // CASC_ALGO_ASSIGNER_H_

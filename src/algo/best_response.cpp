@@ -1,0 +1,128 @@
+#include "algo/best_response.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "model/objective.h"
+
+namespace casc {
+namespace {
+
+/// Strict-improvement threshold guarding against floating-point ping-pong
+/// in the best-response loop.
+constexpr double kImprovementTolerance = 1e-12;
+
+}  // namespace
+
+double StrategyUtility(const Instance& instance,
+                       const Assignment& assignment, WorkerIndex w,
+                       TaskIndex t, WorkerIndex* crowded_out) {
+  if (crowded_out != nullptr) *crowded_out = kNoWorker;
+  if (t == kNoTask) return 0.0;
+
+  // W_t = the other workers currently playing t, plus w.
+  std::vector<WorkerIndex> group;
+  group.reserve(assignment.GroupOf(t).size() + 1);
+  for (const WorkerIndex member : assignment.GroupOf(t)) {
+    if (member != w) group.push_back(member);
+  }
+  const std::vector<WorkerIndex> others = group;  // W_t \ {w}
+  group.push_back(w);
+
+  const int capacity = instance.tasks()[static_cast<size_t>(t)].capacity;
+  if (static_cast<int>(group.size()) <= capacity) {
+    return GroupScore(instance, t, group) -
+           GroupScore(instance, t, others);
+  }
+
+  // Overfull: Equation 2 pays only the best a_t-subset of W_t. The member
+  // left out of that subset is the crowded-out worker.
+  const std::vector<WorkerIndex> best =
+      BestSubset(instance.coop(), group, capacity);
+  if (crowded_out != nullptr) {
+    for (const WorkerIndex member : group) {
+      if (std::find(best.begin(), best.end(), member) == best.end()) {
+        *crowded_out = member;
+        break;
+      }
+    }
+  }
+  return GroupScore(instance, t, group) - GroupScore(instance, t, others);
+}
+
+BestResponse ComputeBestResponse(const Instance& instance,
+                                 const Assignment& assignment,
+                                 WorkerIndex w) {
+  const TaskIndex current = assignment.TaskOf(w);
+  BestResponse best;
+  // Seed with the current strategy so ties keep the worker in place.
+  best.task = current;
+  best.utility =
+      StrategyUtility(instance, assignment, w, current, &best.crowded_out);
+
+  for (const TaskIndex t : instance.ValidTasks(w)) {
+    if (t == current) continue;
+    WorkerIndex crowded = kNoWorker;
+    const double utility =
+        StrategyUtility(instance, assignment, w, t, &crowded);
+    if (utility > best.utility + kImprovementTolerance) {
+      best.task = t;
+      best.utility = utility;
+      best.crowded_out = crowded;
+    }
+  }
+  // Idling beats a negative current utility (cannot happen with
+  // non-negative qualities, but keeps the game well-defined).
+  if (0.0 > best.utility + kImprovementTolerance) {
+    best = BestResponse{kNoTask, 0.0, kNoWorker};
+  }
+  return best;
+}
+
+MoveResult ApplyMove(const Instance& instance, Assignment* assignment,
+                     WorkerIndex w, TaskIndex t) {
+  CASC_CHECK(assignment != nullptr);
+  MoveResult result;
+  result.from = assignment->TaskOf(w);
+  if (t == kNoTask) {
+    assignment->Unassign(w);
+    return result;
+  }
+  CASC_CHECK(instance.IsValidPair(w, t))
+      << "ApplyMove: pair (" << w << ", " << t << ") is not valid";
+  assignment->Assign(w, t);
+  const int capacity = instance.tasks()[static_cast<size_t>(t)].capacity;
+  if (assignment->GroupSize(t) > capacity) {
+    const std::vector<WorkerIndex> group = assignment->GroupOf(t);
+    const std::vector<WorkerIndex> best =
+        BestSubset(instance.coop(), group, capacity);
+    for (const WorkerIndex member : group) {
+      if (std::find(best.begin(), best.end(), member) == best.end()) {
+        assignment->Unassign(member);
+        result.crowded_out = member;
+        break;
+      }
+    }
+    CASC_CHECK_LE(assignment->GroupSize(t), capacity);
+  }
+  return result;
+}
+
+bool IsNashEquilibrium(const Instance& instance,
+                       const Assignment& assignment, double tolerance) {
+  for (WorkerIndex w = 0; w < instance.num_workers(); ++w) {
+    const TaskIndex current = assignment.TaskOf(w);
+    const double current_utility =
+        StrategyUtility(instance, assignment, w, current, nullptr);
+    for (const TaskIndex t : instance.ValidTasks(w)) {
+      if (t == current) continue;
+      const double utility =
+          StrategyUtility(instance, assignment, w, t, nullptr);
+      if (utility > current_utility + tolerance) return false;
+    }
+    if (0.0 > current_utility + tolerance) return false;
+  }
+  return true;
+}
+
+}  // namespace casc

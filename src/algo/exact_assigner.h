@@ -1,0 +1,41 @@
+#ifndef CASC_ALGO_EXACT_ASSIGNER_H_
+#define CASC_ALGO_EXACT_ASSIGNER_H_
+
+#include <string>
+
+#include "algo/assigner.h"
+
+namespace casc {
+
+/// Default cap on the exact solver's instance size (see ExactOptions).
+inline constexpr int kExactDefaultMaxWorkers = 16;
+
+/// Options for the exact solver.
+struct ExactOptions {
+  /// Refuses instances with more workers than this (CA-SC is NP-hard;
+  /// the search is exponential in the worker count).
+  int max_workers = kExactDefaultMaxWorkers;
+};
+
+/// Exact CA-SC solver by branch-and-bound over per-worker strategy
+/// choices (each worker picks a valid task with remaining capacity, or
+/// idles). Pruning uses the Lemma V.2 bound: any completion's score is at
+/// most the sum of q̂_{i,B} over assignable workers.
+///
+/// Exponential — only for the small instances used by the optimality-gap
+/// tests and the EXACT-gap ablation bench. CHECK-fails beyond
+/// `max_workers`.
+class ExactAssigner : public Assigner {
+ public:
+  explicit ExactAssigner(ExactOptions options = {});
+
+  std::string Name() const override { return "EXACT"; }
+  Assignment Run(const Instance& instance) override;
+
+ private:
+  ExactOptions options_;
+};
+
+}  // namespace casc
+
+#endif  // CASC_ALGO_EXACT_ASSIGNER_H_

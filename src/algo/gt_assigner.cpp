@@ -1,0 +1,221 @@
+#include "algo/gt_assigner.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "algo/best_response.h"
+#include "algo/tpg_assigner.h"
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "model/objective.h"
+
+namespace casc {
+namespace {
+
+/// Strict-improvement threshold; mirrors best_response.cpp.
+constexpr double kTolerance = 1e-12;
+
+}  // namespace
+
+GtAssigner::GtAssigner(GtOptions options) : options_(options) {}
+
+std::string GtAssigner::Name() const {
+  if (options_.use_tsi && options_.use_lub) return "GT+ALL";
+  if (options_.use_tsi) return "GT+TSI";
+  if (options_.use_lub) return "GT+LUB";
+  return "GT";
+}
+
+int64_t GtAssigner::FullRound(const Instance& instance,
+                              const std::vector<WorkerIndex>& order,
+                              Assignment* assignment) {
+  int64_t moves = 0;
+  for (const WorkerIndex w : order) {
+    const TaskIndex current = assignment->TaskOf(w);
+    const BestResponse best = ComputeBestResponse(instance, *assignment, w);
+    ++stats_.best_response_evals;
+    if (best.task == current) continue;
+    const double current_utility =
+        StrategyUtility(instance, *assignment, w, current, nullptr);
+    if (best.utility <= current_utility + kTolerance) continue;
+    ApplyMove(instance, assignment, w, best.task);
+    ++moves;
+  }
+  stats_.moves += moves;
+  return moves;
+}
+
+void GtAssigner::MoveAndMarkDirty(const Instance& instance,
+                                  Assignment* assignment, WorkerIndex w,
+                                  TaskIndex target,
+                                  std::vector<bool>* dirty) {
+  const MoveResult move = ApplyMove(instance, assignment, w, target);
+  const TaskIndex from = move.from;
+  const WorkerIndex evicted = move.crowded_out;
+  const CooperationMatrix& coop = instance.coop();
+
+  // Effects at the target task (Theorems V.3 / V.4).
+  if (target != kNoTask) {
+    for (const WorkerIndex i : instance.Candidates(target)) {
+      if (i == w) continue;
+      if (evicted == kNoWorker) {
+        // Pure addition. Theorem V.3: workers already best-responding to
+        // `target` keep that best response (their utility only grew);
+        // everyone else may now be attracted (Theorem V.4, condition 1).
+        if (assignment->TaskOf(i) != target) {
+          (*dirty)[static_cast<size_t>(i)] = true;
+        }
+      } else {
+        // w replaced `evicted`. Members (and would-be joiners whose best
+        // response was `target`) can be repelled only if they liked the
+        // evicted worker better (V.3); outsiders can be attracted only if
+        // they like the newcomer better (V.4, condition 2).
+        const double q_new = coop.Quality(i, w);
+        const double q_old = coop.Quality(i, evicted);
+        if (assignment->TaskOf(i) == target) {
+          if (q_old > q_new) (*dirty)[static_cast<size_t>(i)] = true;
+        } else {
+          if (q_new > q_old) (*dirty)[static_cast<size_t>(i)] = true;
+        }
+      }
+    }
+    if (evicted != kNoWorker) {
+      (*dirty)[static_cast<size_t>(evicted)] = true;
+    }
+  }
+
+  // Effects at the departed task: its members lost a partner and anyone
+  // whose best response pointed here must reconsider; if the task was
+  // full, an opening now exists for every candidate.
+  if (from != kNoTask) {
+    const bool was_full =
+        assignment->GroupSize(from) + 1 ==
+        instance.tasks()[static_cast<size_t>(from)].capacity;
+    for (const WorkerIndex i : instance.Candidates(from)) {
+      if (i == w) continue;
+      if (assignment->TaskOf(i) == from || was_full) {
+        (*dirty)[static_cast<size_t>(i)] = true;
+      }
+    }
+  }
+}
+
+int64_t GtAssigner::LubRound(const Instance& instance,
+                             const std::vector<WorkerIndex>& order,
+                             Assignment* assignment,
+                             std::vector<bool>* dirty) {
+  int64_t moves = 0;
+  for (const WorkerIndex w : order) {
+    if (!(*dirty)[static_cast<size_t>(w)]) {
+      ++stats_.best_response_skips;
+      continue;
+    }
+    (*dirty)[static_cast<size_t>(w)] = false;
+    const TaskIndex current = assignment->TaskOf(w);
+    const BestResponse best = ComputeBestResponse(instance, *assignment, w);
+    ++stats_.best_response_evals;
+    if (best.task == current) continue;
+    const double current_utility =
+        StrategyUtility(instance, *assignment, w, current, nullptr);
+    if (best.utility <= current_utility + kTolerance) continue;
+    MoveAndMarkDirty(instance, assignment, w, best.task, dirty);
+    ++moves;
+  }
+  stats_.moves += moves;
+  return moves;
+}
+
+Assignment GtAssigner::Run(const Instance& instance) {
+  CASC_CHECK(instance.valid_pairs_ready())
+      << "GT requires Instance::ComputeValidPairs()";
+  stats_ = AssignerStats{};
+
+  // Algorithm 3, line 1: initialize the joint strategy.
+  Assignment assignment(instance);
+  switch (options_.init) {
+    case GtInit::kTpg: {
+      TpgAssigner tpg;
+      assignment = tpg.Run(instance);
+      break;
+    }
+    case GtInit::kRandom: {
+      // The generic best-response seed of Section V-A: each worker picks
+      // a uniformly random valid task; overfull tasks immediately shed
+      // their best-subset losers so the state stays feasible.
+      Rng rng(options_.init_seed);
+      for (WorkerIndex w = 0; w < instance.num_workers(); ++w) {
+        const auto& valid = instance.ValidTasks(w);
+        if (valid.empty()) continue;
+        const TaskIndex t = valid[static_cast<size_t>(
+            rng.UniformInt(static_cast<uint64_t>(valid.size())))];
+        ApplyMove(instance, &assignment, w, t);
+      }
+      break;
+    }
+    case GtInit::kEmpty:
+      break;
+  }
+  stats_.init_score = TotalScore(instance, assignment);
+
+  std::vector<bool> dirty;
+  if (options_.use_lub) {
+    dirty.assign(static_cast<size_t>(instance.num_workers()), true);
+  }
+
+  std::vector<WorkerIndex> order(
+      static_cast<size_t>(instance.num_workers()));
+  for (WorkerIndex w = 0; w < instance.num_workers(); ++w) {
+    order[static_cast<size_t>(w)] = w;
+  }
+  Rng order_rng(options_.order_seed);
+
+  double score = stats_.init_score;
+  bool reached_equilibrium = false;
+  while (stats_.rounds < options_.max_rounds) {
+    ++stats_.rounds;
+    if (options_.order == GtOrder::kShuffled) order_rng.Shuffle(order);
+    int64_t moves;
+    if (options_.use_lub) {
+      moves = LubRound(instance, order, &assignment, &dirty);
+      if (moves == 0) {
+        // The dirty set drained without a move. The theorem-based
+        // filters are sound, but we still certify the equilibrium with
+        // one full pass; any move it finds re-enters the loop.
+        const int64_t verification_moves =
+            FullRound(instance, order, &assignment);
+        if (verification_moves == 0) {
+          reached_equilibrium = true;
+          break;
+        }
+        moves = verification_moves;
+        CASC_LOG(kDebug) << "LUB verification pass applied "
+                         << verification_moves << " extra moves";
+      }
+    } else {
+      moves = FullRound(instance, order, &assignment);
+      if (moves == 0) {
+        reached_equilibrium = true;
+        break;
+      }
+    }
+
+    const double new_score = TotalScore(instance, assignment);
+    stats_.round_scores.push_back(new_score);
+    if (options_.use_tsi) {
+      // Threshold stop: the round improved the total by less than
+      // epsilon * current score (Section V-D).
+      if (new_score - score < options_.epsilon * new_score) {
+        score = new_score;
+        break;
+      }
+    }
+    score = new_score;
+  }
+
+  stats_.converged = reached_equilibrium;
+  stats_.final_score = TotalScore(instance, assignment);
+  return assignment;
+}
+
+}  // namespace casc

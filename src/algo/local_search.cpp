@@ -1,0 +1,89 @@
+#include "algo/local_search.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "model/objective.h"
+
+namespace casc {
+namespace {
+
+/// Tolerance for "strictly improving" to avoid floating-point cycling.
+constexpr double kTolerance = 1e-12;
+
+/// Score of `group` with `out` replaced by `in`.
+double ScoreWithReplacement(const Instance& instance, TaskIndex t,
+                            const std::vector<WorkerIndex>& group,
+                            WorkerIndex out, WorkerIndex in) {
+  std::vector<WorkerIndex> modified;
+  modified.reserve(group.size());
+  for (const WorkerIndex member : group) {
+    modified.push_back(member == out ? in : member);
+  }
+  return GroupScore(instance, t, modified);
+}
+
+}  // namespace
+
+LocalSearchAssigner::LocalSearchAssigner(std::unique_ptr<Assigner> base,
+                                         LocalSearchOptions options)
+    : base_(std::move(base)), options_(options) {
+  CASC_CHECK(base_ != nullptr);
+}
+
+std::string LocalSearchAssigner::Name() const {
+  return base_->Name() + "+SWAP";
+}
+
+int64_t LocalSearchAssigner::ImprovementPass(const Instance& instance,
+                                             Assignment* assignment) {
+  int64_t swaps = 0;
+  const int n = instance.num_tasks();
+  for (TaskIndex t1 = 0; t1 < n; ++t1) {
+    for (TaskIndex t2 = t1 + 1; t2 < n; ++t2) {
+      // Group vectors are copied because a swap invalidates references.
+      bool improved = true;
+      while (improved) {
+        improved = false;
+        const std::vector<WorkerIndex> group1 = assignment->GroupOf(t1);
+        const std::vector<WorkerIndex> group2 = assignment->GroupOf(t2);
+        const double base_score = GroupScore(instance, t1, group1) +
+                                  GroupScore(instance, t2, group2);
+        for (const WorkerIndex w1 : group1) {
+          if (!instance.IsValidPair(w1, t2)) continue;
+          for (const WorkerIndex w2 : group2) {
+            if (!instance.IsValidPair(w2, t1)) continue;
+            const double swapped =
+                ScoreWithReplacement(instance, t1, group1, w1, w2) +
+                ScoreWithReplacement(instance, t2, group2, w2, w1);
+            if (swapped > base_score + kTolerance) {
+              assignment->Assign(w1, t2);
+              assignment->Assign(w2, t1);
+              ++swaps;
+              improved = true;
+              break;
+            }
+          }
+          if (improved) break;
+        }
+      }
+    }
+  }
+  return swaps;
+}
+
+Assignment LocalSearchAssigner::Run(const Instance& instance) {
+  Assignment assignment = base_->Run(instance);
+  stats_ = base_->stats();
+  swaps_applied_ = 0;
+  for (int pass = 0; pass < options_.max_passes; ++pass) {
+    const int64_t swaps = ImprovementPass(instance, &assignment);
+    swaps_applied_ += swaps;
+    if (swaps == 0) break;
+  }
+  stats_.final_score = TotalScore(instance, assignment);
+  return assignment;
+}
+
+}  // namespace casc

@@ -1,0 +1,58 @@
+#include "algo/maxflow_assigner.h"
+
+#include <vector>
+
+#include "common/check.h"
+#include "graph/dinic.h"
+#include "graph/flow_network.h"
+#include "model/objective.h"
+
+namespace casc {
+
+Assignment MaxFlowAssigner::Run(const Instance& instance) {
+  CASC_CHECK(instance.valid_pairs_ready())
+      << "MFLOW requires Instance::ComputeValidPairs()";
+  stats_ = AssignerStats{};
+
+  const int m = instance.num_workers();
+  const int n = instance.num_tasks();
+  // Vertex layout: 0 = source, 1..m = workers, m+1..m+n = tasks,
+  // m+n+1 = sink.
+  const int source = 0;
+  const int sink = m + n + 1;
+  FlowNetwork network(m + n + 2);
+
+  for (WorkerIndex w = 0; w < m; ++w) {
+    network.AddEdge(source, 1 + w, 1);
+  }
+  // Remember which flow edge backs each valid pair.
+  struct PairEdge {
+    WorkerIndex worker;
+    TaskIndex task;
+    int edge;
+  };
+  std::vector<PairEdge> pair_edges;
+  for (WorkerIndex w = 0; w < m; ++w) {
+    for (const TaskIndex t : instance.ValidTasks(w)) {
+      const int edge = network.AddEdge(1 + w, 1 + m + t, 1);
+      pair_edges.push_back(PairEdge{w, t, edge});
+    }
+  }
+  for (TaskIndex t = 0; t < n; ++t) {
+    network.AddEdge(1 + m + t, sink,
+                    instance.tasks()[static_cast<size_t>(t)].capacity);
+  }
+
+  DinicMaxFlow(&network, source, sink);
+
+  Assignment assignment(instance);
+  for (const PairEdge& pair : pair_edges) {
+    if (network.Flow(pair.edge) > 0) {
+      assignment.Assign(pair.worker, pair.task);
+    }
+  }
+  stats_.final_score = TotalScore(instance, assignment);
+  return assignment;
+}
+
+}  // namespace casc

@@ -1,0 +1,26 @@
+#ifndef CASC_ALGO_MAXFLOW_ASSIGNER_H_
+#define CASC_ALGO_MAXFLOW_ASSIGNER_H_
+
+#include <string>
+
+#include "algo/assigner.h"
+
+namespace casc {
+
+/// The MFLOW baseline (GeoCrowd [11]): each batch becomes a max-flow
+/// problem — source -> worker (capacity 1), worker -> valid task
+/// (capacity 1), task -> sink (capacity a_j) — and the assignment with
+/// the maximum number of valid worker-and-task pairs is returned.
+///
+/// MFLOW is cooperation-oblivious: it maximizes assigned-pair count, not
+/// Equation 3, which is why its total cooperation score trails TPG/GT in
+/// every figure of the paper.
+class MaxFlowAssigner : public Assigner {
+ public:
+  std::string Name() const override { return "MFLOW"; }
+  Assignment Run(const Instance& instance) override;
+};
+
+}  // namespace casc
+
+#endif  // CASC_ALGO_MAXFLOW_ASSIGNER_H_

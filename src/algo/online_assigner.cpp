@@ -1,0 +1,79 @@
+#include "algo/online_assigner.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+#include "model/objective.h"
+
+namespace casc {
+
+OnlineAssigner::OnlineAssigner(OnlineOptions options) : options_(options) {}
+
+Assignment OnlineAssigner::Run(const Instance& instance) {
+  CASC_CHECK(instance.valid_pairs_ready())
+      << "ONLINE requires Instance::ComputeValidPairs()";
+  stats_ = AssignerStats{};
+  Assignment assignment(instance);
+
+  // Arrival order; ties broken by worker index for determinism.
+  std::vector<WorkerIndex> order(static_cast<size_t>(instance.num_workers()));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](WorkerIndex a, WorkerIndex b) {
+                     return instance.workers()[static_cast<size_t>(a)]
+                                .arrival_time <
+                            instance.workers()[static_cast<size_t>(b)]
+                                .arrival_time;
+                   });
+
+  for (const WorkerIndex w : order) {
+    TaskIndex best_task = kNoTask;
+    double best_gain = 0.0;
+    bool best_is_optimistic = false;
+    for (const TaskIndex t : instance.ValidTasks(w)) {
+      const auto& group = assignment.GroupOf(t);
+      const int capacity =
+          instance.tasks()[static_cast<size_t>(t)].capacity;
+      if (static_cast<int>(group.size()) >= capacity) continue;
+      const double gain = GainOfJoining(instance, t, group, w);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_task = t;
+        best_is_optimistic = false;
+      }
+    }
+    if (best_task == kNoTask && options_.optimistic_join) {
+      // No immediately-profitable join: park the worker on the
+      // below-threshold task where it fits best (largest raw affinity to
+      // the current members; emptiest task as the tie-break) so teams
+      // can still form.
+      double best_affinity = -1.0;
+      for (const TaskIndex t : instance.ValidTasks(w)) {
+        const auto& group = assignment.GroupOf(t);
+        if (static_cast<int>(group.size()) + 1 >
+            instance.min_group_size()) {
+          continue;  // only seed groups still at or below B
+        }
+        const double affinity =
+            instance.coop().RowSum(w, group) +
+            1e-3 * (instance.min_group_size() -
+                    static_cast<int>(group.size()));
+        if (affinity > best_affinity) {
+          best_affinity = affinity;
+          best_task = t;
+          best_is_optimistic = true;
+        }
+      }
+    }
+    if (best_task != kNoTask) {
+      assignment.Assign(w, best_task);
+      (void)best_is_optimistic;
+    }
+  }
+  stats_.final_score = TotalScore(instance, assignment);
+  return assignment;
+}
+
+}  // namespace casc

@@ -1,0 +1,44 @@
+#include "algo/random_assigner.h"
+
+#include <vector>
+
+#include "common/check.h"
+#include "model/objective.h"
+
+namespace casc {
+
+RandomAssigner::RandomAssigner(uint64_t seed) : rng_(seed) {}
+
+Assignment RandomAssigner::Run(const Instance& instance) {
+  CASC_CHECK(instance.valid_pairs_ready())
+      << "RAND requires Instance::ComputeValidPairs()";
+  stats_ = AssignerStats{};
+  Assignment assignment(instance);
+
+  std::vector<TaskIndex> order(static_cast<size_t>(instance.num_tasks()));
+  for (TaskIndex t = 0; t < instance.num_tasks(); ++t) {
+    order[static_cast<size_t>(t)] = t;
+  }
+  rng_.Shuffle(order);
+
+  std::vector<bool> used(static_cast<size_t>(instance.num_workers()), false);
+  for (const TaskIndex t : order) {
+    std::vector<WorkerIndex> pool;
+    for (const WorkerIndex w : instance.Candidates(t)) {
+      if (!used[static_cast<size_t>(w)]) pool.push_back(w);
+    }
+    if (static_cast<int>(pool.size()) < instance.min_group_size()) continue;
+    rng_.Shuffle(pool);
+    const int take = std::min<int>(
+        instance.tasks()[static_cast<size_t>(t)].capacity,
+        static_cast<int>(pool.size()));
+    for (int i = 0; i < take; ++i) {
+      assignment.Assign(pool[static_cast<size_t>(i)], t);
+      used[static_cast<size_t>(pool[static_cast<size_t>(i)])] = true;
+    }
+  }
+  stats_.final_score = TotalScore(instance, assignment);
+  return assignment;
+}
+
+}  // namespace casc

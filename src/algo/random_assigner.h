@@ -1,0 +1,29 @@
+#ifndef CASC_ALGO_RANDOM_ASSIGNER_H_
+#define CASC_ALGO_RANDOM_ASSIGNER_H_
+
+#include <string>
+
+#include "algo/assigner.h"
+#include "common/rng.h"
+
+namespace casc {
+
+/// The RAND baseline: visits tasks in random order and assigns each a
+/// random subset of its still-unassigned valid workers (up to capacity;
+/// tasks that cannot reach B workers are skipped). Fast and oblivious to
+/// cooperation quality — the floor every figure compares against.
+class RandomAssigner : public Assigner {
+ public:
+  /// Seeds the internal deterministic RNG.
+  explicit RandomAssigner(uint64_t seed = 1);
+
+  std::string Name() const override { return "RAND"; }
+  Assignment Run(const Instance& instance) override;
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace casc
+
+#endif  // CASC_ALGO_RANDOM_ASSIGNER_H_

@@ -1,0 +1,234 @@
+#include "algo/tpg_assigner.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+#include "model/objective.h"
+
+namespace casc {
+namespace {
+
+/// A cached stage-1 seed set for one task.
+struct SeedEntry {
+  std::vector<WorkerIndex> workers;
+  double score = -1.0;  // GroupScore of the seed set; -1 = infeasible
+};
+
+/// A lazy heap entry for stage 2.
+struct GainEntry {
+  double gain;
+  WorkerIndex worker;
+  TaskIndex task;
+  uint64_t task_version;  // stale when != current version of `task`
+
+  bool operator<(const GainEntry& other) const {
+    if (gain != other.gain) return gain < other.gain;  // max-heap by gain
+    // Deterministic tie-breaking: smaller worker, then task, wins.
+    if (worker != other.worker) return worker > other.worker;
+    return task > other.task;
+  }
+};
+
+}  // namespace
+
+TpgAssigner::TpgAssigner(TpgOptions options) : options_(options) {}
+
+std::vector<WorkerIndex> TpgAssigner::GreedySeedSet(
+    const Instance& instance, TaskIndex t,
+    const std::vector<bool>& available) {
+  const int target = instance.min_group_size();
+  std::vector<WorkerIndex> candidates;
+  for (const WorkerIndex w : instance.Candidates(t)) {
+    if (available[static_cast<size_t>(w)]) candidates.push_back(w);
+  }
+  if (static_cast<int>(candidates.size()) < target) return {};
+
+  const CooperationMatrix& coop = instance.coop();
+
+  // Seed with the best mutual pair.
+  WorkerIndex best_a = candidates[0];
+  WorkerIndex best_b = candidates[1];
+  double best_pair = -1.0;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    for (size_t j = i + 1; j < candidates.size(); ++j) {
+      const double value = coop.Quality(candidates[i], candidates[j]) +
+                           coop.Quality(candidates[j], candidates[i]);
+      if (value > best_pair) {
+        best_pair = value;
+        best_a = candidates[i];
+        best_b = candidates[j];
+      }
+    }
+  }
+  std::vector<WorkerIndex> seed = {best_a, best_b};
+
+  // Extend greedily by the worker adding the most pairwise quality.
+  while (static_cast<int>(seed.size()) < target) {
+    WorkerIndex best_w = kNoTask;
+    double best_add = -1.0;
+    for (const WorkerIndex w : candidates) {
+      if (std::find(seed.begin(), seed.end(), w) != seed.end()) continue;
+      double added = 0.0;
+      for (const WorkerIndex member : seed) {
+        added += coop.Quality(member, w) + coop.Quality(w, member);
+      }
+      if (added > best_add) {
+        best_add = added;
+        best_w = w;
+      }
+    }
+    CASC_CHECK_NE(best_w, kNoTask);
+    seed.push_back(best_w);
+  }
+  std::sort(seed.begin(), seed.end());
+  return seed;
+}
+
+Assignment TpgAssigner::Run(const Instance& instance) {
+  CASC_CHECK(instance.valid_pairs_ready())
+      << "TPG requires Instance::ComputeValidPairs()";
+  stats_ = AssignerStats{};
+  Assignment assignment(instance);
+  const int num_tasks = instance.num_tasks();
+  const int min_group = instance.min_group_size();
+
+  std::vector<bool> worker_available(
+      static_cast<size_t>(instance.num_workers()), true);
+
+  // ---------------------------------------------------------------------
+  // Stage 1 (Algorithm 2, lines 2-13): seed each task with its best
+  // B-worker set, best-scoring task first.
+  // ---------------------------------------------------------------------
+  const bool run_stage_one = !options_.skip_stage_one;
+  std::vector<SeedEntry> seeds(static_cast<size_t>(num_tasks));
+  std::vector<bool> seed_fresh(static_cast<size_t>(num_tasks), false);
+  std::vector<bool> task_seeded(static_cast<size_t>(num_tasks), false);
+
+  auto refresh_seed = [&](TaskIndex t) {
+    SeedEntry& entry = seeds[static_cast<size_t>(t)];
+    entry.workers = GreedySeedSet(instance, t, worker_available);
+    entry.score =
+        entry.workers.empty()
+            ? -1.0
+            : instance.coop().PairSum(entry.workers) / (min_group - 1);
+    seed_fresh[static_cast<size_t>(t)] = true;
+  };
+
+  auto available_candidates = [&](TaskIndex t) {
+    int count = 0;
+    for (const WorkerIndex w : instance.Candidates(t)) {
+      if (worker_available[static_cast<size_t>(w)]) ++count;
+    }
+    return count;
+  };
+
+  if (run_stage_one) {
+    for (TaskIndex t = 0; t < num_tasks; ++t) refresh_seed(t);
+  }
+
+  while (run_stage_one) {
+    // Find the globally best fresh seed set.
+    double best_score = -1.0;
+    for (TaskIndex t = 0; t < num_tasks; ++t) {
+      if (task_seeded[static_cast<size_t>(t)]) continue;
+      if (!seed_fresh[static_cast<size_t>(t)]) refresh_seed(t);
+      best_score = std::max(best_score, seeds[static_cast<size_t>(t)].score);
+    }
+    if (best_score < 0.0) break;  // no task can form a B-set any more
+
+    // Collect the tasks achieving the best score; when several compete,
+    // Algorithm 2 (lines 6-9) awards the set to the task with the most
+    // potential candidate workers.
+    TaskIndex chosen = kNoTask;
+    int chosen_potential = -1;
+    for (TaskIndex t = 0; t < num_tasks; ++t) {
+      if (task_seeded[static_cast<size_t>(t)]) continue;
+      if (seeds[static_cast<size_t>(t)].score != best_score) continue;
+      const int potential = available_candidates(t);
+      if (potential > chosen_potential) {
+        chosen_potential = potential;
+        chosen = t;
+      }
+    }
+    CASC_CHECK_NE(chosen, kNoTask);
+
+    for (const WorkerIndex w : seeds[static_cast<size_t>(chosen)].workers) {
+      assignment.Assign(w, chosen);
+      worker_available[static_cast<size_t>(w)] = false;
+    }
+    task_seeded[static_cast<size_t>(chosen)] = true;
+
+    // Invalidate cached seeds that used one of the consumed workers.
+    for (TaskIndex t = 0; t < num_tasks; ++t) {
+      if (task_seeded[static_cast<size_t>(t)] ||
+          !seed_fresh[static_cast<size_t>(t)]) {
+        continue;
+      }
+      for (const WorkerIndex w :
+           seeds[static_cast<size_t>(chosen)].workers) {
+        const auto& cached = seeds[static_cast<size_t>(t)].workers;
+        if (std::binary_search(cached.begin(), cached.end(), w)) {
+          seed_fresh[static_cast<size_t>(t)] = false;
+          break;
+        }
+      }
+    }
+  }
+  stats_.init_score = TotalScore(instance, assignment);
+
+  // ---------------------------------------------------------------------
+  // Stage 2 (Algorithm 2, lines 15-20): repeatedly add the single
+  // worker-and-task pair with the largest ΔQ.
+  // ---------------------------------------------------------------------
+  std::vector<uint64_t> task_version(static_cast<size_t>(num_tasks), 0);
+
+  auto pair_gain = [&](WorkerIndex w, TaskIndex t) {
+    return GainOfJoining(instance, t, assignment.GroupOf(t), w);
+  };
+  auto task_open = [&](TaskIndex t) {
+    return assignment.GroupSize(t) <
+           instance.tasks()[static_cast<size_t>(t)].capacity;
+  };
+
+  std::priority_queue<GainEntry> heap;
+  for (WorkerIndex w = 0; w < instance.num_workers(); ++w) {
+    if (!worker_available[static_cast<size_t>(w)]) continue;
+    for (const TaskIndex t : instance.ValidTasks(w)) {
+      if (!task_open(t)) continue;
+      heap.push(GainEntry{pair_gain(w, t), w, t,
+                          task_version[static_cast<size_t>(t)]});
+    }
+  }
+
+  while (!heap.empty()) {
+    const GainEntry top = heap.top();
+    heap.pop();
+    if (!worker_available[static_cast<size_t>(top.worker)]) continue;
+    if (!task_open(top.task)) continue;
+    if (top.task_version != task_version[static_cast<size_t>(top.task)]) {
+      // Stale gain: recompute against the current group and re-insert.
+      heap.push(GainEntry{pair_gain(top.worker, top.task), top.worker,
+                          top.task,
+                          task_version[static_cast<size_t>(top.task)]});
+      continue;
+    }
+    // Adding a poorly-matched worker can lower a group's score (the
+    // denominator of Equation 2 grows), so gains may be negative; stop at
+    // the first non-improving pair (or first negative one when zero-gain
+    // pairs are allowed, which tops groups up toward B — mandatory when
+    // stage 1 was skipped, since every group starts below B).
+    const bool zero_gain_ok =
+        options_.allow_zero_gain || options_.skip_stage_one;
+    if (zero_gain_ok ? top.gain < 0.0 : top.gain <= 0.0) break;
+
+    assignment.Assign(top.worker, top.task);
+    worker_available[static_cast<size_t>(top.worker)] = false;
+    ++task_version[static_cast<size_t>(top.task)];
+  }
+
+  stats_.final_score = TotalScore(instance, assignment);
+  return assignment;
+}
+
+}  // namespace casc

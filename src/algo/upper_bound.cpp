@@ -1,0 +1,138 @@
+#include "algo/upper_bound.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+
+#include "common/check.h"
+
+namespace casc {
+namespace {
+
+/// Mean of the top (B-1) values of q_w(k) over `coworkers` under
+/// `compare` (greater for the upper bound, less for the lower bound).
+template <typename Compare>
+double ExtremeAverageOver(const Instance& instance,
+                          std::vector<double> qualities, Compare compare) {
+  const int b_minus_1 = instance.min_group_size() - 1;
+  if (static_cast<int>(qualities.size()) < b_minus_1) {
+    return 0.0;  // no feasible group of B workers in this scope
+  }
+  std::nth_element(qualities.begin(),
+                   qualities.begin() + (b_minus_1 - 1), qualities.end(),
+                   compare);
+  double sum = 0.0;
+  for (int i = 0; i < b_minus_1; ++i) sum += qualities[static_cast<size_t>(i)];
+  return sum / b_minus_1;
+}
+
+/// q_w(k) for every other worker in the batch.
+std::vector<double> AllCoworkerQualities(const Instance& instance,
+                                         WorkerIndex w) {
+  std::vector<double> qualities;
+  const int m = instance.num_workers();
+  qualities.reserve(static_cast<size_t>(m) - (m > 0 ? 1 : 0));
+  for (WorkerIndex k = 0; k < m; ++k) {
+    if (k != w) qualities.push_back(instance.coop().Quality(w, k));
+  }
+  return qualities;
+}
+
+/// q_w(k) for workers sharing at least one valid task with w.
+std::vector<double> CoCandidateQualities(const Instance& instance,
+                                         WorkerIndex w) {
+  std::vector<bool> seen(static_cast<size_t>(instance.num_workers()),
+                         false);
+  std::vector<double> qualities;
+  for (const TaskIndex t : instance.ValidTasks(w)) {
+    for (const WorkerIndex k : instance.Candidates(t)) {
+      if (k == w || seen[static_cast<size_t>(k)]) continue;
+      seen[static_cast<size_t>(k)] = true;
+      qualities.push_back(instance.coop().Quality(w, k));
+    }
+  }
+  return qualities;
+}
+
+template <typename Compare>
+double ExtremeAverage(const Instance& instance, WorkerIndex w,
+                      UpperBoundScope scope, Compare compare) {
+  if (scope == UpperBoundScope::kCoCandidates) {
+    return ExtremeAverageOver(instance, CoCandidateQualities(instance, w),
+                              compare);
+  }
+  return ExtremeAverageOver(instance, AllCoworkerQualities(instance, w),
+                            compare);
+}
+
+}  // namespace
+
+double WorkerQualityUpperBound(const Instance& instance, WorkerIndex w,
+                               UpperBoundScope scope) {
+  return ExtremeAverage(instance, w, scope, std::greater<double>());
+}
+
+double WorkerQualityLowerBound(const Instance& instance, WorkerIndex w) {
+  return ExtremeAverage(instance, w, UpperBoundScope::kAllWorkers,
+                        std::less<double>());
+}
+
+double TaskUpperBound(const Instance& instance, TaskIndex t,
+                      const std::vector<double>& worker_bounds) {
+  CASC_CHECK_EQ(static_cast<int>(worker_bounds.size()),
+                instance.num_workers());
+  const auto& candidates = instance.Candidates(t);
+  if (static_cast<int>(candidates.size()) < instance.min_group_size()) {
+    return 0.0;
+  }
+  const int capacity = instance.tasks()[static_cast<size_t>(t)].capacity;
+  std::vector<double> bounds;
+  bounds.reserve(candidates.size());
+  for (const WorkerIndex w : candidates) {
+    bounds.push_back(worker_bounds[static_cast<size_t>(w)]);
+  }
+  const int take = std::min<int>(capacity, static_cast<int>(bounds.size()));
+  std::nth_element(bounds.begin(), bounds.begin() + (take - 1), bounds.end(),
+                   std::greater<double>());
+  double sum = 0.0;
+  for (int i = 0; i < take; ++i) sum += bounds[static_cast<size_t>(i)];
+  return sum;
+}
+
+double ComputeUpperBound(const Instance& instance, UpperBoundScope scope) {
+  CASC_CHECK(instance.valid_pairs_ready())
+      << "UPPER requires Instance::ComputeValidPairs()";
+  std::vector<double> worker_bounds(
+      static_cast<size_t>(instance.num_workers()), 0.0);
+  for (WorkerIndex w = 0; w < instance.num_workers(); ++w) {
+    worker_bounds[static_cast<size_t>(w)] =
+        WorkerQualityUpperBound(instance, w, scope);
+  }
+
+  double task_side = 0.0;
+  for (TaskIndex t = 0; t < instance.num_tasks(); ++t) {
+    task_side += TaskUpperBound(instance, t, worker_bounds);
+  }
+  // A worker can contribute only if it has at least one valid task.
+  double worker_side = 0.0;
+  for (WorkerIndex w = 0; w < instance.num_workers(); ++w) {
+    if (!instance.ValidTasks(w).empty()) {
+      worker_side += worker_bounds[static_cast<size_t>(w)];
+    }
+  }
+  return std::min(task_side, worker_side);
+}
+
+double PriceOfAnarchyLowerBound(const Instance& instance,
+                                int n_init_tasks) {
+  const double upper = ComputeUpperBound(instance);
+  if (upper <= 0.0) return 0.0;
+  double q_min = std::numeric_limits<double>::infinity();
+  for (WorkerIndex w = 0; w < instance.num_workers(); ++w) {
+    q_min = std::min(q_min, WorkerQualityLowerBound(instance, w));
+  }
+  if (instance.num_workers() == 0) q_min = 0.0;
+  return n_init_tasks * instance.min_group_size() * q_min / upper;
+}
+
+}  // namespace casc

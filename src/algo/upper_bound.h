@@ -1,0 +1,60 @@
+#ifndef CASC_ALGO_UPPER_BOUND_H_
+#define CASC_ALGO_UPPER_BOUND_H_
+
+#include <vector>
+
+#include "model/instance.h"
+
+namespace casc {
+
+/// The UPPER estimator of Section V-C (Lemmas V.2 / V.3, Equations 8-9),
+/// reported alongside the algorithms in every figure of the paper.
+
+/// Which co-worker population the Lemma V.2 ceilings consider.
+enum class UpperBoundScope {
+  /// All workers in the batch — the paper's literal formulation.
+  kAllWorkers,
+  /// Only workers that share at least one valid task with the worker
+  /// being bounded. Any feasible group containing worker i consists of
+  /// candidates of one of i's valid tasks, so this bound is still sound
+  /// — and strictly tighter whenever working areas fragment the batch.
+  /// Requires instance.valid_pairs_ready().
+  kCoCandidates,
+};
+
+/// q̂_{i,B} (Lemma V.2): the highest average cooperation quality worker
+/// `w` can obtain in any group of >= B workers — the mean of its top
+/// (B - 1) outgoing qualities over the scope's co-worker population.
+/// Returns 0 when no feasible group of B workers exists for that scope.
+double WorkerQualityUpperBound(
+    const Instance& instance, WorkerIndex w,
+    UpperBoundScope scope = UpperBoundScope::kAllWorkers);
+
+/// q̌_{i,B} (Lemma V.3): the lowest average quality worker `w` can have in
+/// a group of >= B workers — the mean of its bottom (B - 1) outgoing
+/// qualities. Used by the PoA lower bound (Theorem V.2).
+double WorkerQualityLowerBound(const Instance& instance, WorkerIndex w);
+
+/// Q̂_{t_j} (Equation 8): per-task upper bound — the sum of the top
+/// min(a_j, |candidates|) values of q̂_{x,B} over the task's candidate
+/// workers; 0 when fewer than B candidates exist.
+/// `worker_bounds` must hold WorkerQualityUpperBound for every worker.
+double TaskUpperBound(const Instance& instance, TaskIndex t,
+                      const std::vector<double>& worker_bounds);
+
+/// Q̂(phi) (Equation 9): min( sum_j Q̂_{t_j} ,
+///                            sum_{workers with >= 1 valid task} q̂_{i,B} ).
+/// Requires instance.valid_pairs_ready().
+double ComputeUpperBound(
+    const Instance& instance,
+    UpperBoundScope scope = UpperBoundScope::kAllWorkers);
+
+/// The Price-of-Anarchy lower bound of Theorem V.2:
+/// N_init * B * q̌ / Q̂(phi), where `n_init_tasks` is the number of tasks
+/// the TPG initialization finished. Returns 0 when Q̂(phi) == 0.
+double PriceOfAnarchyLowerBound(const Instance& instance,
+                                int n_init_tasks);
+
+}  // namespace casc
+
+#endif  // CASC_ALGO_UPPER_BOUND_H_

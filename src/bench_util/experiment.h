@@ -1,0 +1,87 @@
+#ifndef CASC_BENCH_UTIL_EXPERIMENT_H_
+#define CASC_BENCH_UTIL_EXPERIMENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/assigner.h"
+#include "bench_util/settings.h"
+#include "gen/workload.h"
+#include "sim/metrics.h"
+
+namespace casc {
+
+/// The approaches compared throughout Section VI.
+enum class ApproachId {
+  kTpg,
+  kGt,
+  kGtLub,
+  kGtTsi,
+  kGtAll,
+  kMflow,
+  kRand,
+};
+
+/// Display name matching the paper ("TPG", "GT+ALL", ...).
+std::string ApproachName(ApproachId id);
+
+/// Instantiates one approach under the given settings (epsilon feeds the
+/// TSI variants; the RAND seed derives from settings.seed).
+std::unique_ptr<Assigner> MakeApproach(ApproachId id,
+                                       const ExperimentSettings& settings);
+
+/// All seven approaches in the paper's reporting order.
+std::vector<ApproachId> AllApproaches();
+
+/// Instantiates an approach from its user-facing name. Accepts the seven
+/// paper approaches ("TPG", "GT", "GT+TSI", "GT+LUB", "GT+ALL", "MFLOW",
+/// "RAND", case-insensitive) plus the extensions "ONLINE", "EXACT", and
+/// any of the above with a "+SWAP" suffix (local-search post-pass).
+Result<std::unique_ptr<Assigner>> MakeApproachFromName(
+    const std::string& name, const ExperimentSettings& settings);
+
+/// Which dataset a figure uses.
+enum class DataKind { kMeetupLike, kSynthetic };
+
+/// Builds the instance source for the given dataset kind and settings.
+std::unique_ptr<InstanceSource> MakeSource(DataKind kind,
+                                           const ExperimentSettings& settings);
+
+/// Result of running one approach over R rounds.
+struct ApproachResult {
+  std::string name;
+  double total_score = 0.0;    ///< Figures (a): total cooperation score
+  double avg_seconds = 0.0;    ///< Figures (b): per-batch running time
+  double total_upper = 0.0;    ///< UPPER summed over the same batches
+  RunSummary summary;          ///< full per-batch detail
+};
+
+/// Runs every approach on the *same* R sampled batches (each batch is
+/// generated once and handed to all approaches, so comparisons and the
+/// UPPER estimate are apples-to-apples) and reports per-approach totals.
+std::vector<ApproachResult> RunComparison(
+    const ExperimentSettings& settings, DataKind kind,
+    const std::vector<ApproachId>& approaches);
+
+/// One x-axis point of a figure sweep.
+struct SweepPoint {
+  std::string label;                    ///< e.g. "[1,5]" or "3"
+  ExperimentSettings settings;          ///< settings for this point
+};
+
+/// Runs a full figure: every sweep point, every approach, and prints the
+/// paper-style score and running-time tables (plus the UPPER row).
+/// When `csv_path` is non-empty, also writes machine-readable results to
+/// `<csv_path>.score.csv` and `<csv_path>.time_ms.csv`.
+/// Returns the per-point results for further inspection.
+std::vector<std::vector<ApproachResult>> RunFigure(
+    const std::string& figure_title, const std::string& x_axis_name,
+    const std::vector<SweepPoint>& points, DataKind kind,
+    const std::vector<ApproachId>& approaches,
+    const std::string& csv_path = "");
+
+}  // namespace casc
+
+#endif  // CASC_BENCH_UTIL_EXPERIMENT_H_

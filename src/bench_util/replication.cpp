@@ -1,0 +1,54 @@
+#include "bench_util/replication.h"
+
+#include <cstdio>
+
+#include "bench_util/table_printer.h"
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace casc {
+
+std::vector<ReplicatedResult> RunReplications(
+    const ExperimentSettings& settings, DataKind kind,
+    const std::vector<ApproachId>& approaches,
+    const std::vector<uint64_t>& seeds) {
+  CASC_CHECK(!seeds.empty());
+  std::vector<ReplicatedResult> results(approaches.size());
+  for (size_t a = 0; a < approaches.size(); ++a) {
+    results[a].name = ApproachName(approaches[a]);
+  }
+  for (const uint64_t seed : seeds) {
+    ExperimentSettings run_settings = settings;
+    run_settings.seed = seed;
+    const std::vector<ApproachResult> run =
+        RunComparison(run_settings, kind, approaches);
+    for (size_t a = 0; a < approaches.size(); ++a) {
+      results[a].score.Add(run[a].total_score);
+      results[a].batch_ms.Add(run[a].avg_seconds * 1e3);
+      if (run[a].total_upper > 0.0) {
+        results[a].upper_frac.Add(run[a].total_score / run[a].total_upper);
+      }
+    }
+  }
+  return results;
+}
+
+void PrintReplications(const std::string& title,
+                       const std::vector<ReplicatedResult>& results) {
+  std::printf("=== %s ===\n\n", title.c_str());
+  TablePrinter table({"approach", "score (mean +- se)", "min..max",
+                      "batch ms", "score/UPPER"});
+  for (const ReplicatedResult& result : results) {
+    table.AddRow(
+        {result.name,
+         FormatDouble(result.score.Mean(), 1) + " +- " +
+             FormatDouble(result.score.StdError(), 1),
+         FormatDouble(result.score.Min(), 1) + ".." +
+             FormatDouble(result.score.Max(), 1),
+         FormatDouble(result.batch_ms.Mean(), 2),
+         FormatDouble(result.upper_frac.Mean(), 3)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+}
+
+}  // namespace casc

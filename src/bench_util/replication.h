@@ -1,0 +1,38 @@
+#ifndef CASC_BENCH_UTIL_REPLICATION_H_
+#define CASC_BENCH_UTIL_REPLICATION_H_
+
+#include <string>
+#include <vector>
+
+#include "bench_util/experiment.h"
+#include "common/histogram.h"
+
+namespace casc {
+
+/// Per-approach aggregate over independent replications (distinct master
+/// seeds): mean, standard error, and extremes of the total cooperation
+/// score and of the per-batch running time.
+struct ReplicatedResult {
+  std::string name;
+  SummaryStats score;       ///< total cooperation score per replication
+  SummaryStats batch_ms;    ///< average batch milliseconds per replication
+  SummaryStats upper_frac;  ///< score / UPPER per replication
+};
+
+/// Runs RunComparison once per seed in `seeds` (everything else fixed by
+/// `settings`) and folds the outcomes into per-approach summaries. The
+/// paper reports single-seed curves; replication quantifies how much of
+/// an observed gap is signal versus sampling noise.
+std::vector<ReplicatedResult> RunReplications(
+    const ExperimentSettings& settings, DataKind kind,
+    const std::vector<ApproachId>& approaches,
+    const std::vector<uint64_t>& seeds);
+
+/// Prints the replication table ("score mean +- se", "ms mean",
+/// "score/UPPER") for the given results.
+void PrintReplications(const std::string& title,
+                       const std::vector<ReplicatedResult>& results);
+
+}  // namespace casc
+
+#endif  // CASC_BENCH_UTIL_REPLICATION_H_

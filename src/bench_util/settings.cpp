@@ -1,0 +1,58 @@
+#include "bench_util/settings.h"
+
+#include "common/strings.h"
+
+namespace casc {
+
+WorkerGenConfig ExperimentSettings::MakeWorkerConfig() const {
+  WorkerGenConfig config;
+  config.spatial.distribution = distribution;
+  config.speed_min = speed_min_pct / 100.0;
+  config.speed_max = speed_max_pct / 100.0;
+  config.radius_min = radius_min_pct / 100.0;
+  config.radius_max = radius_max_pct / 100.0;
+  return config;
+}
+
+TaskGenConfig ExperimentSettings::MakeTaskConfig() const {
+  TaskGenConfig config;
+  config.spatial.distribution = distribution;
+  config.remaining_time = remaining_time;
+  config.capacity = capacity;
+  return config;
+}
+
+SyntheticInstanceConfig ExperimentSettings::MakeSyntheticConfig() const {
+  SyntheticInstanceConfig config;
+  config.num_workers = num_workers;
+  config.num_tasks = num_tasks;
+  config.min_group_size = min_group_size;
+  config.worker = MakeWorkerConfig();
+  config.task = MakeTaskConfig();
+  config.quality_model = QualityModel::kUniform;
+  return config;
+}
+
+MeetupLikeConfig ExperimentSettings::MakeMeetupConfig() const {
+  return MeetupLikeConfig{};  // the paper's HK slice shape
+}
+
+std::string ExperimentSettings::ToString() const {
+  std::string out;
+  out += "a_j=" + std::to_string(capacity);
+  out += " [v-,v+]=[" + FormatDouble(speed_min_pct, 0) + "," +
+         FormatDouble(speed_max_pct, 0) + "]%";
+  out += " [r-,r+]=[" + FormatDouble(radius_min_pct, 0) + "," +
+         FormatDouble(radius_max_pct, 0) + "]%";
+  out += " tau=" + FormatDouble(remaining_time, 0);
+  out += " eps=" + FormatDouble(epsilon, 2);
+  out += " m=" + std::to_string(num_workers);
+  out += " n=" + std::to_string(num_tasks);
+  out += " R=" + std::to_string(rounds);
+  out += " B=" + std::to_string(min_group_size);
+  out += distribution == LocationDistribution::kSkewed ? " SKEW" : " UNIF";
+  out += " seed=" + std::to_string(seed);
+  return out;
+}
+
+}  // namespace casc

@@ -1,0 +1,65 @@
+#include "bench_util/table_printer.h"
+
+#include <algorithm>
+
+namespace casc {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Render() const {
+  size_t columns = headers_.size();
+  for (const auto& row : rows_) columns = std::max(columns, row.size());
+
+  std::vector<size_t> widths(columns, 0);
+  auto measure = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  };
+  measure(headers_);
+  for (const auto& row : rows_) measure(row);
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < columns; ++c) {
+      const std::string cell = c < row.size() ? row[c] : "";
+      line += cell;
+      if (c + 1 < columns) {
+        line += std::string(widths[c] - cell.size() + 2, ' ');
+      }
+    }
+    // Trim trailing spaces.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+
+  std::string out = render_row(headers_);
+  size_t rule_width = 0;
+  for (size_t c = 0; c < columns; ++c) {
+    rule_width += widths[c] + (c + 1 < columns ? 2 : 0);
+  }
+  out += std::string(rule_width, '-') + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string TablePrinter::RenderCsv() const {
+  auto render_row = [](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) line += ",";
+      line += row[c];
+    }
+    return line + "\n";
+  };
+  std::string out = render_row(headers_);
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+}  // namespace casc

@@ -1,0 +1,33 @@
+#ifndef CASC_BENCH_UTIL_TABLE_PRINTER_H_
+#define CASC_BENCH_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace casc {
+
+/// Renders column-aligned plain-text tables — the console analogue of the
+/// paper's figures: one row per approach, one column per x-axis value.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; short rows are padded with empty cells, long rows
+  /// extend the column count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with a separator under the header.
+  std::string Render() const;
+
+  /// Renders as comma-separated values (for machine consumption).
+  std::string RenderCsv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace casc
+
+#endif  // CASC_BENCH_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,21 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace casc {
+namespace internal_check {
+
+CheckFailureStream::CheckFailureStream(const char* condition,
+                                       const char* file, int line) {
+  message_ << file << ":" << line << ": CHECK failed: " << condition << " ";
+}
+
+CheckFailureStream::~CheckFailureStream() {
+  std::fprintf(stderr, "%s\n", message_.str().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal_check
+}  // namespace casc

@@ -1,0 +1,66 @@
+#ifndef CASC_COMMON_CHECK_H_
+#define CASC_COMMON_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace casc {
+namespace internal_check {
+
+/// Accumulates a failure message and aborts the process when destroyed.
+///
+/// Used by the CASC_CHECK family of macros; not intended for direct use.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line);
+
+  CheckFailureStream(const CheckFailureStream&) = delete;
+  CheckFailureStream& operator=(const CheckFailureStream&) = delete;
+
+  /// Aborts the process after flushing the accumulated message to stderr.
+  [[noreturn]] ~CheckFailureStream();
+
+  /// Appends extra context to the failure message.
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    message_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream message_;
+};
+
+}  // namespace internal_check
+}  // namespace casc
+
+/// Aborts with a diagnostic if `condition` is false. Always evaluated,
+/// including in release builds: the library treats violated preconditions
+/// as programmer errors (Google style: no exceptions).
+#define CASC_CHECK(condition)                                         \
+  if (!(condition))                                                   \
+  ::casc::internal_check::CheckFailureStream(#condition, __FILE__, __LINE__)
+
+/// Binary comparison checks that report both operand values on failure.
+#define CASC_CHECK_OP(op, lhs, rhs)                                  \
+  if (!((lhs)op(rhs)))                                               \
+  ::casc::internal_check::CheckFailureStream(#lhs " " #op " " #rhs,  \
+                                             __FILE__, __LINE__)     \
+      << " (lhs=" << (lhs) << ", rhs=" << (rhs) << ") "
+
+#define CASC_CHECK_EQ(lhs, rhs) CASC_CHECK_OP(==, lhs, rhs)
+#define CASC_CHECK_NE(lhs, rhs) CASC_CHECK_OP(!=, lhs, rhs)
+#define CASC_CHECK_LT(lhs, rhs) CASC_CHECK_OP(<, lhs, rhs)
+#define CASC_CHECK_LE(lhs, rhs) CASC_CHECK_OP(<=, lhs, rhs)
+#define CASC_CHECK_GT(lhs, rhs) CASC_CHECK_OP(>, lhs, rhs)
+#define CASC_CHECK_GE(lhs, rhs) CASC_CHECK_OP(>=, lhs, rhs)
+
+/// Debug-only variant; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define CASC_DCHECK(condition) \
+  if (false) CASC_CHECK(condition)
+#else
+#define CASC_DCHECK(condition) CASC_CHECK(condition)
+#endif
+
+#endif  // CASC_COMMON_CHECK_H_

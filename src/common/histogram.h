@@ -1,0 +1,72 @@
+#ifndef CASC_COMMON_HISTOGRAM_H_
+#define CASC_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace casc {
+
+/// Streaming summary statistics (count / mean / variance via Welford,
+/// min / max) used by the experiment harness to report per-batch
+/// dispersion, not just totals.
+class SummaryStats {
+ public:
+  /// Folds one observation in.
+  void Add(double value);
+
+  int64_t Count() const { return count_; }
+  double Mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double Variance() const;
+  double StdDev() const;
+  /// Standard error of the mean; 0 for fewer than two samples.
+  double StdError() const;
+  double Min() const;
+  double Max() const;
+
+  /// "mean ± stderr (min..max, n=count)" with the given precision.
+  std::string ToString(int digits = 3) const;
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-range linear histogram for diagnosing distributions (e.g. the
+/// per-worker valid-task counts of a batch). Out-of-range samples clamp
+/// into the edge buckets.
+class Histogram {
+ public:
+  /// Buckets of equal width covering [lo, hi). Requires lo < hi,
+  /// buckets >= 1.
+  Histogram(double lo, double hi, int buckets);
+
+  void Add(double value);
+
+  int64_t TotalCount() const { return total_; }
+  int num_buckets() const { return static_cast<int>(counts_.size()); }
+  int64_t BucketCount(int bucket) const;
+  /// [inclusive lower, exclusive upper) bounds of a bucket.
+  std::pair<double, double> BucketBounds(int bucket) const;
+
+  /// Value below which `quantile` of the mass lies (linear within the
+  /// bucket). Requires quantile in [0, 1] and at least one sample.
+  double Quantile(double quantile) const;
+
+  /// Multi-line ASCII rendering with proportional bars.
+  std::string ToString(int bar_width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+};
+
+}  // namespace casc
+
+#endif  // CASC_COMMON_HISTOGRAM_H_

@@ -1,0 +1,49 @@
+#ifndef CASC_COMMON_LOGGING_H_
+#define CASC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace casc {
+
+/// Severity of a log message, in increasing order.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Returns the global minimum severity; messages below it are dropped.
+LogLevel GlobalLogLevel();
+
+/// Sets the global minimum severity.
+void SetGlobalLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+/// Builds one log line and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace casc
+
+/// Streams a message at the given severity, e.g.
+/// `CASC_LOG(kInfo) << "converged after " << rounds << " rounds";`
+#define CASC_LOG(severity)                       \
+  ::casc::internal_logging::LogMessage(          \
+      ::casc::LogLevel::severity, __FILE__, __LINE__)
+
+#endif  // CASC_COMMON_LOGGING_H_

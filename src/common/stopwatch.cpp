@@ -1,0 +1,5 @@
+#include "common/stopwatch.h"
+
+// Stopwatch and AccumulatingTimer are header-only; this translation unit
+// exists so the target has a stable archive member and to catch ODR issues
+// early in CI-style builds.

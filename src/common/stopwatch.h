@@ -1,0 +1,70 @@
+#ifndef CASC_COMMON_STOPWATCH_H_
+#define CASC_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace casc {
+
+/// Wall-clock stopwatch used by the experiment harness to report per-batch
+/// running times (Figures 2b-8b of the paper).
+class Stopwatch {
+ public:
+  /// Starts the stopwatch immediately.
+  Stopwatch() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Returns seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Returns milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Returns microseconds elapsed since construction or the last Restart().
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed time across multiple start/stop intervals; used to
+/// aggregate per-round algorithm time while excluding setup.
+class AccumulatingTimer {
+ public:
+  /// Begins an interval. Requires the timer to be stopped.
+  void Start() {
+    running_ = true;
+    watch_.Restart();
+  }
+
+  /// Ends the current interval and folds it into the total.
+  void Stop() {
+    if (running_) {
+      total_seconds_ += watch_.ElapsedSeconds();
+      running_ = false;
+    }
+  }
+
+  /// Total accumulated seconds over all completed intervals.
+  double TotalSeconds() const { return total_seconds_; }
+
+  /// Clears the accumulated total.
+  void Reset() {
+    total_seconds_ = 0.0;
+    running_ = false;
+  }
+
+ private:
+  Stopwatch watch_;
+  double total_seconds_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace casc
+
+#endif  // CASC_COMMON_STOPWATCH_H_

@@ -1,0 +1,28 @@
+#include "gen/distributions.h"
+
+#include "common/check.h"
+
+namespace casc {
+
+Point SampleLocation(const SpatialGenConfig& config, Rng* rng) {
+  CASC_CHECK(rng != nullptr);
+  if (config.distribution == LocationDistribution::kSkewed &&
+      rng->Bernoulli(config.cluster_fraction)) {
+    const Point raw{
+        rng->Gaussian(config.cluster_center.x, config.cluster_stddev),
+        rng->Gaussian(config.cluster_center.y, config.cluster_stddev)};
+    return ClampToUnitSquare(raw);
+  }
+  return Point{rng->Uniform(), rng->Uniform()};
+}
+
+double SampleRangeGaussian(double lo, double hi, Rng* rng) {
+  CASC_CHECK(rng != nullptr);
+  CASC_CHECK_LE(lo, hi);
+  // N(0, 0.2^2) truncated to [-1, 1] (a 5-sigma window, so rejections are
+  // vanishingly rare), then mapped linearly onto [lo, hi].
+  const double x = rng->TruncatedGaussian(1.0 / 0.2) * 0.2;
+  return lo + (x + 1.0) / 2.0 * (hi - lo);
+}
+
+}  // namespace casc

@@ -1,0 +1,32 @@
+#ifndef CASC_GEN_DISTRIBUTIONS_H_
+#define CASC_GEN_DISTRIBUTIONS_H_
+
+#include "common/rng.h"
+#include "geo/point.h"
+
+namespace casc {
+
+/// Location distributions of the paper's synthetic workload (Section
+/// VI-A): Uniform over [0,1]^2, or Skewed — 80% of points in a Gaussian
+/// cluster centered at (0.5, 0.5) with sigma = 0.2, the rest uniform.
+enum class LocationDistribution { kUniform, kSkewed };
+
+/// Parameters for sampling locations.
+struct SpatialGenConfig {
+  LocationDistribution distribution = LocationDistribution::kUniform;
+  double cluster_fraction = 0.8;      ///< share of points in the cluster
+  Point cluster_center = {0.5, 0.5};  ///< cluster mean
+  double cluster_stddev = 0.2;        ///< cluster sigma (paper: var 0.2^2)
+};
+
+/// Samples one location; cluster samples are clamped into [0,1]^2.
+Point SampleLocation(const SpatialGenConfig& config, Rng* rng);
+
+/// Samples from the paper's range-mapped Gaussian: a draw of N(0, 0.2^2)
+/// restricted to [-1, 1] is mapped linearly onto [lo, hi] (Section VI-A).
+/// Requires lo <= hi.
+double SampleRangeGaussian(double lo, double hi, Rng* rng);
+
+}  // namespace casc
+
+#endif  // CASC_GEN_DISTRIBUTIONS_H_

@@ -1,0 +1,168 @@
+#include "gen/meetup_like.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace casc {
+
+MeetupLikeDataset MeetupLikeDataset::Generate(const MeetupLikeConfig& config,
+                                              Rng* rng) {
+  CASC_CHECK(rng != nullptr);
+  CASC_CHECK_GE(config.num_users, 0);
+  CASC_CHECK_GE(config.num_events, 0);
+  CASC_CHECK_GE(config.num_groups, 1);
+  CASC_CHECK_GE(config.max_memberships, 1);
+
+  MeetupLikeDataset dataset;
+  dataset.alpha_ = config.alpha;
+  dataset.omega_ = config.omega;
+
+  dataset.user_locations_.reserve(static_cast<size_t>(config.num_users));
+  dataset.memberships_.resize(static_cast<size_t>(config.num_users));
+  for (int u = 0; u < config.num_users; ++u) {
+    dataset.user_locations_.push_back(SampleLocation(config.spatial, rng));
+    const int count = static_cast<int>(
+        rng->Zipf(static_cast<uint64_t>(config.max_memberships),
+                  config.membership_zipf_s));
+    auto& groups = dataset.memberships_[static_cast<size_t>(u)];
+    while (static_cast<int>(groups.size()) < count) {
+      // Popular (low-index) groups are drawn more often.
+      const int g = static_cast<int>(
+          rng->Zipf(static_cast<uint64_t>(config.num_groups),
+                    config.group_zipf_s) -
+          1);
+      if (std::find(groups.begin(), groups.end(), g) == groups.end()) {
+        groups.push_back(g);
+      }
+    }
+    std::sort(groups.begin(), groups.end());
+  }
+
+  dataset.event_locations_.reserve(static_cast<size_t>(config.num_events));
+  for (int e = 0; e < config.num_events; ++e) {
+    dataset.event_locations_.push_back(SampleLocation(config.spatial, rng));
+  }
+  return dataset;
+}
+
+const Point& MeetupLikeDataset::user_location(int u) const {
+  CASC_CHECK_GE(u, 0);
+  CASC_CHECK_LT(u, num_users());
+  return user_locations_[static_cast<size_t>(u)];
+}
+
+const Point& MeetupLikeDataset::event_location(int e) const {
+  CASC_CHECK_GE(e, 0);
+  CASC_CHECK_LT(e, num_events());
+  return event_locations_[static_cast<size_t>(e)];
+}
+
+const std::vector<int>& MeetupLikeDataset::user_groups(int u) const {
+  CASC_CHECK_GE(u, 0);
+  CASC_CHECK_LT(u, num_users());
+  return memberships_[static_cast<size_t>(u)];
+}
+
+int MeetupLikeDataset::CommonGroups(int u1, int u2) const {
+  const auto& a = user_groups(u1);
+  const auto& b = user_groups(u2);
+  int common = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++common;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return common;
+}
+
+int MeetupLikeDataset::UnionGroups(int u1, int u2) const {
+  return static_cast<int>(user_groups(u1).size() + user_groups(u2).size()) -
+         CommonGroups(u1, u2);
+}
+
+double MeetupLikeDataset::CooperationQuality(int u1, int u2) const {
+  const int union_count = UnionGroups(u1, u2);
+  const double history =
+      union_count == 0 ? 0.0
+                       : static_cast<double>(CommonGroups(u1, u2)) /
+                             union_count;
+  return alpha_ * omega_ + (1.0 - alpha_) * history;
+}
+
+Instance MeetupLikeDataset::SampleInstance(
+    int num_workers, int num_tasks, const WorkerGenConfig& worker_config,
+    const TaskGenConfig& task_config, int min_group_size, double now,
+    Rng* rng) const {
+  CASC_CHECK(rng != nullptr);
+  CASC_CHECK_GT(num_users(), 0);
+  CASC_CHECK_GT(num_events(), 0);
+
+  // Uniform sample of users: a shuffled prefix while the dataset lasts,
+  // uniform-with-replacement indices beyond it.
+  std::vector<int> user_pool(static_cast<size_t>(num_users()));
+  for (int u = 0; u < num_users(); ++u) user_pool[static_cast<size_t>(u)] = u;
+  rng->Shuffle(user_pool);
+  std::vector<int> chosen_users;
+  chosen_users.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    if (i < num_users()) {
+      chosen_users.push_back(user_pool[static_cast<size_t>(i)]);
+    } else {
+      chosen_users.push_back(
+          static_cast<int>(rng->UniformInt(static_cast<uint64_t>(
+              num_users()))));
+    }
+  }
+
+  std::vector<Worker> workers;
+  workers.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    Worker worker;
+    worker.id = chosen_users[static_cast<size_t>(i)];
+    worker.location = user_location(chosen_users[static_cast<size_t>(i)]);
+    worker.speed = SampleRangeGaussian(worker_config.speed_min,
+                                       worker_config.speed_max, rng);
+    worker.radius = SampleRangeGaussian(worker_config.radius_min,
+                                        worker_config.radius_max, rng);
+    worker.arrival_time = now;
+    workers.push_back(worker);
+  }
+
+  std::vector<Task> tasks;
+  tasks.reserve(static_cast<size_t>(num_tasks));
+  for (int j = 0; j < num_tasks; ++j) {
+    const int e = static_cast<int>(
+        rng->UniformInt(static_cast<uint64_t>(num_events())));
+    Task task;
+    task.id = e;
+    task.location = event_location(e);
+    task.create_time = now;
+    task.deadline = now + task_config.remaining_time;
+    task.capacity = task_config.capacity;
+    tasks.push_back(task);
+  }
+
+  CooperationMatrix coop(num_workers);
+  for (int i = 0; i < num_workers; ++i) {
+    for (int k = i + 1; k < num_workers; ++k) {
+      coop.SetSymmetric(i, k,
+                        CooperationQuality(chosen_users[static_cast<size_t>(i)],
+                                           chosen_users[static_cast<size_t>(k)]));
+    }
+  }
+
+  Instance instance(std::move(workers), std::move(tasks), std::move(coop),
+                    now, min_group_size);
+  instance.ComputeValidPairs();
+  return instance;
+}
+
+}  // namespace casc

@@ -1,0 +1,93 @@
+#ifndef CASC_GEN_MEETUP_LIKE_H_
+#define CASC_GEN_MEETUP_LIKE_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "gen/synthetic.h"
+#include "model/instance.h"
+
+namespace casc {
+
+/// Shape parameters of the synthesized event-based social network that
+/// stands in for the Meetup crawl of [13] (see DESIGN.md, Substitutions).
+///
+/// The paper's Hong Kong slice has 3,525 workers (users) and 1,282 tasks
+/// (events); users belong to groups, and the cooperation quality of two
+/// workers is derived from their group overlap:
+///   q_i(w_k) = 0.5 * 0.5 + 0.5 * c_ik / C_ik
+/// (Equation 1 with alpha = omega = 0.5 and s_j = 1), where c_ik counts
+/// common groups and C_ik the union of their groups.
+struct MeetupLikeConfig {
+  int num_users = 3525;
+  int num_events = 1282;
+  int num_groups = 400;
+  /// Per-user membership count is 1 + (Zipf(max_memberships, zipf_s) - 1):
+  /// most users join one or two groups, a few join many.
+  int max_memberships = 12;
+  double membership_zipf_s = 1.6;
+  /// Group popularity is itself Zipf-distributed: low-index groups attract
+  /// disproportionately many members, creating realistic overlap.
+  double group_zipf_s = 1.1;
+  /// City-like clustered locations for users and events.
+  SpatialGenConfig spatial = {LocationDistribution::kSkewed, 0.8,
+                              {0.5, 0.5}, 0.2};
+  /// Equation 1 parameters (paper: alpha = omega = 0.5).
+  double alpha = 0.5;
+  double omega = 0.5;
+};
+
+/// An immutable synthesized social dataset; batch instances are drawn
+/// from it by uniform sampling, as the paper samples from the Meetup HK
+/// slice each round.
+class MeetupLikeDataset {
+ public:
+  /// Synthesizes a dataset. Deterministic for a given (config, seed).
+  static MeetupLikeDataset Generate(const MeetupLikeConfig& config, Rng* rng);
+
+  int num_users() const { return static_cast<int>(user_locations_.size()); }
+  int num_events() const {
+    return static_cast<int>(event_locations_.size());
+  }
+
+  const Point& user_location(int u) const;
+  const Point& event_location(int e) const;
+
+  /// Sorted group ids user `u` belongs to.
+  const std::vector<int>& user_groups(int u) const;
+
+  /// Number of groups both users joined (c_ik).
+  int CommonGroups(int u1, int u2) const;
+
+  /// Number of groups either user joined (C_ik).
+  int UnionGroups(int u1, int u2) const;
+
+  /// The paper's real-data quality estimate:
+  /// alpha * omega + (1 - alpha) * c / C; when the union is empty the
+  /// history term is vacuous and the prior alone remains (alpha * omega +
+  /// (1 - alpha) * 0 for a never-overlapping pair).
+  double CooperationQuality(int u1, int u2) const;
+
+  /// Uniformly samples `num_workers` users and `num_tasks` events into a
+  /// one-batch Instance at timestamp `now` (sampling without replacement
+  /// while the dataset suffices, with replacement beyond that), attaching
+  /// speeds/radii/deadlines from the given configs and the group-overlap
+  /// cooperation matrix. Valid pairs are computed before returning.
+  Instance SampleInstance(int num_workers, int num_tasks,
+                          const WorkerGenConfig& worker_config,
+                          const TaskGenConfig& task_config,
+                          int min_group_size, double now, Rng* rng) const;
+
+ private:
+  MeetupLikeDataset() = default;
+
+  double alpha_ = 0.5;
+  double omega_ = 0.5;
+  std::vector<Point> user_locations_;
+  std::vector<Point> event_locations_;
+  std::vector<std::vector<int>> memberships_;  // per user, sorted
+};
+
+}  // namespace casc
+
+#endif  // CASC_GEN_MEETUP_LIKE_H_

@@ -1,0 +1,68 @@
+#include "gen/synthetic.h"
+
+#include "common/check.h"
+
+namespace casc {
+
+Worker GenerateWorker(int64_t id, const WorkerGenConfig& config,
+                      double arrival_time, Rng* rng) {
+  CASC_CHECK(rng != nullptr);
+  Worker worker;
+  worker.id = id;
+  worker.location = SampleLocation(config.spatial, rng);
+  worker.speed = SampleRangeGaussian(config.speed_min, config.speed_max, rng);
+  worker.radius =
+      SampleRangeGaussian(config.radius_min, config.radius_max, rng);
+  worker.arrival_time = arrival_time;
+  return worker;
+}
+
+Task GenerateTask(int64_t id, const TaskGenConfig& config, double create_time,
+                  Rng* rng) {
+  CASC_CHECK(rng != nullptr);
+  Task task;
+  task.id = id;
+  task.location = SampleLocation(config.spatial, rng);
+  task.create_time = create_time;
+  task.deadline = create_time + config.remaining_time;
+  task.capacity = config.capacity;
+  return task;
+}
+
+CooperationMatrix GenerateQualities(int num_workers, QualityModel model,
+                                    double constant_quality, Rng* rng) {
+  CASC_CHECK(rng != nullptr);
+  if (model == QualityModel::kConstant) {
+    return CooperationMatrix(num_workers, constant_quality);
+  }
+  CooperationMatrix matrix(num_workers);
+  for (int i = 0; i < num_workers; ++i) {
+    for (int k = i + 1; k < num_workers; ++k) {
+      matrix.SetSymmetric(i, k, rng->Uniform());
+    }
+  }
+  return matrix;
+}
+
+Instance GenerateSyntheticInstance(const SyntheticInstanceConfig& config,
+                                   double now, Rng* rng) {
+  CASC_CHECK(rng != nullptr);
+  std::vector<Worker> workers;
+  workers.reserve(static_cast<size_t>(config.num_workers));
+  for (int i = 0; i < config.num_workers; ++i) {
+    workers.push_back(GenerateWorker(i, config.worker, now, rng));
+  }
+  std::vector<Task> tasks;
+  tasks.reserve(static_cast<size_t>(config.num_tasks));
+  for (int j = 0; j < config.num_tasks; ++j) {
+    tasks.push_back(GenerateTask(j, config.task, now, rng));
+  }
+  CooperationMatrix coop = GenerateQualities(
+      config.num_workers, config.quality_model, config.constant_quality, rng);
+  Instance instance(std::move(workers), std::move(tasks), std::move(coop),
+                    now, config.min_group_size);
+  instance.ComputeValidPairs();
+  return instance;
+}
+
+}  // namespace casc

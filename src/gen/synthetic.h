@@ -1,0 +1,66 @@
+#ifndef CASC_GEN_SYNTHETIC_H_
+#define CASC_GEN_SYNTHETIC_H_
+
+#include "common/rng.h"
+#include "gen/distributions.h"
+#include "model/instance.h"
+
+namespace casc {
+
+/// Worker sampling parameters: location distribution plus the speed and
+/// working-radius ranges [v-, v+] and [r-, r+] of Table II (expressed as
+/// fractions of the unit space, i.e. the paper's percentages / 100).
+struct WorkerGenConfig {
+  SpatialGenConfig spatial;
+  double speed_min = 0.01;   ///< v- (Table II default [1, 5]%)
+  double speed_max = 0.05;   ///< v+
+  double radius_min = 0.05;  ///< r- (Table II default [5, 10]%)
+  double radius_max = 0.10;  ///< r+
+};
+
+/// Task sampling parameters.
+struct TaskGenConfig {
+  SpatialGenConfig spatial;
+  double remaining_time = 3.0;  ///< tau_j - phi (Table II default 3)
+  int capacity = 4;             ///< a_j (Table II default 4)
+};
+
+/// How pairwise cooperation qualities are generated for synthetic data.
+enum class QualityModel {
+  kUniform,   ///< symmetric q ~ U[0, 1]
+  kConstant,  ///< every pair equals `constant_quality`
+};
+
+/// Full synthetic-instance recipe (one batch).
+struct SyntheticInstanceConfig {
+  int num_workers = 1000;  ///< m (Table II default 1K)
+  int num_tasks = 500;     ///< n (Table II default 500)
+  int min_group_size = 3;  ///< B (Table II: 3)
+  WorkerGenConfig worker;
+  TaskGenConfig task;
+  QualityModel quality_model = QualityModel::kUniform;
+  double constant_quality = 0.5;
+};
+
+/// Samples one worker; speed and radius use the paper's range-mapped
+/// Gaussian (SampleRangeGaussian).
+Worker GenerateWorker(int64_t id, const WorkerGenConfig& config,
+                      double arrival_time, Rng* rng);
+
+/// Samples one task; its deadline is create_time + remaining_time.
+Task GenerateTask(int64_t id, const TaskGenConfig& config,
+                  double create_time, Rng* rng);
+
+/// Generates a symmetric cooperation matrix under `model`.
+CooperationMatrix GenerateQualities(int num_workers, QualityModel model,
+                                    double constant_quality, Rng* rng);
+
+/// Generates a complete one-batch instance at timestamp `now` (workers
+/// arrive at `now`, tasks are created at `now`) and computes its valid
+/// pairs.
+Instance GenerateSyntheticInstance(const SyntheticInstanceConfig& config,
+                                   double now, Rng* rng);
+
+}  // namespace casc
+
+#endif  // CASC_GEN_SYNTHETIC_H_

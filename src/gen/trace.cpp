@@ -1,0 +1,77 @@
+#include "gen/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace casc {
+namespace {
+
+/// Samples the arrival times of an inhomogeneous Poisson process with
+/// base rate `rate` and the config's rush multipliers, via thinning.
+std::vector<double> PoissonArrivals(const TraceConfig& config, double rate,
+                                    Rng* rng) {
+  double peak = 1.0;
+  for (const RushWindow& window : config.rush_windows) {
+    peak = std::max(peak, window.multiplier);
+  }
+  const double peak_rate = rate * peak;
+  std::vector<double> arrivals;
+  if (peak_rate <= 0.0) return arrivals;
+  double t = 0.0;
+  for (;;) {
+    // Exponential inter-arrival at the peak rate...
+    const double u = rng->Uniform();
+    t += -std::log(1.0 - u) / peak_rate;
+    if (t >= config.horizon) break;
+    // ...thinned down to the actual rate at time t.
+    const double actual = rate * RateMultiplierAt(config, t);
+    if (rng->Uniform() < actual / peak_rate) arrivals.push_back(t);
+  }
+  return arrivals;
+}
+
+}  // namespace
+
+double RateMultiplierAt(const TraceConfig& config, double t) {
+  double multiplier = 1.0;
+  for (const RushWindow& window : config.rush_windows) {
+    if (t >= window.start && t < window.end) {
+      multiplier *= window.multiplier;
+    }
+  }
+  return multiplier;
+}
+
+Trace GenerateTrace(const TraceConfig& config, Rng* rng) {
+  CASC_CHECK(rng != nullptr);
+  CASC_CHECK_GT(config.horizon, 0.0);
+  CASC_CHECK_GE(config.worker_rate, 0.0);
+  CASC_CHECK_GE(config.task_rate, 0.0);
+  for (const RushWindow& window : config.rush_windows) {
+    CASC_CHECK_LE(window.start, window.end);
+    CASC_CHECK_GT(window.multiplier, 0.0);
+  }
+
+  Trace trace;
+  const std::vector<double> worker_times =
+      PoissonArrivals(config, config.worker_rate, rng);
+  trace.workers.reserve(worker_times.size());
+  for (size_t i = 0; i < worker_times.size(); ++i) {
+    Worker worker = GenerateWorker(static_cast<int64_t>(i), config.worker,
+                                   worker_times[i], rng);
+    trace.workers.push_back(worker);
+  }
+
+  const std::vector<double> task_times =
+      PoissonArrivals(config, config.task_rate, rng);
+  trace.tasks.reserve(task_times.size());
+  for (size_t j = 0; j < task_times.size(); ++j) {
+    trace.tasks.push_back(GenerateTask(static_cast<int64_t>(j), config.task,
+                                       task_times[j], rng));
+  }
+  return trace;
+}
+
+}  // namespace casc

@@ -1,0 +1,52 @@
+#ifndef CASC_GEN_TRACE_H_
+#define CASC_GEN_TRACE_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "gen/synthetic.h"
+#include "model/task.h"
+#include "model/worker.h"
+
+namespace casc {
+
+/// A window during which arrival rates are multiplied (rush hours,
+/// lunchtime spikes, ...).
+struct RushWindow {
+  double start = 0.0;
+  double end = 0.0;
+  double multiplier = 1.0;
+};
+
+/// Configuration of a continuous-time arrival trace for the streaming
+/// batch framework (Algorithm 1): workers and tasks arrive as
+/// inhomogeneous Poisson processes over [0, horizon).
+struct TraceConfig {
+  double horizon = 12.0;      ///< length of the simulated interval Phi
+  double worker_rate = 30.0;  ///< base worker arrivals per time unit
+  double task_rate = 12.0;    ///< base task creations per time unit
+  std::vector<RushWindow> rush_windows;  ///< applied to both processes
+  WorkerGenConfig worker;     ///< per-worker attribute sampling
+  TaskGenConfig task;         ///< per-task attribute sampling
+};
+
+/// A generated trace. Worker ids are 0..workers.size()-1 (the contract
+/// BatchRunner::RunStreaming expects for cooperation-matrix indexing);
+/// task ids are 0..tasks.size()-1. Both are sorted by arrival time.
+struct Trace {
+  std::vector<Worker> workers;
+  std::vector<Task> tasks;
+};
+
+/// Effective arrival-rate multiplier at time `t` under `config`
+/// (product of all covering rush windows; 1.0 outside them).
+double RateMultiplierAt(const TraceConfig& config, double t);
+
+/// Samples a trace. Arrival times come from Poisson thinning against the
+/// peak rate, so rush windows genuinely concentrate arrivals.
+/// Deterministic for a given (config, rng state).
+Trace GenerateTrace(const TraceConfig& config, Rng* rng);
+
+}  // namespace casc
+
+#endif  // CASC_GEN_TRACE_H_

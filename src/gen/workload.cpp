@@ -1,0 +1,43 @@
+#include "gen/workload.h"
+
+namespace casc {
+
+SyntheticSource::SyntheticSource(SyntheticInstanceConfig config,
+                                 uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+std::string SyntheticSource::Name() const {
+  return config_.worker.spatial.distribution == LocationDistribution::kSkewed
+             ? "SKEW"
+             : "UNIF";
+}
+
+Instance SyntheticSource::MakeBatch(int round, double now) {
+  (void)round;  // the RNG stream advances monotonically across rounds
+  return GenerateSyntheticInstance(config_, now, &rng_);
+}
+
+MeetupLikeSource::MeetupLikeSource(MeetupLikeConfig dataset_config,
+                                   int num_workers, int num_tasks,
+                                   WorkerGenConfig worker_config,
+                                   TaskGenConfig task_config,
+                                   int min_group_size, uint64_t dataset_seed,
+                                   uint64_t sample_seed)
+    : dataset_([&] {
+        Rng dataset_rng(dataset_seed);
+        return MeetupLikeDataset::Generate(dataset_config, &dataset_rng);
+      }()),
+      num_workers_(num_workers),
+      num_tasks_(num_tasks),
+      worker_config_(worker_config),
+      task_config_(task_config),
+      min_group_size_(min_group_size),
+      rng_(sample_seed) {}
+
+Instance MeetupLikeSource::MakeBatch(int round, double now) {
+  (void)round;
+  return dataset_.SampleInstance(num_workers_, num_tasks_, worker_config_,
+                                 task_config_, min_group_size_, now, &rng_);
+}
+
+}  // namespace casc

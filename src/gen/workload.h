@@ -1,0 +1,73 @@
+#ifndef CASC_GEN_WORKLOAD_H_
+#define CASC_GEN_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+
+#include "gen/meetup_like.h"
+#include "gen/synthetic.h"
+#include "model/instance.h"
+
+namespace casc {
+
+/// A source of per-batch CA-SC instances, the unit the paper's
+/// experiments consume: "in each round, we uniformly sample the required
+/// number of workers and tasks" (Section VI-A). Implementations are
+/// deterministic for a given seed.
+class InstanceSource {
+ public:
+  virtual ~InstanceSource() = default;
+
+  /// Display name for experiment tables ("UNIF", "SKEW", "MEETUP-HK").
+  virtual std::string Name() const = 0;
+
+  /// Produces the instance for batch `round` at timestamp `now`, with
+  /// valid pairs computed.
+  virtual Instance MakeBatch(int round, double now) = 0;
+};
+
+/// Synthetic instances with UNIF or SKEW locations (Section VI-C).
+class SyntheticSource : public InstanceSource {
+ public:
+  SyntheticSource(SyntheticInstanceConfig config, uint64_t seed);
+
+  std::string Name() const override;
+  Instance MakeBatch(int round, double now) override;
+
+  const SyntheticInstanceConfig& config() const { return config_; }
+
+ private:
+  SyntheticInstanceConfig config_;
+  Rng rng_;
+};
+
+/// Batches sampled from a synthesized Meetup-like dataset (Section VI-B).
+/// The dataset is generated once at construction; each batch uniformly
+/// samples workers/tasks from it, as the paper does with the HK slice.
+class MeetupLikeSource : public InstanceSource {
+ public:
+  /// `dataset_seed` fixes the social network itself; `sample_seed` drives
+  /// the per-round sampling (so figures can share one dataset).
+  MeetupLikeSource(MeetupLikeConfig dataset_config, int num_workers,
+                   int num_tasks, WorkerGenConfig worker_config,
+                   TaskGenConfig task_config, int min_group_size,
+                   uint64_t dataset_seed, uint64_t sample_seed);
+
+  std::string Name() const override { return "MEETUP-HK"; }
+  Instance MakeBatch(int round, double now) override;
+
+  const MeetupLikeDataset& dataset() const { return dataset_; }
+
+ private:
+  MeetupLikeDataset dataset_;
+  int num_workers_;
+  int num_tasks_;
+  WorkerGenConfig worker_config_;
+  TaskGenConfig task_config_;
+  int min_group_size_;
+  Rng rng_;
+};
+
+}  // namespace casc
+
+#endif  // CASC_GEN_WORKLOAD_H_

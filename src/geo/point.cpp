@@ -1,0 +1,28 @@
+#include "geo/point.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace casc {
+
+double Distance(const Point& a, const Point& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+double SquaredDistance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+std::string ToString(const Point& p) {
+  return "(" + FormatDouble(p.x, 4) + ", " + FormatDouble(p.y, 4) + ")";
+}
+
+Point ClampToUnitSquare(const Point& p) {
+  return Point{std::clamp(p.x, 0.0, 1.0), std::clamp(p.y, 0.0, 1.0)};
+}
+
+}  // namespace casc

@@ -1,0 +1,34 @@
+#ifndef CASC_GEO_POINT_H_
+#define CASC_GEO_POINT_H_
+
+#include <string>
+
+namespace casc {
+
+/// A 2-D point in the normalized [0,1]^2 workspace used throughout the
+/// paper's evaluation (locations of workers and tasks).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+  friend bool operator!=(const Point& a, const Point& b) { return !(a == b); }
+};
+
+/// Euclidean distance between `a` and `b`.
+double Distance(const Point& a, const Point& b);
+
+/// Squared Euclidean distance (avoids the sqrt for comparisons).
+double SquaredDistance(const Point& a, const Point& b);
+
+/// Renders "(x, y)" with 4 decimal digits, for logs and error messages.
+std::string ToString(const Point& p);
+
+/// Clamps both coordinates into [0, 1].
+Point ClampToUnitSquare(const Point& p);
+
+}  // namespace casc
+
+#endif  // CASC_GEO_POINT_H_

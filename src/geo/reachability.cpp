@@ -1,0 +1,25 @@
+#include "geo/reachability.h"
+
+#include <limits>
+
+namespace casc {
+
+bool InWorkingArea(const Point& origin, double radius, const Point& target) {
+  if (radius < 0.0) return false;
+  return SquaredDistance(origin, target) <= radius * radius;
+}
+
+bool CanArriveByDeadline(const Point& origin, double speed,
+                         const Point& target, double now, double deadline) {
+  return ArrivalTime(origin, speed, target, now) <= deadline;
+}
+
+double ArrivalTime(const Point& origin, double speed, const Point& target,
+                   double now) {
+  const double dist = Distance(origin, target);
+  if (dist == 0.0) return now;
+  if (speed <= 0.0) return std::numeric_limits<double>::infinity();
+  return now + dist / speed;
+}
+
+}  // namespace casc

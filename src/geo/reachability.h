@@ -1,0 +1,32 @@
+#ifndef CASC_GEO_REACHABILITY_H_
+#define CASC_GEO_REACHABILITY_H_
+
+#include "geo/point.h"
+
+namespace casc {
+
+/// The spatio-temporal feasibility conditions of Definition 3 ("valid
+/// worker-and-task pairs"), factored out so the model layer, the spatial
+/// index filter and the tests all share one implementation.
+
+/// True when `target` lies inside the worker's working area: the disk of
+/// radius `radius` centered at `origin` (boundary inclusive).
+bool InWorkingArea(const Point& origin, double radius, const Point& target);
+
+/// True when a worker at `origin` moving at `speed` (distance per time
+/// unit) can reach `target` no later than `deadline`, starting at time
+/// `now`: d(origin, target) / speed <= deadline - now.
+///
+/// A non-positive speed can reach only its own location.
+bool CanArriveByDeadline(const Point& origin, double speed,
+                         const Point& target, double now, double deadline);
+
+/// Earliest arrival time at `target` for a worker at `origin` moving at
+/// `speed`, departing at `now`. Returns +infinity when speed <= 0 and the
+/// worker is not already there.
+double ArrivalTime(const Point& origin, double speed, const Point& target,
+                   double now);
+
+}  // namespace casc
+
+#endif  // CASC_GEO_REACHABILITY_H_

@@ -1,0 +1,88 @@
+#include "graph/dinic.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+
+namespace casc {
+namespace {
+
+/// Builds the BFS level graph; returns true if the sink is reachable.
+bool BuildLevels(const FlowNetwork& network, int source, int sink,
+                 std::vector<int>* levels) {
+  std::fill(levels->begin(), levels->end(), -1);
+  (*levels)[static_cast<size_t>(source)] = 0;
+  std::queue<int> frontier;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const int vertex = frontier.front();
+    frontier.pop();
+    for (const int edge_index : network.adjacency()[static_cast<size_t>(vertex)]) {
+      const auto& edge = network.edges()[static_cast<size_t>(edge_index)];
+      if (edge.capacity > 0 && (*levels)[static_cast<size_t>(edge.to)] < 0) {
+        (*levels)[static_cast<size_t>(edge.to)] =
+            (*levels)[static_cast<size_t>(vertex)] + 1;
+        frontier.push(edge.to);
+      }
+    }
+  }
+  return (*levels)[static_cast<size_t>(sink)] >= 0;
+}
+
+/// Sends up to `limit` units along level-increasing paths from `vertex`.
+int64_t PushBlockingFlow(FlowNetwork* network, int vertex, int sink,
+                         int64_t limit, const std::vector<int>& levels,
+                         std::vector<size_t>* next_edge) {
+  if (vertex == sink || limit == 0) return limit;
+  const auto& adjacency = network->adjacency()[static_cast<size_t>(vertex)];
+  int64_t sent = 0;
+  size_t& cursor = (*next_edge)[static_cast<size_t>(vertex)];
+  while (cursor < adjacency.size()) {
+    const int edge_index = adjacency[cursor];
+    auto& edge = network->edges()[static_cast<size_t>(edge_index)];
+    if (edge.capacity > 0 &&
+        levels[static_cast<size_t>(edge.to)] ==
+            levels[static_cast<size_t>(vertex)] + 1) {
+      const int64_t pushed = PushBlockingFlow(
+          network, edge.to, sink, std::min(limit - sent, edge.capacity),
+          levels, next_edge);
+      if (pushed > 0) {
+        edge.capacity -= pushed;
+        network->edges()[static_cast<size_t>(edge.twin)].capacity += pushed;
+        sent += pushed;
+        if (sent == limit) return sent;
+        continue;  // same edge may still have residual capacity
+      }
+    }
+    ++cursor;
+  }
+  return sent;
+}
+
+}  // namespace
+
+int64_t DinicMaxFlow(FlowNetwork* network, int source, int sink) {
+  CASC_CHECK(network != nullptr);
+  CASC_CHECK_GE(source, 0);
+  CASC_CHECK_LT(source, network->num_vertices());
+  CASC_CHECK_GE(sink, 0);
+  CASC_CHECK_LT(sink, network->num_vertices());
+  CASC_CHECK_NE(source, sink);
+
+  std::vector<int> levels(static_cast<size_t>(network->num_vertices()));
+  std::vector<size_t> next_edge(
+      static_cast<size_t>(network->num_vertices()));
+  int64_t total = 0;
+  while (BuildLevels(*network, source, sink, &levels)) {
+    std::fill(next_edge.begin(), next_edge.end(), 0u);
+    total += PushBlockingFlow(network, source, sink,
+                              std::numeric_limits<int64_t>::max(), levels,
+                              &next_edge);
+  }
+  return total;
+}
+
+}  // namespace casc

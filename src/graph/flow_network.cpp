@@ -1,0 +1,47 @@
+#include "graph/flow_network.h"
+
+#include "common/check.h"
+
+namespace casc {
+
+FlowNetwork::FlowNetwork(int num_vertices) {
+  CASC_CHECK_GE(num_vertices, 0);
+  adjacency_.resize(static_cast<size_t>(num_vertices));
+}
+
+int FlowNetwork::AddEdge(int from, int to, int64_t capacity) {
+  CASC_CHECK_GE(from, 0);
+  CASC_CHECK_LT(from, num_vertices());
+  CASC_CHECK_GE(to, 0);
+  CASC_CHECK_LT(to, num_vertices());
+  CASC_CHECK_GE(capacity, 0);
+  const int forward = static_cast<int>(edges_.size());
+  edges_.push_back(Edge{to, capacity, forward + 1});
+  edges_.push_back(Edge{from, 0, forward});
+  adjacency_[static_cast<size_t>(from)].push_back(forward);
+  adjacency_[static_cast<size_t>(to)].push_back(forward + 1);
+  original_capacity_.push_back(capacity);
+  return forward / 2;
+}
+
+int64_t FlowNetwork::Flow(int edge_index) const {
+  CASC_CHECK_GE(edge_index, 0);
+  CASC_CHECK_LT(edge_index, num_edges());
+  // Flow on the forward edge equals the residual capacity of its twin.
+  return edges_[static_cast<size_t>(edge_index) * 2 + 1].capacity;
+}
+
+int64_t FlowNetwork::Capacity(int edge_index) const {
+  CASC_CHECK_GE(edge_index, 0);
+  CASC_CHECK_LT(edge_index, num_edges());
+  return original_capacity_[static_cast<size_t>(edge_index)];
+}
+
+void FlowNetwork::ResetFlow() {
+  for (size_t i = 0; i < original_capacity_.size(); ++i) {
+    edges_[i * 2].capacity = original_capacity_[i];
+    edges_[i * 2 + 1].capacity = 0;
+  }
+}
+
+}  // namespace casc

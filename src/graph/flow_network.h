@@ -1,0 +1,60 @@
+#ifndef CASC_GRAPH_FLOW_NETWORK_H_
+#define CASC_GRAPH_FLOW_NETWORK_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace casc {
+
+/// A directed flow network in adjacency-list form with paired residual
+/// edges, shared by the Dinic and Ford-Fulkerson max-flow solvers.
+///
+/// Edges are added with AddEdge(); each call creates the forward edge and
+/// its zero-capacity residual twin. After running a solver, per-edge flow
+/// is readable through Flow(edge_index) using the index AddEdge returned.
+class FlowNetwork {
+ public:
+  /// An edge in the residual graph.
+  struct Edge {
+    int to = 0;        ///< head vertex
+    int64_t capacity;  ///< remaining residual capacity
+    int twin = 0;      ///< index of the reverse edge in edges()
+  };
+
+  /// Creates a network with `num_vertices` vertices and no edges.
+  explicit FlowNetwork(int num_vertices);
+
+  /// Adds a directed edge `from -> to` with the given capacity and its
+  /// residual twin. Returns the edge index for later Flow() queries.
+  /// Requires valid vertex ids and capacity >= 0.
+  int AddEdge(int from, int to, int64_t capacity);
+
+  int num_vertices() const { return static_cast<int>(adjacency_.size()); }
+  int num_edges() const { return static_cast<int>(edges_.size()) / 2; }
+
+  /// Flow currently pushed through the forward edge `edge_index`
+  /// (as returned by AddEdge).
+  int64_t Flow(int edge_index) const;
+
+  /// Original capacity of the forward edge `edge_index`.
+  int64_t Capacity(int edge_index) const;
+
+  /// Resets all flow to zero, restoring original capacities.
+  void ResetFlow();
+
+  /// Mutable internals for the solvers.
+  std::vector<Edge>& edges() { return edges_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+  const std::vector<std::vector<int>>& adjacency() const {
+    return adjacency_;
+  }
+
+ private:
+  std::vector<Edge> edges_;                  // even = forward, odd = twin
+  std::vector<int64_t> original_capacity_;   // per forward edge
+  std::vector<std::vector<int>> adjacency_;  // vertex -> edge indices
+};
+
+}  // namespace casc
+
+#endif  // CASC_GRAPH_FLOW_NETWORK_H_

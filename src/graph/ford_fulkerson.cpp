@@ -1,0 +1,64 @@
+#include "graph/ford_fulkerson.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+
+namespace casc {
+
+int64_t FordFulkersonMaxFlow(FlowNetwork* network, int source, int sink) {
+  CASC_CHECK(network != nullptr);
+  CASC_CHECK_NE(source, sink);
+  int64_t total = 0;
+  const size_t n = static_cast<size_t>(network->num_vertices());
+  std::vector<int> parent_edge(n);
+  for (;;) {
+    // BFS for a shortest augmenting path.
+    std::fill(parent_edge.begin(), parent_edge.end(), -1);
+    parent_edge[static_cast<size_t>(source)] = -2;  // visited marker
+    std::queue<int> frontier;
+    frontier.push(source);
+    bool found = false;
+    while (!frontier.empty() && !found) {
+      const int vertex = frontier.front();
+      frontier.pop();
+      for (const int edge_index :
+           network->adjacency()[static_cast<size_t>(vertex)]) {
+        const auto& edge = network->edges()[static_cast<size_t>(edge_index)];
+        if (edge.capacity > 0 &&
+            parent_edge[static_cast<size_t>(edge.to)] == -1) {
+          parent_edge[static_cast<size_t>(edge.to)] = edge_index;
+          if (edge.to == sink) {
+            found = true;
+            break;
+          }
+          frontier.push(edge.to);
+        }
+      }
+    }
+    if (!found) break;
+
+    // Find the bottleneck along the path.
+    int64_t bottleneck = INT64_MAX;
+    for (int vertex = sink; vertex != source;) {
+      const int edge_index = parent_edge[static_cast<size_t>(vertex)];
+      const auto& edge = network->edges()[static_cast<size_t>(edge_index)];
+      bottleneck = std::min(bottleneck, edge.capacity);
+      vertex = network->edges()[static_cast<size_t>(edge.twin)].to;
+    }
+    // Apply it.
+    for (int vertex = sink; vertex != source;) {
+      const int edge_index = parent_edge[static_cast<size_t>(vertex)];
+      auto& edge = network->edges()[static_cast<size_t>(edge_index)];
+      edge.capacity -= bottleneck;
+      network->edges()[static_cast<size_t>(edge.twin)].capacity += bottleneck;
+      vertex = network->edges()[static_cast<size_t>(edge.twin)].to;
+    }
+    total += bottleneck;
+  }
+  return total;
+}
+
+}  // namespace casc

@@ -1,0 +1,17 @@
+#ifndef CASC_GRAPH_FORD_FULKERSON_H_
+#define CASC_GRAPH_FORD_FULKERSON_H_
+
+#include <cstdint>
+
+#include "graph/flow_network.h"
+
+namespace casc {
+
+/// Edmonds-Karp max flow (Ford-Fulkerson with BFS augmenting paths).
+/// O(V E^2); used as the independent correctness reference for Dinic in
+/// the test suite, never on the hot path.
+int64_t FordFulkersonMaxFlow(FlowNetwork* network, int source, int sink);
+
+}  // namespace casc
+
+#endif  // CASC_GRAPH_FORD_FULKERSON_H_

@@ -1,0 +1,114 @@
+#include "model/assignment.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace casc {
+
+Assignment::Assignment(const Instance& instance)
+    : task_of_(static_cast<size_t>(instance.num_workers()), kNoTask),
+      groups_(static_cast<size_t>(instance.num_tasks())) {}
+
+void Assignment::Assign(WorkerIndex w, TaskIndex t) {
+  CASC_CHECK_GE(w, 0);
+  CASC_CHECK_LT(w, num_workers());
+  CASC_CHECK_GE(t, 0);
+  CASC_CHECK_LT(t, num_tasks());
+  if (task_of_[static_cast<size_t>(w)] == t) return;
+  Unassign(w);
+  task_of_[static_cast<size_t>(w)] = t;
+  groups_[static_cast<size_t>(t)].push_back(w);
+  ++num_assigned_;
+}
+
+void Assignment::Unassign(WorkerIndex w) {
+  CASC_CHECK_GE(w, 0);
+  CASC_CHECK_LT(w, num_workers());
+  const TaskIndex t = task_of_[static_cast<size_t>(w)];
+  if (t == kNoTask) return;
+  auto& group = groups_[static_cast<size_t>(t)];
+  const auto it = std::find(group.begin(), group.end(), w);
+  CASC_CHECK(it != group.end());
+  group.erase(it);
+  task_of_[static_cast<size_t>(w)] = kNoTask;
+  --num_assigned_;
+}
+
+TaskIndex Assignment::TaskOf(WorkerIndex w) const {
+  CASC_CHECK_GE(w, 0);
+  CASC_CHECK_LT(w, num_workers());
+  return task_of_[static_cast<size_t>(w)];
+}
+
+const std::vector<WorkerIndex>& Assignment::GroupOf(TaskIndex t) const {
+  CASC_CHECK_GE(t, 0);
+  CASC_CHECK_LT(t, num_tasks());
+  return groups_[static_cast<size_t>(t)];
+}
+
+int Assignment::GroupSize(TaskIndex t) const {
+  return static_cast<int>(GroupOf(t).size());
+}
+
+std::vector<AssignedPair> Assignment::Pairs() const {
+  std::vector<AssignedPair> out;
+  out.reserve(static_cast<size_t>(num_assigned_));
+  for (TaskIndex t = 0; t < num_tasks(); ++t) {
+    for (const WorkerIndex w : groups_[static_cast<size_t>(t)]) {
+      out.push_back(AssignedPair{w, t});
+    }
+  }
+  return out;
+}
+
+Status Assignment::Validate(const Instance& instance) const {
+  if (instance.num_workers() != num_workers() ||
+      instance.num_tasks() != num_tasks()) {
+    return Status::InvalidArgument("assignment shaped for another instance");
+  }
+  // Map consistency: every group member points back at the task, sizes add
+  // up, no duplicates.
+  int counted = 0;
+  for (TaskIndex t = 0; t < num_tasks(); ++t) {
+    const auto& group = groups_[static_cast<size_t>(t)];
+    for (const WorkerIndex w : group) {
+      if (w < 0 || w >= num_workers()) {
+        return Status::Internal("group member out of range");
+      }
+      if (task_of_[static_cast<size_t>(w)] != t) {
+        return Status::Internal("worker/task maps disagree");
+      }
+      ++counted;
+    }
+    std::vector<WorkerIndex> sorted = group;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      return Status::Internal("duplicate worker in a task group");
+    }
+    const int capacity =
+        instance.tasks()[static_cast<size_t>(t)].capacity;
+    if (static_cast<int>(group.size()) > capacity) {
+      return Status::FailedPrecondition(
+          "task " + std::to_string(t) + " holds " +
+          std::to_string(group.size()) + " workers, capacity " +
+          std::to_string(capacity));
+    }
+  }
+  if (counted != num_assigned_) {
+    return Status::Internal("assigned-count bookkeeping mismatch");
+  }
+  // Pair validity (Definition 3).
+  for (WorkerIndex w = 0; w < num_workers(); ++w) {
+    const TaskIndex t = task_of_[static_cast<size_t>(w)];
+    if (t == kNoTask) continue;
+    if (!instance.IsValidPair(w, t)) {
+      return Status::FailedPrecondition(
+          "invalid pair: worker " + std::to_string(w) + ", task " +
+          std::to_string(t));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace casc

@@ -1,0 +1,70 @@
+#ifndef CASC_MODEL_ASSIGNMENT_H_
+#define CASC_MODEL_ASSIGNMENT_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "model/instance.h"
+
+namespace casc {
+
+/// A worker-and-task pair in an assignment.
+struct AssignedPair {
+  WorkerIndex worker;
+  TaskIndex task;
+
+  friend bool operator==(const AssignedPair& a, const AssignedPair& b) {
+    return a.worker == b.worker && a.task == b.task;
+  }
+};
+
+/// A (partial) assignment A: each worker serves at most one task per batch;
+/// each task holds a group of workers. Mutations are O(group size).
+///
+/// The class does not enforce validity or capacity on mutation — the
+/// assigners use it as scratch state (GT temporarily overfills a task by
+/// one while deciding whom to crowd out). `Validate()` checks the full
+/// CA-SC constraints of Definition 4 for finished assignments.
+class Assignment {
+ public:
+  /// Creates an empty assignment shaped for `instance`.
+  explicit Assignment(const Instance& instance);
+
+  /// Assigns worker `w` to task `t`, detaching it from any previous task.
+  void Assign(WorkerIndex w, TaskIndex t);
+
+  /// Makes worker `w` idle. No-op if already idle.
+  void Unassign(WorkerIndex w);
+
+  /// Task currently served by `w`, or kNoTask.
+  TaskIndex TaskOf(WorkerIndex w) const;
+
+  /// Workers currently assigned to `t`, in insertion order.
+  const std::vector<WorkerIndex>& GroupOf(TaskIndex t) const;
+
+  /// Number of workers assigned to `t`.
+  int GroupSize(TaskIndex t) const;
+
+  /// All pairs, ordered by task then by position in the group.
+  std::vector<AssignedPair> Pairs() const;
+
+  /// Number of assigned workers.
+  int NumAssigned() const { return num_assigned_; }
+
+  /// Verifies the CA-SC constraints: every pair is valid (Definition 3),
+  /// no task exceeds its capacity a_j, and the internal worker<->task maps
+  /// agree. Returns the first violation found.
+  Status Validate(const Instance& instance) const;
+
+  int num_workers() const { return static_cast<int>(task_of_.size()); }
+  int num_tasks() const { return static_cast<int>(groups_.size()); }
+
+ private:
+  std::vector<TaskIndex> task_of_;               // per worker
+  std::vector<std::vector<WorkerIndex>> groups_;  // per task
+  int num_assigned_ = 0;
+};
+
+}  // namespace casc
+
+#endif  // CASC_MODEL_ASSIGNMENT_H_

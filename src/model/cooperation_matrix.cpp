@@ -1,0 +1,120 @@
+#include "model/cooperation_matrix.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace casc {
+
+CooperationMatrix::CooperationMatrix(int num_workers, double initial)
+    : num_workers_(num_workers) {
+  CASC_CHECK_GE(num_workers, 0);
+  CASC_CHECK_GE(initial, 0.0);
+  CASC_CHECK_LE(initial, 1.0);
+  cells_.assign(static_cast<size_t>(num_workers) * num_workers, initial);
+  for (int i = 0; i < num_workers; ++i) {
+    cells_[CellIndex(i, i)] = 0.0;
+  }
+}
+
+std::size_t CooperationMatrix::CellIndex(int i, int k) const {
+  CASC_CHECK_GE(i, 0);
+  CASC_CHECK_LT(i, num_workers_);
+  CASC_CHECK_GE(k, 0);
+  CASC_CHECK_LT(k, num_workers_);
+  return static_cast<size_t>(i) * num_workers_ + k;
+}
+
+double CooperationMatrix::Quality(int i, int k) const {
+  if (i == k) return 0.0;
+  return cells_[CellIndex(i, k)];
+}
+
+void CooperationMatrix::SetQuality(int i, int k, double value) {
+  CASC_CHECK_NE(i, k);
+  CASC_CHECK_GE(value, 0.0);
+  CASC_CHECK_LE(value, 1.0);
+  cells_[CellIndex(i, k)] = value;
+}
+
+void CooperationMatrix::SetSymmetric(int i, int k, double value) {
+  SetQuality(i, k, value);
+  SetQuality(k, i, value);
+}
+
+double CooperationMatrix::PairSum(const std::vector<int>& group) const {
+  double total = 0.0;
+  for (size_t a = 0; a < group.size(); ++a) {
+    for (size_t b = a + 1; b < group.size(); ++b) {
+      total += Quality(group[a], group[b]) + Quality(group[b], group[a]);
+    }
+  }
+  return total;
+}
+
+double CooperationMatrix::RowSum(int i, const std::vector<int>& group) const {
+  double total = 0.0;
+  for (const int k : group) {
+    if (k != i) total += Quality(i, k);
+  }
+  return total;
+}
+
+CooperationHistory::CooperationHistory(int num_workers, double alpha,
+                                       double omega)
+    : num_workers_(num_workers), alpha_(alpha), omega_(omega) {
+  CASC_CHECK_GE(num_workers, 0);
+  CASC_CHECK_GE(alpha, 0.0);
+  CASC_CHECK_LE(alpha, 1.0);
+  CASC_CHECK_GE(omega, 0.0);
+  CASC_CHECK_LE(omega, 1.0);
+}
+
+void CooperationHistory::RecordTask(const std::vector<int>& group,
+                                    double rating) {
+  CASC_CHECK_GE(rating, 0.0);
+  CASC_CHECK_LE(rating, 1.0);
+  for (size_t a = 0; a < group.size(); ++a) {
+    for (size_t b = a + 1; b < group.size(); ++b) {
+      const int lo = std::min(group[a], group[b]);
+      const int hi = std::max(group[a], group[b]);
+      CASC_CHECK_GE(lo, 0);
+      CASC_CHECK_LT(hi, num_workers_);
+      CASC_CHECK_NE(lo, hi);
+      auto& cell = stats_[{lo, hi}];
+      cell.count += 1;
+      cell.rating_sum += rating;
+    }
+  }
+}
+
+int CooperationHistory::CoTaskCount(int i, int k) const {
+  const auto it = stats_.find({std::min(i, k), std::max(i, k)});
+  return it == stats_.end() ? 0 : it->second.count;
+}
+
+double CooperationHistory::EstimateQuality(int i, int k) const {
+  if (i == k) return 0.0;
+  const auto it = stats_.find({std::min(i, k), std::max(i, k)});
+  if (it == stats_.end() || it->second.count == 0) {
+    // No shared history: only the prior term contributes meaningfully.
+    // Equation 1 with an empty T_ik is undefined (0/0); the natural limit
+    // used by the platform is the base quality omega itself.
+    return omega_;
+  }
+  const double historical = it->second.rating_sum / it->second.count;
+  return alpha_ * omega_ + (1.0 - alpha_) * historical;
+}
+
+CooperationMatrix CooperationHistory::ToMatrix() const {
+  CooperationMatrix matrix(num_workers_, omega_);
+  for (const auto& [key, cell] : stats_) {
+    if (cell.count == 0) continue;
+    const double historical = cell.rating_sum / cell.count;
+    const double q = alpha_ * omega_ + (1.0 - alpha_) * historical;
+    matrix.SetSymmetric(key.first, key.second, q);
+  }
+  return matrix;
+}
+
+}  // namespace casc

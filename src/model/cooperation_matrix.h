@@ -1,0 +1,100 @@
+#ifndef CASC_MODEL_COOPERATION_MATRIX_H_
+#define CASC_MODEL_COOPERATION_MATRIX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace casc {
+
+/// Dense pairwise cooperation-quality store: q_i(w_k) in [0, 1] for every
+/// ordered worker pair (Definition 1). The diagonal is unused and fixed
+/// at 0.
+///
+/// The store is ordered (q_i(w_k) and q_k(w_i) are independent cells) to
+/// match the paper's definition; generators that model symmetric quality
+/// simply write both cells.
+class CooperationMatrix {
+ public:
+  /// Creates an empty matrix for 0 workers.
+  CooperationMatrix() = default;
+
+  /// Creates an m x m matrix with every off-diagonal cell = `initial`.
+  explicit CooperationMatrix(int num_workers, double initial = 0.0);
+
+  int num_workers() const { return num_workers_; }
+
+  /// Returns q_i(w_k). Requires valid indices; returns 0 for i == k.
+  double Quality(int i, int k) const;
+
+  /// Sets q_i(w_k) only (one direction). Requires value in [0, 1], i != k.
+  void SetQuality(int i, int k, double value);
+
+  /// Sets both q_i(w_k) and q_k(w_i) to `value`.
+  void SetSymmetric(int i, int k, double value);
+
+  /// Sum over ordered pairs of distinct workers in `group`:
+  /// sum_i sum_{k != i} q_i(w_k) — the numerator of Equation 2.
+  double PairSum(const std::vector<int>& group) const;
+
+  /// Sum of q_i(w_k) for a fixed i over all k in `group` (skipping i):
+  /// worker i's raw affinity to the group.
+  double RowSum(int i, const std::vector<int>& group) const;
+
+ private:
+  std::size_t CellIndex(int i, int k) const;
+
+  int num_workers_ = 0;
+  std::vector<double> cells_;
+};
+
+/// Running history of co-performed tasks used to *estimate* cooperation
+/// quality by Equation 1:
+///
+///   q_i(w_k) = alpha * omega + (1 - alpha) * mean(ratings of T_ik)
+///
+/// where T_ik is the set of tasks workers i and k both contributed to,
+/// omega is the platform's base quality and alpha reconciles prior and
+/// history. With no history the estimate degrades to omega (the prior),
+/// matching the equation's intuition.
+class CooperationHistory {
+ public:
+  /// Creates a history for `num_workers` workers.
+  /// Requires alpha, omega in [0, 1].
+  CooperationHistory(int num_workers, double alpha, double omega);
+
+  /// Records that every pair of workers in `group` co-performed a task
+  /// rated `rating` (s_j in [0, 1]).
+  void RecordTask(const std::vector<int>& group, double rating);
+
+  /// Number of tasks workers i and k co-performed (|T_ik|).
+  int CoTaskCount(int i, int k) const;
+
+  /// Equation 1 estimate for the ordered pair (i, k).
+  double EstimateQuality(int i, int k) const;
+
+  /// Materializes the full matrix of Equation 1 estimates.
+  CooperationMatrix ToMatrix() const;
+
+  int num_workers() const { return num_workers_; }
+  double alpha() const { return alpha_; }
+  double omega() const { return omega_; }
+
+ private:
+  struct PairStats {
+    int count = 0;
+    double rating_sum = 0.0;
+  };
+
+  int num_workers_;
+  double alpha_;
+  double omega_;
+  // Sparse upper-triangular storage: key (min, max).
+  std::map<std::pair<int, int>, PairStats> stats_;
+};
+
+}  // namespace casc
+
+#endif  // CASC_MODEL_COOPERATION_MATRIX_H_

@@ -1,0 +1,96 @@
+#include "model/instance.h"
+
+#include "common/check.h"
+#include "geo/reachability.h"
+#include "spatial/rtree.h"
+
+namespace casc {
+
+Instance::Instance(std::vector<Worker> workers, std::vector<Task> tasks,
+                   CooperationMatrix coop, double now, int min_group_size)
+    : workers_(std::move(workers)),
+      tasks_(std::move(tasks)),
+      coop_(std::move(coop)),
+      now_(now),
+      min_group_size_(min_group_size) {
+  CASC_CHECK_EQ(coop_.num_workers(), static_cast<int>(workers_.size()));
+  CASC_CHECK_GE(min_group_size_, 2)
+      << "Equation 2 divides by min(|W_j|, a_j) - 1";
+  for (const Task& task : tasks_) {
+    CASC_CHECK_GE(task.capacity, min_group_size_)
+        << "task capacity a_j below the minimum group size B";
+  }
+}
+
+bool Instance::IsValidPair(WorkerIndex w, TaskIndex t) const {
+  CASC_CHECK_GE(w, 0);
+  CASC_CHECK_LT(w, num_workers());
+  CASC_CHECK_GE(t, 0);
+  CASC_CHECK_LT(t, num_tasks());
+  const Worker& worker = workers_[static_cast<size_t>(w)];
+  const Task& task = tasks_[static_cast<size_t>(t)];
+  if (worker.arrival_time > now_ || task.create_time > now_) return false;
+  if (!InWorkingArea(worker.location, worker.radius, task.location)) {
+    return false;
+  }
+  return CanArriveByDeadline(worker.location, worker.speed, task.location,
+                             now_, task.deadline);
+}
+
+void Instance::ComputeValidPairs() {
+  if (valid_pairs_ready_) return;
+  valid_tasks_.assign(workers_.size(), {});
+  candidates_.assign(tasks_.size(), {});
+
+  // Index task locations once, then answer one working-area circle query
+  // per worker (Algorithm 1 lines 4-5).
+  RTree task_index;
+  std::vector<SpatialItem> items;
+  items.reserve(tasks_.size());
+  for (size_t t = 0; t < tasks_.size(); ++t) {
+    items.push_back(SpatialItem{static_cast<int64_t>(t), tasks_[t].location});
+  }
+  task_index.Build(items);
+
+  for (int w = 0; w < num_workers(); ++w) {
+    const Worker& worker = workers_[static_cast<size_t>(w)];
+    if (worker.arrival_time > now_) continue;
+    const std::vector<int64_t> in_range =
+        task_index.CircleQuery(worker.location, worker.radius);
+    for (const int64_t raw_t : in_range) {
+      const TaskIndex t = static_cast<TaskIndex>(raw_t);
+      const Task& task = tasks_[static_cast<size_t>(t)];
+      if (task.create_time > now_) continue;
+      if (!CanArriveByDeadline(worker.location, worker.speed, task.location,
+                               now_, task.deadline)) {
+        continue;
+      }
+      valid_tasks_[static_cast<size_t>(w)].push_back(t);
+      candidates_[static_cast<size_t>(t)].push_back(w);
+    }
+  }
+  valid_pairs_ready_ = true;
+}
+
+const std::vector<TaskIndex>& Instance::ValidTasks(WorkerIndex w) const {
+  CASC_CHECK(valid_pairs_ready_) << "call ComputeValidPairs() first";
+  CASC_CHECK_GE(w, 0);
+  CASC_CHECK_LT(w, num_workers());
+  return valid_tasks_[static_cast<size_t>(w)];
+}
+
+const std::vector<WorkerIndex>& Instance::Candidates(TaskIndex t) const {
+  CASC_CHECK(valid_pairs_ready_) << "call ComputeValidPairs() first";
+  CASC_CHECK_GE(t, 0);
+  CASC_CHECK_LT(t, num_tasks());
+  return candidates_[static_cast<size_t>(t)];
+}
+
+size_t Instance::NumValidPairs() const {
+  CASC_CHECK(valid_pairs_ready_) << "call ComputeValidPairs() first";
+  size_t total = 0;
+  for (const auto& tasks : valid_tasks_) total += tasks.size();
+  return total;
+}
+
+}  // namespace casc

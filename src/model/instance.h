@@ -1,0 +1,80 @@
+#ifndef CASC_MODEL_INSTANCE_H_
+#define CASC_MODEL_INSTANCE_H_
+
+#include <vector>
+
+#include "model/cooperation_matrix.h"
+#include "model/task.h"
+#include "model/worker.h"
+
+namespace casc {
+
+/// One batch of the CA-SC problem (Definition 4): the available workers
+/// W(phi), available tasks T(phi), their pairwise cooperation qualities,
+/// the batch timestamp phi, and the platform-wide minimum group size B.
+///
+/// After ComputeValidPairs() the instance also exposes the valid
+/// worker-and-task pairs of Definition 3 in both directions:
+/// `ValidTasks(w)` (the set T_i of Algorithm 1) and `Candidates(t)`.
+///
+/// Validity of (w_i, t_j) at timestamp `now`:
+///   1) both are present: phi_i <= now and phi_j <= now;
+///   2) l_j is inside w_i's working area: d(l_i, l_j) <= r_i;
+///   3) w_i arrives before the deadline: now + d(l_i, l_j)/v_i <= tau_j.
+/// (The paper's condition "the worker comes to the system after the task
+/// is created" is implied by both being available in the same batch.)
+class Instance {
+ public:
+  /// Builds an instance. Requires coop.num_workers() == workers.size()
+  /// and min_group_size >= 2 (Equation 2 divides by group size - 1).
+  Instance(std::vector<Worker> workers, std::vector<Task> tasks,
+           CooperationMatrix coop, double now, int min_group_size);
+
+  const std::vector<Worker>& workers() const { return workers_; }
+  const std::vector<Task>& tasks() const { return tasks_; }
+  const CooperationMatrix& coop() const { return coop_; }
+  double now() const { return now_; }
+
+  /// The minimum number B of workers required to finish any task.
+  int min_group_size() const { return min_group_size_; }
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+  int num_tasks() const { return static_cast<int>(tasks_.size()); }
+
+  /// Direct geometric/temporal validity check for one pair (Definition 3).
+  bool IsValidPair(WorkerIndex w, TaskIndex t) const;
+
+  /// Computes the valid-pair lists for every worker and task. Uses an
+  /// R-tree over task locations for the working-area range queries, as in
+  /// Algorithm 1 lines 4-5. Idempotent.
+  void ComputeValidPairs();
+
+  /// Valid tasks T_i for worker `w`, ascending task index.
+  /// Requires ComputeValidPairs() to have run.
+  const std::vector<TaskIndex>& ValidTasks(WorkerIndex w) const;
+
+  /// Candidate workers for task `t`, ascending worker index.
+  /// Requires ComputeValidPairs() to have run.
+  const std::vector<WorkerIndex>& Candidates(TaskIndex t) const;
+
+  /// True once ComputeValidPairs() has run.
+  bool valid_pairs_ready() const { return valid_pairs_ready_; }
+
+  /// Total number of valid worker-and-task pairs.
+  size_t NumValidPairs() const;
+
+ private:
+  std::vector<Worker> workers_;
+  std::vector<Task> tasks_;
+  CooperationMatrix coop_;
+  double now_;
+  int min_group_size_;
+
+  bool valid_pairs_ready_ = false;
+  std::vector<std::vector<TaskIndex>> valid_tasks_;   // per worker
+  std::vector<std::vector<WorkerIndex>> candidates_;  // per task
+};
+
+}  // namespace casc
+
+#endif  // CASC_MODEL_INSTANCE_H_

@@ -1,0 +1,55 @@
+#ifndef CASC_MODEL_IO_H_
+#define CASC_MODEL_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "model/assignment.h"
+#include "model/instance.h"
+
+namespace casc {
+
+/// Plain-text serialization of CA-SC instances and assignments, so
+/// workloads can be generated once, shared, and replayed across runs
+/// (and so users can feed their own data to the solvers).
+///
+/// Format (version 1, whitespace separated, doubles in %.17g):
+///   casc-instance v1
+///   now <phi> min_group <B>
+///   workers <m>
+///   <id> <x> <y> <speed> <radius> <arrival>   x m
+///   tasks <n>
+///   <id> <x> <y> <created> <deadline> <capacity>   x n
+///   coop
+///   <m rows of m doubles>
+///   end
+///
+/// Assignments serialize as "casc-assignment v1", a pair count, then
+/// "worker task" lines.
+
+/// Writes `instance` to `out`. The stream's failbit is checked once at
+/// the end; partial writes on a bad stream yield an error.
+Status SaveInstance(const Instance& instance, std::ostream* out);
+
+/// Writes `instance` to `path`, replacing any existing file.
+Status SaveInstanceToFile(const Instance& instance, const std::string& path);
+
+/// Parses an instance; valid pairs are recomputed after loading.
+Result<Instance> LoadInstance(std::istream* in);
+
+/// Reads an instance from `path`.
+Result<Instance> LoadInstanceFromFile(const std::string& path);
+
+/// Writes `assignment` (its worker->task pairs) to `out`.
+Status SaveAssignment(const Assignment& assignment, std::ostream* out);
+
+/// Parses an assignment shaped for `instance`; pairs are applied through
+/// Assignment::Assign, so the result is structurally consistent (but not
+/// validated — call Validate() for the CA-SC constraints).
+Result<Assignment> LoadAssignment(const Instance& instance,
+                                  std::istream* in);
+
+}  // namespace casc
+
+#endif  // CASC_MODEL_IO_H_

@@ -1,0 +1,139 @@
+#include "model/objective.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace casc {
+namespace {
+
+/// Number of k-subsets of an n-set, saturating at `limit`.
+int64_t BinomialCapped(int n, int k, int64_t limit) {
+  if (k < 0 || k > n) return 0;
+  k = std::min(k, n - k);
+  int64_t result = 1;
+  for (int i = 1; i <= k; ++i) {
+    result = result * (n - k + i) / i;
+    if (result >= limit) return limit;
+  }
+  return result;
+}
+
+/// Enumerates all k-subsets, tracking the best PairSum.
+void EnumerateSubsets(const CooperationMatrix& coop,
+                      const std::vector<WorkerIndex>& group, int k,
+                      size_t start, std::vector<WorkerIndex>* current,
+                      double current_sum, double* best_sum,
+                      std::vector<WorkerIndex>* best) {
+  if (static_cast<int>(current->size()) == k) {
+    if (current_sum > *best_sum) {
+      *best_sum = current_sum;
+      *best = *current;
+    }
+    return;
+  }
+  const int needed = k - static_cast<int>(current->size());
+  for (size_t i = start; i + static_cast<size_t>(needed) <= group.size();
+       ++i) {
+    const WorkerIndex w = group[i];
+    double added = 0.0;
+    for (const WorkerIndex member : *current) {
+      added += coop.Quality(member, w) + coop.Quality(w, member);
+    }
+    current->push_back(w);
+    EnumerateSubsets(coop, group, k, i + 1, current, current_sum + added,
+                     best_sum, best);
+    current->pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<WorkerIndex> BestSubset(const CooperationMatrix& coop,
+                                    const std::vector<WorkerIndex>& group,
+                                    int k) {
+  CASC_CHECK_GE(k, 0);
+  CASC_CHECK_LE(k, static_cast<int>(group.size()));
+  if (k == static_cast<int>(group.size())) return group;
+  if (k == 0) return {};
+
+  constexpr int64_t kEnumerationLimit = 20000;
+  if (BinomialCapped(static_cast<int>(group.size()), k,
+                     kEnumerationLimit) < kEnumerationLimit) {
+    std::vector<WorkerIndex> best, current;
+    double best_sum = -1.0;
+    EnumerateSubsets(coop, group, k, 0, &current, 0.0, &best_sum, &best);
+    return best;
+  }
+
+  // Greedy backward elimination: drop the member with the smallest total
+  // affinity (incoming + outgoing) to the remaining members.
+  std::vector<WorkerIndex> remaining = group;
+  while (static_cast<int>(remaining.size()) > k) {
+    size_t worst_index = 0;
+    double worst_affinity = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      double affinity = 0.0;
+      for (size_t j = 0; j < remaining.size(); ++j) {
+        if (i == j) continue;
+        affinity += coop.Quality(remaining[i], remaining[j]) +
+                    coop.Quality(remaining[j], remaining[i]);
+      }
+      if (affinity < worst_affinity) {
+        worst_affinity = affinity;
+        worst_index = i;
+      }
+    }
+    remaining.erase(remaining.begin() + static_cast<ptrdiff_t>(worst_index));
+  }
+  return remaining;
+}
+
+double GroupScore(const Instance& instance, TaskIndex t,
+                  const std::vector<WorkerIndex>& group) {
+  CASC_CHECK_GE(t, 0);
+  CASC_CHECK_LT(t, instance.num_tasks());
+  const int size = static_cast<int>(group.size());
+  if (size < instance.min_group_size()) return 0.0;
+  const int capacity = instance.tasks()[static_cast<size_t>(t)].capacity;
+  const CooperationMatrix& coop = instance.coop();
+  if (size <= capacity) {
+    return coop.PairSum(group) / (size - 1);
+  }
+  // Over capacity: only the best a_j-subset is paid (Equation 2's note).
+  const std::vector<WorkerIndex> best = BestSubset(coop, group, capacity);
+  return coop.PairSum(best) / (capacity - 1);
+}
+
+double MarginalOfMember(const Instance& instance, TaskIndex t,
+                        const std::vector<WorkerIndex>& group,
+                        WorkerIndex w) {
+  CASC_CHECK(std::find(group.begin(), group.end(), w) != group.end())
+      << "MarginalOfMember: worker " << w << " not in group";
+  std::vector<WorkerIndex> without;
+  without.reserve(group.size() - 1);
+  for (const WorkerIndex member : group) {
+    if (member != w) without.push_back(member);
+  }
+  return GroupScore(instance, t, group) - GroupScore(instance, t, without);
+}
+
+double GainOfJoining(const Instance& instance, TaskIndex t,
+                     const std::vector<WorkerIndex>& group, WorkerIndex w) {
+  CASC_CHECK(std::find(group.begin(), group.end(), w) == group.end())
+      << "GainOfJoining: worker " << w << " already in group";
+  std::vector<WorkerIndex> with = group;
+  with.push_back(w);
+  return GroupScore(instance, t, with) - GroupScore(instance, t, group);
+}
+
+double TotalScore(const Instance& instance, const Assignment& assignment) {
+  double total = 0.0;
+  for (TaskIndex t = 0; t < instance.num_tasks(); ++t) {
+    total += GroupScore(instance, t, assignment.GroupOf(t));
+  }
+  return total;
+}
+
+}  // namespace casc

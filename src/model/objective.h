@@ -1,0 +1,49 @@
+#ifndef CASC_MODEL_OBJECTIVE_H_
+#define CASC_MODEL_OBJECTIVE_H_
+
+#include <vector>
+
+#include "model/assignment.h"
+#include "model/instance.h"
+
+namespace casc {
+
+/// Implements the CA-SC objective: Equation 2 (cooperation quality revenue
+/// of one task), Equation 3 (total revenue), and Equation 4 (the marginal
+/// quality increase ΔQ used by both TPG and the game-theoretic utility).
+
+/// Selects the subset of `group` of size `k` with the maximum PairSum.
+/// Exact by enumeration when the number of k-subsets is small (<= ~20k
+/// combinations, which covers every case the assigners produce, where
+/// |group| exceeds k by at most 1); otherwise greedy backward elimination
+/// (repeatedly drop the worker with the smallest affinity to the rest),
+/// which is the standard heuristic for the NP-hard maximum-weight
+/// k-induced-subgraph problem the paper cites [2].
+/// Requires 0 <= k <= |group|.
+std::vector<WorkerIndex> BestSubset(const CooperationMatrix& coop,
+                                    const std::vector<WorkerIndex>& group,
+                                    int k);
+
+/// Equation 2: the cooperation quality revenue Q(W_j) of assigning `group`
+/// to task `t`. Returns 0 when |group| < B; when |group| > a_j only the
+/// best a_j-subset counts (BestSubset above).
+double GroupScore(const Instance& instance, TaskIndex t,
+                  const std::vector<WorkerIndex>& group);
+
+/// Equation 4: ΔQ(w, t) = Q(W_j) - Q(W_j \ {w}) where `group` already
+/// contains `w`. This is also the game-theoretic utility U_i (Equation 5).
+double MarginalOfMember(const Instance& instance, TaskIndex t,
+                        const std::vector<WorkerIndex>& group,
+                        WorkerIndex w);
+
+/// Gain of adding `w` (not in `group`) to task `t`:
+/// Q(group + w) - Q(group).
+double GainOfJoining(const Instance& instance, TaskIndex t,
+                     const std::vector<WorkerIndex>& group, WorkerIndex w);
+
+/// Equation 3: total cooperation quality revenue of `assignment`.
+double TotalScore(const Instance& instance, const Assignment& assignment);
+
+}  // namespace casc
+
+#endif  // CASC_MODEL_OBJECTIVE_H_

@@ -1,0 +1,116 @@
+#include "model/score_keeper.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace casc {
+
+ScoreKeeper::ScoreKeeper(const Instance& instance)
+    : instance_(&instance),
+      groups_(static_cast<size_t>(instance.num_tasks())),
+      pair_sums_(static_cast<size_t>(instance.num_tasks()), 0.0),
+      scores_(static_cast<size_t>(instance.num_tasks()), 0.0) {}
+
+void ScoreKeeper::Sync(const Assignment& assignment) {
+  CASC_CHECK_EQ(assignment.num_tasks(), instance_->num_tasks());
+  total_ = 0.0;
+  for (TaskIndex t = 0; t < instance_->num_tasks(); ++t) {
+    groups_[static_cast<size_t>(t)] = assignment.GroupOf(t);
+    pair_sums_[static_cast<size_t>(t)] =
+        instance_->coop().PairSum(groups_[static_cast<size_t>(t)]);
+    scores_[static_cast<size_t>(t)] = GroupScoreFromSum(
+        t, pair_sums_[static_cast<size_t>(t)],
+        static_cast<int>(groups_[static_cast<size_t>(t)].size()));
+    total_ += scores_[static_cast<size_t>(t)];
+  }
+}
+
+double ScoreKeeper::GroupScoreFromSum(TaskIndex t, double pair_sum,
+                                      int size) const {
+  if (size < instance_->min_group_size()) return 0.0;
+  const int capacity =
+      instance_->tasks()[static_cast<size_t>(t)].capacity;
+  CASC_CHECK_LE(size, capacity)
+      << "ScoreKeeper does not evaluate over-capacity groups";
+  return pair_sum / (size - 1);
+}
+
+void ScoreKeeper::Add(WorkerIndex w, TaskIndex t) {
+  auto& group = groups_[static_cast<size_t>(t)];
+  CASC_CHECK(std::find(group.begin(), group.end(), w) == group.end())
+      << "worker " << w << " already on task " << t;
+  double added = 0.0;
+  for (const WorkerIndex member : group) {
+    added += instance_->coop().Quality(member, w) +
+             instance_->coop().Quality(w, member);
+  }
+  group.push_back(w);
+  pair_sums_[static_cast<size_t>(t)] += added;
+  total_ -= scores_[static_cast<size_t>(t)];
+  scores_[static_cast<size_t>(t)] =
+      GroupScoreFromSum(t, pair_sums_[static_cast<size_t>(t)],
+                        static_cast<int>(group.size()));
+  total_ += scores_[static_cast<size_t>(t)];
+}
+
+void ScoreKeeper::Remove(WorkerIndex w, TaskIndex t) {
+  auto& group = groups_[static_cast<size_t>(t)];
+  const auto it = std::find(group.begin(), group.end(), w);
+  CASC_CHECK(it != group.end())
+      << "worker " << w << " not on task " << t;
+  group.erase(it);
+  double removed = 0.0;
+  for (const WorkerIndex member : group) {
+    removed += instance_->coop().Quality(member, w) +
+               instance_->coop().Quality(w, member);
+  }
+  pair_sums_[static_cast<size_t>(t)] -= removed;
+  total_ -= scores_[static_cast<size_t>(t)];
+  scores_[static_cast<size_t>(t)] =
+      GroupScoreFromSum(t, pair_sums_[static_cast<size_t>(t)],
+                        static_cast<int>(group.size()));
+  total_ += scores_[static_cast<size_t>(t)];
+}
+
+double ScoreKeeper::TaskScore(TaskIndex t) const {
+  CASC_CHECK_GE(t, 0);
+  CASC_CHECK_LT(t, instance_->num_tasks());
+  return scores_[static_cast<size_t>(t)];
+}
+
+const std::vector<WorkerIndex>& ScoreKeeper::GroupOf(TaskIndex t) const {
+  CASC_CHECK_GE(t, 0);
+  CASC_CHECK_LT(t, instance_->num_tasks());
+  return groups_[static_cast<size_t>(t)];
+}
+
+double ScoreKeeper::ScoreIfAdded(WorkerIndex w, TaskIndex t) const {
+  const auto& group = groups_[static_cast<size_t>(t)];
+  double added = 0.0;
+  for (const WorkerIndex member : group) {
+    added += instance_->coop().Quality(member, w) +
+             instance_->coop().Quality(w, member);
+  }
+  const double new_score =
+      GroupScoreFromSum(t, pair_sums_[static_cast<size_t>(t)] + added,
+                        static_cast<int>(group.size()) + 1);
+  return total_ - scores_[static_cast<size_t>(t)] + new_score;
+}
+
+double ScoreKeeper::ScoreIfRemoved(WorkerIndex w, TaskIndex t) const {
+  const auto& group = groups_[static_cast<size_t>(t)];
+  CASC_CHECK(std::find(group.begin(), group.end(), w) != group.end());
+  double removed = 0.0;
+  for (const WorkerIndex member : group) {
+    if (member == w) continue;
+    removed += instance_->coop().Quality(member, w) +
+               instance_->coop().Quality(w, member);
+  }
+  const double new_score =
+      GroupScoreFromSum(t, pair_sums_[static_cast<size_t>(t)] - removed,
+                        static_cast<int>(group.size()) - 1);
+  return total_ - scores_[static_cast<size_t>(t)] + new_score;
+}
+
+}  // namespace casc

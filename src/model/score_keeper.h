@@ -1,0 +1,66 @@
+#ifndef CASC_MODEL_SCORE_KEEPER_H_
+#define CASC_MODEL_SCORE_KEEPER_H_
+
+#include <vector>
+
+#include "model/assignment.h"
+#include "model/instance.h"
+
+namespace casc {
+
+/// Incrementally maintained Equation-3 objective.
+///
+/// TotalScore() recomputes every group's pair sum from scratch —
+/// O(sum over tasks of |W_j|^2). ScoreKeeper tracks per-task ordered
+/// pair sums under Add/Remove mutations in O(|W_j|) per mutation and
+/// serves the current total in O(1), which is what a long best-response
+/// or local-search loop wants.
+///
+/// The keeper mirrors (does not own) an Assignment: callers apply the
+/// same mutations to both, or use the convenience Sync() to rebuild from
+/// an assignment. Group sizes above the task capacity are not supported
+/// (the crowding rule must be applied by the caller first, as ApplyMove
+/// does) — scores follow the B <= |W| <= a_j branch of Equation 2.
+class ScoreKeeper {
+ public:
+  /// Creates a keeper for `instance` with all groups empty.
+  explicit ScoreKeeper(const Instance& instance);
+
+  /// Rebuilds all sums from `assignment` (O(total group sizes squared)).
+  void Sync(const Assignment& assignment);
+
+  /// Registers worker `w` joining task `t`'s group.
+  /// Requires w not already in the group and the group below capacity.
+  void Add(WorkerIndex w, TaskIndex t);
+
+  /// Registers worker `w` leaving task `t`'s group. Requires membership.
+  void Remove(WorkerIndex w, TaskIndex t);
+
+  /// Current Q(W_t) (Equation 2).
+  double TaskScore(TaskIndex t) const;
+
+  /// Current Q(T) (Equation 3), O(1).
+  double TotalScore() const { return total_; }
+
+  /// Current members of task `t`, in insertion order.
+  const std::vector<WorkerIndex>& GroupOf(TaskIndex t) const;
+
+  /// What TotalScore() would become if `w` joined `t` (no mutation).
+  double ScoreIfAdded(WorkerIndex w, TaskIndex t) const;
+
+  /// What TotalScore() would become if `w` left `t` (no mutation).
+  double ScoreIfRemoved(WorkerIndex w, TaskIndex t) const;
+
+ private:
+  double GroupScoreFromSum(TaskIndex t, double pair_sum, int size) const;
+
+  const Instance* instance_;
+  std::vector<std::vector<WorkerIndex>> groups_;
+  std::vector<double> pair_sums_;  // ordered-pair sum per task
+  std::vector<double> scores_;     // Equation-2 value per task
+  double total_ = 0.0;
+};
+
+}  // namespace casc
+
+#endif  // CASC_MODEL_SCORE_KEEPER_H_

@@ -1,0 +1,15 @@
+#include "model/task.h"
+
+#include "common/strings.h"
+
+namespace casc {
+
+std::string ToString(const Task& task) {
+  return "Task{id=" + std::to_string(task.id) +
+         ", loc=" + ToString(task.location) +
+         ", created=" + FormatDouble(task.create_time, 3) +
+         ", deadline=" + FormatDouble(task.deadline, 3) +
+         ", capacity=" + std::to_string(task.capacity) + "}";
+}
+
+}  // namespace casc

@@ -1,0 +1,29 @@
+#ifndef CASC_MODEL_TASK_H_
+#define CASC_MODEL_TASK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "geo/point.h"
+
+namespace casc {
+
+/// A spatial task (Definition 2).
+///
+/// Created at `create_time` (phi_j) at `location` (l_j), a task accepts at
+/// most `capacity` (a_j) workers and must be started before `deadline`
+/// (tau_j). The system-wide minimum group size B lives on the Instance.
+struct Task {
+  int64_t id = 0;             ///< stable external identifier
+  Point location;             ///< required location l_j
+  double create_time = 0.0;   ///< timestamp phi_j of creation
+  double deadline = 0.0;      ///< deadline tau_j
+  int capacity = 0;           ///< maximum workers a_j
+};
+
+/// Renders a one-line description for logs.
+std::string ToString(const Task& task);
+
+}  // namespace casc
+
+#endif  // CASC_MODEL_TASK_H_

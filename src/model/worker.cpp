@@ -1,0 +1,15 @@
+#include "model/worker.h"
+
+#include "common/strings.h"
+
+namespace casc {
+
+std::string ToString(const Worker& worker) {
+  return "Worker{id=" + std::to_string(worker.id) +
+         ", loc=" + ToString(worker.location) +
+         ", v=" + FormatDouble(worker.speed, 4) +
+         ", r=" + FormatDouble(worker.radius, 4) +
+         ", phi=" + FormatDouble(worker.arrival_time, 3) + "}";
+}
+
+}  // namespace casc

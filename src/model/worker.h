@@ -1,0 +1,40 @@
+#ifndef CASC_MODEL_WORKER_H_
+#define CASC_MODEL_WORKER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "geo/point.h"
+
+namespace casc {
+
+/// Index of a worker within an Instance (position in Instance::workers()).
+using WorkerIndex = int;
+
+/// Index of a task within an Instance (position in Instance::tasks()).
+using TaskIndex = int;
+
+/// Sentinel for "worker is idle / not assigned to any task".
+inline constexpr TaskIndex kNoTask = -1;
+
+/// A cooperation-aware moving worker (Definition 1).
+///
+/// A worker appears in the system at `arrival_time` (phi_i) at `location`
+/// (l_i), moves with `speed` (v_i, distance per time unit in the unit
+/// square) and only accepts tasks within the disk of `radius` (r_i) around
+/// `location`. The pairwise cooperation qualities live in the
+/// CooperationMatrix, not here.
+struct Worker {
+  int64_t id = 0;            ///< stable external identifier
+  Point location;            ///< current location l_i
+  double speed = 0.0;        ///< moving speed v_i
+  double radius = 0.0;       ///< working-area radius r_i
+  double arrival_time = 0.0; ///< timestamp phi_i of appearance
+};
+
+/// Renders a one-line description for logs.
+std::string ToString(const Worker& worker);
+
+}  // namespace casc
+
+#endif  // CASC_MODEL_WORKER_H_

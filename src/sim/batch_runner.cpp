@@ -1,0 +1,168 @@
+#include "sim/batch_runner.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "algo/upper_bound.h"
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "model/objective.h"
+
+namespace casc {
+namespace {
+
+/// Runs the assigner once, fills the per-batch metrics shared by both
+/// modes, and hands the produced assignment back through `out` (so the
+/// streaming mode commits exactly what was measured).
+BatchMetrics MeasureBatch(const Instance& instance, Assigner* assigner,
+                          bool compute_upper, int round, double now,
+                          Assignment* out = nullptr) {
+  BatchMetrics metrics;
+  metrics.round = round;
+  metrics.now = now;
+  metrics.num_workers = instance.num_workers();
+  metrics.num_tasks = instance.num_tasks();
+  metrics.valid_pairs = static_cast<int64_t>(instance.NumValidPairs());
+
+  Stopwatch watch;
+  Assignment assignment = assigner->Run(instance);
+  metrics.seconds = watch.ElapsedSeconds();
+
+  metrics.score = TotalScore(instance, assignment);
+  metrics.assigned_workers = assignment.NumAssigned();
+  for (TaskIndex t = 0; t < instance.num_tasks(); ++t) {
+    if (assignment.GroupSize(t) >= instance.min_group_size()) {
+      ++metrics.completed_tasks;
+    }
+  }
+  metrics.gt_rounds = assigner->stats().rounds;
+  if (compute_upper) {
+    metrics.upper_bound = ComputeUpperBound(instance);
+  }
+  if (out != nullptr) *out = std::move(assignment);
+  return metrics;
+}
+
+}  // namespace
+
+BatchRunner::BatchRunner(BatchRunnerConfig config) : config_(config) {
+  CASC_CHECK_GE(config.rounds, 1);
+  CASC_CHECK_GT(config.batch_interval, 0.0);
+}
+
+RunSummary BatchRunner::RunRounds(InstanceSource* source,
+                                  Assigner* assigner) const {
+  CASC_CHECK(source != nullptr);
+  CASC_CHECK(assigner != nullptr);
+  RunSummary summary;
+  for (int round = 0; round < config_.rounds; ++round) {
+    const double now = round * config_.batch_interval;
+    const Instance instance = source->MakeBatch(round, now);
+    summary.batches.push_back(MeasureBatch(
+        instance, assigner, config_.compute_upper_bound, round, now));
+  }
+  return summary;
+}
+
+RunSummary BatchRunner::RunStreaming(const EventStream& stream,
+                                     const CooperationMatrix& global_coop,
+                                     Assigner* assigner) const {
+  CASC_CHECK(assigner != nullptr);
+
+  // Pool state carried across batches.
+  std::vector<Worker> idle_workers;
+  std::vector<Task> open_tasks;
+  // Workers currently busy: (release time, worker).
+  std::vector<std::pair<double, Worker>> busy_workers;
+
+  RunSummary summary;
+  double now = stream.FirstEventTime();
+  const double end = stream.LastEventTime() + config_.batch_interval;
+  int round = 0;
+  double previous = -std::numeric_limits<double>::infinity();
+
+  while (now < end) {
+    // Algorithm 1, lines 2-3: collect available tasks and workers.
+    for (Worker& worker : stream.WorkersArrivingIn(previous, now + 1e-12)) {
+      idle_workers.push_back(worker);
+    }
+    for (Task& task : stream.TasksArrivingIn(previous, now + 1e-12)) {
+      open_tasks.push_back(task);
+    }
+    for (auto it = busy_workers.begin(); it != busy_workers.end();) {
+      if (it->first <= now) {
+        idle_workers.push_back(it->second);
+        it = busy_workers.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // Drop expired tasks (no worker can reach them in time any more).
+    open_tasks.erase(
+        std::remove_if(open_tasks.begin(), open_tasks.end(),
+                       [&](const Task& task) { return task.deadline < now; }),
+        open_tasks.end());
+
+    if (!idle_workers.empty() && !open_tasks.empty()) {
+      // Build the batch instance with a cooperation submatrix indexed by
+      // the batch-local worker positions.
+      CooperationMatrix coop(static_cast<int>(idle_workers.size()));
+      for (size_t i = 0; i < idle_workers.size(); ++i) {
+        for (size_t k = i + 1; k < idle_workers.size(); ++k) {
+          const int gi = static_cast<int>(idle_workers[i].id);
+          const int gk = static_cast<int>(idle_workers[k].id);
+          coop.SetQuality(static_cast<int>(i), static_cast<int>(k),
+                          global_coop.Quality(gi, gk));
+          coop.SetQuality(static_cast<int>(k), static_cast<int>(i),
+                          global_coop.Quality(gk, gi));
+        }
+      }
+      Instance instance(idle_workers, open_tasks, std::move(coop), now,
+                        config_.min_group_size);
+      instance.ComputeValidPairs();
+
+      Assignment assignment(instance);
+      BatchMetrics metrics =
+          MeasureBatch(instance, assigner, config_.compute_upper_bound,
+                       round, now, &assignment);
+      summary.batches.push_back(metrics);
+
+      // Commit: tasks reaching B start now and occupy their workers for
+      // task_duration; everyone else carries over (Algorithm 1's
+      // "available" definition for the next batch).
+      std::vector<bool> worker_started(idle_workers.size(), false);
+      std::vector<bool> task_started(open_tasks.size(), false);
+      for (TaskIndex t = 0; t < instance.num_tasks(); ++t) {
+        if (assignment.GroupSize(t) < instance.min_group_size()) continue;
+        task_started[static_cast<size_t>(t)] = true;
+        for (const WorkerIndex w : assignment.GroupOf(t)) {
+          worker_started[static_cast<size_t>(w)] = true;
+        }
+      }
+      std::vector<Worker> still_idle;
+      for (size_t i = 0; i < idle_workers.size(); ++i) {
+        if (worker_started[i]) {
+          busy_workers.emplace_back(now + config_.task_duration,
+                                    idle_workers[i]);
+        } else {
+          still_idle.push_back(idle_workers[i]);
+        }
+      }
+      idle_workers = std::move(still_idle);
+      std::vector<Task> still_open;
+      for (size_t j = 0; j < open_tasks.size(); ++j) {
+        if (!task_started[j]) still_open.push_back(open_tasks[j]);
+      }
+      open_tasks = std::move(still_open);
+    }
+
+    previous = now + 1e-12;
+    now += config_.batch_interval;
+    ++round;
+  }
+  return summary;
+}
+
+}  // namespace casc

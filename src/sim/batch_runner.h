@@ -1,0 +1,66 @@
+#ifndef CASC_SIM_BATCH_RUNNER_H_
+#define CASC_SIM_BATCH_RUNNER_H_
+
+#include <functional>
+
+#include "algo/assigner.h"
+#include "gen/workload.h"
+#include "model/cooperation_matrix.h"
+#include "sim/event_stream.h"
+#include "sim/metrics.h"
+
+namespace casc {
+
+/// Configuration of the batch-based framework (Algorithm 1).
+struct BatchRunnerConfig {
+  /// Number of batches in round mode (Table II: R = 10).
+  int rounds = 10;
+
+  /// Wall-clock time between batches (one time unit per batch).
+  double batch_interval = 1.0;
+
+  /// How long a started task occupies its workers in streaming mode;
+  /// workers return to the pool when their task finishes.
+  double task_duration = 1.0;
+
+  /// Minimum group size B in streaming mode.
+  int min_group_size = 3;
+
+  /// Also compute the UPPER estimate (Equation 9) per batch.
+  bool compute_upper_bound = false;
+};
+
+/// Drives an Assigner through multiple batches.
+///
+/// Two modes mirror the paper:
+/// * RunRounds — the evaluation protocol of Section VI: each round is an
+///   independent batch freshly sampled from an InstanceSource; scores and
+///   times are summed/averaged across R rounds.
+/// * RunStreaming — the full Algorithm 1 dynamic: workers and tasks
+///   arrive over time (an EventStream); unassigned tasks whose deadlines
+///   have not passed and idle workers carry over to the next batch;
+///   workers on started tasks return after task_duration.
+class BatchRunner {
+ public:
+  explicit BatchRunner(BatchRunnerConfig config);
+
+  /// Round mode. The assigner is timed on Run() only (instance generation
+  /// and UPPER are excluded, matching the paper's "batch running time").
+  RunSummary RunRounds(InstanceSource* source, Assigner* assigner) const;
+
+  /// Streaming mode over pre-generated arrivals. `global_coop` is indexed
+  /// by the workers' positions in `stream`'s worker vector (their .id
+  /// fields must be 0..num_workers-1).
+  RunSummary RunStreaming(const EventStream& stream,
+                          const CooperationMatrix& global_coop,
+                          Assigner* assigner) const;
+
+  const BatchRunnerConfig& config() const { return config_; }
+
+ private:
+  BatchRunnerConfig config_;
+};
+
+}  // namespace casc
+
+#endif  // CASC_SIM_BATCH_RUNNER_H_

@@ -1,0 +1,58 @@
+#include "sim/event_stream.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace casc {
+
+EventStream::EventStream(std::vector<Worker> workers,
+                         std::vector<Task> tasks)
+    : workers_(std::move(workers)), tasks_(std::move(tasks)) {
+  std::stable_sort(workers_.begin(), workers_.end(),
+                   [](const Worker& a, const Worker& b) {
+                     return a.arrival_time < b.arrival_time;
+                   });
+  std::stable_sort(tasks_.begin(), tasks_.end(),
+                   [](const Task& a, const Task& b) {
+                     return a.create_time < b.create_time;
+                   });
+}
+
+std::vector<Worker> EventStream::WorkersArrivingIn(double from,
+                                                   double to) const {
+  const auto lo = std::lower_bound(
+      workers_.begin(), workers_.end(), from,
+      [](const Worker& w, double t) { return w.arrival_time < t; });
+  const auto hi = std::lower_bound(
+      workers_.begin(), workers_.end(), to,
+      [](const Worker& w, double t) { return w.arrival_time < t; });
+  return std::vector<Worker>(lo, hi);
+}
+
+std::vector<Task> EventStream::TasksArrivingIn(double from,
+                                               double to) const {
+  const auto lo = std::lower_bound(
+      tasks_.begin(), tasks_.end(), from,
+      [](const Task& t, double time) { return t.create_time < time; });
+  const auto hi = std::lower_bound(
+      tasks_.begin(), tasks_.end(), to,
+      [](const Task& t, double time) { return t.create_time < time; });
+  return std::vector<Task>(lo, hi);
+}
+
+double EventStream::FirstEventTime() const {
+  double first = std::numeric_limits<double>::infinity();
+  if (!workers_.empty()) first = std::min(first, workers_.front().arrival_time);
+  if (!tasks_.empty()) first = std::min(first, tasks_.front().create_time);
+  return std::isfinite(first) ? first : 0.0;
+}
+
+double EventStream::LastEventTime() const {
+  double last = -std::numeric_limits<double>::infinity();
+  if (!workers_.empty()) last = std::max(last, workers_.back().arrival_time);
+  if (!tasks_.empty()) last = std::max(last, tasks_.back().create_time);
+  return std::isfinite(last) ? last : 0.0;
+}
+
+}  // namespace casc

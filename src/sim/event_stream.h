@@ -1,0 +1,43 @@
+#ifndef CASC_SIM_EVENT_STREAM_H_
+#define CASC_SIM_EVENT_STREAM_H_
+
+#include <vector>
+
+#include "model/task.h"
+#include "model/worker.h"
+
+namespace casc {
+
+/// A time-ordered stream of worker and task arrivals over an interval
+/// Phi, feeding the streaming mode of the batch framework (Algorithm 1):
+/// workers appear at their phi_i, tasks at their phi_j, and each batch
+/// pulls everything that arrived since the previous batch.
+class EventStream {
+ public:
+  /// Takes ownership of the arrivals; they are sorted internally by
+  /// arrival/creation time.
+  EventStream(std::vector<Worker> workers, std::vector<Task> tasks);
+
+  /// Workers with arrival_time in [from, to), in arrival order.
+  std::vector<Worker> WorkersArrivingIn(double from, double to) const;
+
+  /// Tasks with create_time in [from, to), in creation order.
+  std::vector<Task> TasksArrivingIn(double from, double to) const;
+
+  /// Earliest event time, or 0 when the stream is empty.
+  double FirstEventTime() const;
+
+  /// Latest event time, or 0 when the stream is empty.
+  double LastEventTime() const;
+
+  size_t num_workers() const { return workers_.size(); }
+  size_t num_tasks() const { return tasks_.size(); }
+
+ private:
+  std::vector<Worker> workers_;  // sorted by arrival_time
+  std::vector<Task> tasks_;      // sorted by create_time
+};
+
+}  // namespace casc
+
+#endif  // CASC_SIM_EVENT_STREAM_H_

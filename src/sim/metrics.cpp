@@ -1,0 +1,60 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace casc {
+
+double RunSummary::TotalScore() const {
+  double total = 0.0;
+  for (const auto& batch : batches) total += batch.score;
+  return total;
+}
+
+double RunSummary::TotalUpperBound() const {
+  double total = 0.0;
+  for (const auto& batch : batches) total += batch.upper_bound;
+  return total;
+}
+
+double RunSummary::AvgBatchSeconds() const {
+  if (batches.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& batch : batches) total += batch.seconds;
+  return total / static_cast<double>(batches.size());
+}
+
+double RunSummary::MaxBatchSeconds() const {
+  double worst = 0.0;
+  for (const auto& batch : batches) worst = std::max(worst, batch.seconds);
+  return worst;
+}
+
+int64_t RunSummary::TotalAssignedWorkers() const {
+  int64_t total = 0;
+  for (const auto& batch : batches) total += batch.assigned_workers;
+  return total;
+}
+
+int64_t RunSummary::TotalCompletedTasks() const {
+  int64_t total = 0;
+  for (const auto& batch : batches) total += batch.completed_tasks;
+  return total;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double total = 0.0;
+  for (const double v : values) total += v;
+  return total / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double mean = Mean(values);
+  double sum_sq = 0.0;
+  for (const double v : values) sum_sq += (v - mean) * (v - mean);
+  return std::sqrt(sum_sq / static_cast<double>(values.size() - 1));
+}
+
+}  // namespace casc

@@ -1,0 +1,54 @@
+#ifndef CASC_SIM_METRICS_H_
+#define CASC_SIM_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace casc {
+
+/// Per-batch measurements collected by the runner.
+struct BatchMetrics {
+  int round = 0;               ///< batch index
+  double now = 0.0;            ///< batch timestamp phi
+  int num_workers = 0;         ///< |W(phi)|
+  int num_tasks = 0;           ///< |T(phi)|
+  int64_t valid_pairs = 0;     ///< valid worker-and-task pairs
+  double score = 0.0;          ///< Q(T(phi)) achieved (Equation 3)
+  double upper_bound = 0.0;    ///< UPPER (Equation 9), if requested
+  double seconds = 0.0;        ///< assignment wall time (excl. generation)
+  int assigned_workers = 0;    ///< workers placed on tasks
+  int completed_tasks = 0;     ///< tasks reaching >= B workers
+  int gt_rounds = 0;           ///< best-response rounds (GT family)
+};
+
+/// Aggregate of a multi-batch run.
+struct RunSummary {
+  std::vector<BatchMetrics> batches;
+
+  /// Sum of per-batch scores — the "Total Cooperation Score" y-axis of
+  /// Figures 2(a)-8(a).
+  double TotalScore() const;
+
+  /// Sum of per-batch UPPER estimates.
+  double TotalUpperBound() const;
+
+  /// Mean per-batch assignment time — the y-axis of Figures 2(b)-8(b).
+  double AvgBatchSeconds() const;
+
+  /// Slowest batch.
+  double MaxBatchSeconds() const;
+
+  int64_t TotalAssignedWorkers() const;
+  int64_t TotalCompletedTasks() const;
+};
+
+/// Mean of `values` (0 for empty input).
+double Mean(const std::vector<double>& values);
+
+/// Sample standard deviation of `values` (0 for fewer than two).
+double StdDev(const std::vector<double>& values);
+
+}  // namespace casc
+
+#endif  // CASC_SIM_METRICS_H_

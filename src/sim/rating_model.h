@@ -1,0 +1,82 @@
+#ifndef CASC_SIM_RATING_MODEL_H_
+#define CASC_SIM_RATING_MODEL_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "model/cooperation_matrix.h"
+
+namespace casc {
+
+/// Simulates the requester ratings that drive Equation 1.
+///
+/// The platform never observes true pairwise cooperation; it observes a
+/// per-task rating s_j in [0, 1]. This model holds the (hidden) ground
+/// truth matrix and produces ratings as the team's mean true pairwise
+/// quality plus Gaussian observation noise, clamped to [0, 1] — the
+/// standard generative assumption behind Equation 1's estimator.
+class RatingModel {
+ public:
+  /// Takes the hidden ground truth and the rating noise level.
+  RatingModel(CooperationMatrix ground_truth, double noise_stddev,
+              uint64_t seed);
+
+  /// Rates one finished team. Requires team.size() >= 2.
+  double RateTeam(const std::vector<int>& team);
+
+  /// Mean true pairwise (unordered) quality of the team, the noiseless
+  /// rating. Requires team.size() >= 2.
+  double TrueTeamQuality(const std::vector<int>& team) const;
+
+  const CooperationMatrix& ground_truth() const { return ground_truth_; }
+
+ private:
+  CooperationMatrix ground_truth_;
+  double noise_stddev_;
+  Rng rng_;
+};
+
+/// Result of one learning wave (see QualityLearningLoop).
+struct WaveResult {
+  double believed_score = 0.0;  ///< Q under the platform's estimates
+  double actual_score = 0.0;    ///< Q under the hidden ground truth
+  int teams_rated = 0;          ///< tasks that reached B and were rated
+  double estimation_error = 0.0;  ///< mean |estimate - truth| over pairs
+};
+
+/// Couples CooperationHistory (the Equation-1 estimator) with a
+/// RatingModel: each wave assigns workers using the *believed* qualities,
+/// scores the outcome under the *true* qualities, rates every finished
+/// team, and feeds the ratings back into the history. Over waves the
+/// estimates converge toward the truth and the actual assignment quality
+/// rises — the closed loop the paper's Equation 1 is designed for.
+class QualityLearningLoop {
+ public:
+  /// `alpha` and `omega` parameterize Equation 1.
+  QualityLearningLoop(CooperationMatrix ground_truth, double alpha,
+                      double omega, double noise_stddev, uint64_t seed);
+
+  /// The platform's current belief (Equation 1 over history so far).
+  CooperationMatrix BelievedQualities() const;
+
+  /// Rates the given team groups (worker-id vectors) and folds them into
+  /// the history; returns the wave's scores under belief and truth.
+  /// Groups with fewer than 2 members are skipped.
+  WaveResult RecordWave(
+      const std::vector<std::vector<int>>& finished_teams);
+
+  const RatingModel& rating_model() const { return rating_model_; }
+  const CooperationHistory& history() const { return history_; }
+
+  /// Mean absolute error between believed and true qualities over all
+  /// ordered pairs.
+  double EstimationError() const;
+
+ private:
+  RatingModel rating_model_;
+  CooperationHistory history_;
+};
+
+}  // namespace casc
+
+#endif  // CASC_SIM_RATING_MODEL_H_

@@ -1,0 +1,115 @@
+#include "spatial/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace casc {
+
+GridIndex::GridIndex(int cells_per_side) : cells_per_side_(cells_per_side) {
+  CASC_CHECK_GE(cells_per_side, 1);
+  cells_.resize(static_cast<size_t>(cells_per_side) * cells_per_side);
+}
+
+int GridIndex::CellOf(double coord) const {
+  const int cell = static_cast<int>(coord * cells_per_side_);
+  return std::clamp(cell, 0, cells_per_side_ - 1);
+}
+
+const std::vector<SpatialItem>& GridIndex::Cell(int cx, int cy) const {
+  return cells_[static_cast<size_t>(cy) * cells_per_side_ + cx];
+}
+
+void GridIndex::Insert(const SpatialItem& item) {
+  const int cx = CellOf(item.location.x);
+  const int cy = CellOf(item.location.y);
+  cells_[static_cast<size_t>(cy) * cells_per_side_ + cx].push_back(item);
+  ++size_;
+}
+
+void GridIndex::Build(const std::vector<SpatialItem>& items) {
+  for (auto& cell : cells_) cell.clear();
+  size_ = 0;
+  for (const auto& item : items) Insert(item);
+}
+
+std::vector<int64_t> GridIndex::RangeQuery(const Rect& rect) const {
+  std::vector<int64_t> out;
+  if (rect.IsEmpty()) return out;
+  const int x_lo = CellOf(rect.min_x);
+  const int x_hi = CellOf(rect.max_x);
+  const int y_lo = CellOf(rect.min_y);
+  const int y_hi = CellOf(rect.max_y);
+  for (int cy = y_lo; cy <= y_hi; ++cy) {
+    for (int cx = x_lo; cx <= x_hi; ++cx) {
+      for (const auto& item : Cell(cx, cy)) {
+        if (rect.Contains(item.location)) out.push_back(item.id);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<int64_t> GridIndex::CircleQuery(const Point& center,
+                                            double radius) const {
+  std::vector<int64_t> out;
+  if (radius < 0.0) return out;
+  const Rect box = Rect::FromCircle(center, radius);
+  const double r2 = radius * radius;
+  const int x_lo = CellOf(box.min_x);
+  const int x_hi = CellOf(box.max_x);
+  const int y_lo = CellOf(box.min_y);
+  const int y_hi = CellOf(box.max_y);
+  for (int cy = y_lo; cy <= y_hi; ++cy) {
+    for (int cx = x_lo; cx <= x_hi; ++cx) {
+      for (const auto& item : Cell(cx, cy)) {
+        if (SquaredDistance(center, item.location) <= r2) {
+          out.push_back(item.id);
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<int64_t> GridIndex::Knn(const Point& center, size_t k) const {
+  // Expanding-ring search: examine cells in growing square rings around
+  // the center cell until the k-th best distance is covered by the ring.
+  std::vector<std::pair<double, int64_t>> best;
+  if (k == 0 || size_ == 0) return {};
+  const int ccx = CellOf(center.x);
+  const int ccy = CellOf(center.y);
+  const double cell_width = 1.0 / cells_per_side_;
+  for (int ring = 0; ring < cells_per_side_; ++ring) {
+    // Cells whose Chebyshev cell-distance from the center cell is `ring`.
+    for (int cy = ccy - ring; cy <= ccy + ring; ++cy) {
+      if (cy < 0 || cy >= cells_per_side_) continue;
+      for (int cx = ccx - ring; cx <= ccx + ring; ++cx) {
+        if (cx < 0 || cx >= cells_per_side_) continue;
+        if (std::max(std::abs(cx - ccx), std::abs(cy - ccy)) != ring) continue;
+        for (const auto& item : Cell(cx, cy)) {
+          best.emplace_back(SquaredDistance(center, item.location), item.id);
+        }
+      }
+    }
+    if (best.size() >= k) {
+      std::nth_element(best.begin(), best.begin() + (k - 1), best.end());
+      const double kth = best[k - 1].first;
+      // Every unexplored cell is at least `ring * cell_width` away from the
+      // center point; stop when that bound exceeds the current k-th result.
+      const double ring_lower_bound = ring * cell_width;
+      if (ring_lower_bound * ring_lower_bound >= kth) break;
+    }
+  }
+  const size_t count = std::min(k, best.size());
+  std::partial_sort(best.begin(), best.begin() + count, best.end());
+  std::vector<int64_t> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) out.push_back(best[i].second);
+  return out;
+}
+
+}  // namespace casc

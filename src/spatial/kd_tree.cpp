@@ -1,0 +1,214 @@
+#include "spatial/kd_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/check.h"
+
+namespace casc {
+namespace {
+
+double Coordinate(const Point& p, int axis) { return axis == 0 ? p.x : p.y; }
+
+}  // namespace
+
+void KdTree::Insert(const SpatialItem& item) {
+  Node node;
+  node.item = item;
+  const int index = static_cast<int>(nodes_.size());
+  if (root_ == -1) {
+    node.axis = 0;
+    nodes_.push_back(node);
+    root_ = index;
+    return;
+  }
+  int current = root_;
+  for (;;) {
+    Node& parent = nodes_[static_cast<size_t>(current)];
+    const bool go_left = Coordinate(item.location, parent.axis) <
+                         Coordinate(parent.item.location, parent.axis);
+    int& child = go_left ? parent.left : parent.right;
+    if (child == -1) {
+      node.axis = 1 - parent.axis;
+      child = index;
+      nodes_.push_back(node);
+      return;
+    }
+    current = child;
+  }
+}
+
+int KdTree::BuildRecursive(std::vector<SpatialItem>* items, size_t begin,
+                           size_t end, int axis) {
+  if (begin >= end) return -1;
+  const size_t mid = begin + (end - begin) / 2;
+  std::nth_element(items->begin() + static_cast<ptrdiff_t>(begin),
+                   items->begin() + static_cast<ptrdiff_t>(mid),
+                   items->begin() + static_cast<ptrdiff_t>(end),
+                   [axis](const SpatialItem& a, const SpatialItem& b) {
+                     return Coordinate(a.location, axis) <
+                            Coordinate(b.location, axis);
+                   });
+  Node node;
+  node.item = (*items)[mid];
+  node.axis = axis;
+  const int index = static_cast<int>(nodes_.size());
+  nodes_.push_back(node);
+  const int left = BuildRecursive(items, begin, mid, 1 - axis);
+  const int right = BuildRecursive(items, mid + 1, end, 1 - axis);
+  nodes_[static_cast<size_t>(index)].left = left;
+  nodes_[static_cast<size_t>(index)].right = right;
+  return index;
+}
+
+void KdTree::Build(const std::vector<SpatialItem>& items) {
+  nodes_.clear();
+  nodes_.reserve(items.size());
+  std::vector<SpatialItem> scratch = items;
+  root_ = BuildRecursive(&scratch, 0, scratch.size(), 0);
+}
+
+std::vector<int64_t> KdTree::RangeQuery(const Rect& rect) const {
+  std::vector<int64_t> out;
+  if (root_ == -1 || rect.IsEmpty()) return out;
+  std::vector<int> stack = {root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[static_cast<size_t>(stack.back())];
+    stack.pop_back();
+    if (rect.Contains(node.item.location)) out.push_back(node.item.id);
+    const double split = Coordinate(node.item.location, node.axis);
+    const double lo = node.axis == 0 ? rect.min_x : rect.min_y;
+    const double hi = node.axis == 0 ? rect.max_x : rect.max_y;
+    // Left subtree holds coordinates <= split (median splitting can place
+    // duplicates of the split coordinate on the left), right holds >=.
+    if (node.left != -1 && lo <= split) stack.push_back(node.left);
+    if (node.right != -1 && hi >= split) stack.push_back(node.right);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<int64_t> KdTree::CircleQuery(const Point& center,
+                                         double radius) const {
+  std::vector<int64_t> out;
+  if (root_ == -1 || radius < 0.0) return out;
+  const double r2 = radius * radius;
+  std::vector<int> stack = {root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[static_cast<size_t>(stack.back())];
+    stack.pop_back();
+    if (SquaredDistance(center, node.item.location) <= r2) {
+      out.push_back(node.item.id);
+    }
+    const double split = Coordinate(node.item.location, node.axis);
+    const double c = Coordinate(center, node.axis);
+    if (node.left != -1 && c - radius <= split) stack.push_back(node.left);
+    if (node.right != -1 && c + radius >= split) stack.push_back(node.right);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<int64_t> KdTree::Knn(const Point& center, size_t k) const {
+  if (root_ == -1 || k == 0) return {};
+  // Max-heap of the best k candidates found so far (distance, id).
+  std::priority_queue<std::pair<double, int64_t>> best;
+  // Depth-first with plane-distance pruning.
+  std::vector<int> stack = {root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[static_cast<size_t>(stack.back())];
+    stack.pop_back();
+    const double d2 = SquaredDistance(center, node.item.location);
+    if (best.size() < k) {
+      best.emplace(d2, node.item.id);
+    } else if (d2 < best.top().first ||
+               (d2 == best.top().first && node.item.id < best.top().second)) {
+      best.pop();
+      best.emplace(d2, node.item.id);
+    }
+    const double split = Coordinate(node.item.location, node.axis);
+    const double c = Coordinate(center, node.axis);
+    const double plane = c - split;  // signed distance to the plane
+    const int near_child = plane < 0 ? node.left : node.right;
+    const int far_child = plane < 0 ? node.right : node.left;
+    // The far side can only help if the plane is closer than the current
+    // k-th best (or we still need candidates).
+    const bool explore_far =
+        far_child != -1 &&
+        (best.size() < k || plane * plane <= best.top().first);
+    if (explore_far) stack.push_back(far_child);
+    if (near_child != -1) stack.push_back(near_child);
+  }
+  std::vector<std::pair<double, int64_t>> sorted;
+  sorted.reserve(best.size());
+  while (!best.empty()) {
+    sorted.push_back(best.top());
+    best.pop();
+  }
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<int64_t> out;
+  out.reserve(sorted.size());
+  for (const auto& [d2, id] : sorted) out.push_back(id);
+  return out;
+}
+
+int KdTree::Depth() const {
+  if (root_ == -1) return 0;
+  // Iterative depth computation over (node, depth) pairs.
+  int deepest = 0;
+  std::vector<std::pair<int, int>> stack = {{root_, 1}};
+  while (!stack.empty()) {
+    const auto [index, depth] = stack.back();
+    stack.pop_back();
+    deepest = std::max(deepest, depth);
+    const Node& node = nodes_[static_cast<size_t>(index)];
+    if (node.left != -1) stack.push_back({node.left, depth + 1});
+    if (node.right != -1) stack.push_back({node.right, depth + 1});
+  }
+  return deepest;
+}
+
+void KdTree::CheckInvariants() const {
+  if (root_ == -1) {
+    CASC_CHECK(nodes_.empty());
+    return;
+  }
+  // Every node must lie inside the region carved out by its ancestors'
+  // splitting planes: descending left bounds the axis from above
+  // (inclusive), descending right bounds it from below (inclusive).
+  struct Frame {
+    int index;
+    double min_x, min_y, max_x, max_y;  // inclusive allowed region
+  };
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  size_t visited = 0;
+  std::vector<Frame> stack = {{root_, -kInf, -kInf, kInf, kInf}};
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[static_cast<size_t>(frame.index)];
+    ++visited;
+    CASC_CHECK_GE(node.item.location.x, frame.min_x);
+    CASC_CHECK_LE(node.item.location.x, frame.max_x);
+    CASC_CHECK_GE(node.item.location.y, frame.min_y);
+    CASC_CHECK_LE(node.item.location.y, frame.max_y);
+    const double split = Coordinate(node.item.location, node.axis);
+    if (node.left != -1) {
+      Frame child = frame;
+      child.index = node.left;
+      (node.axis == 0 ? child.max_x : child.max_y) = split;
+      stack.push_back(child);
+    }
+    if (node.right != -1) {
+      Frame child = frame;
+      child.index = node.right;
+      (node.axis == 0 ? child.min_x : child.min_y) = split;
+      stack.push_back(child);
+    }
+  }
+  CASC_CHECK_EQ(visited, nodes_.size());
+}
+
+}  // namespace casc

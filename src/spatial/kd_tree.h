@@ -1,0 +1,57 @@
+#ifndef CASC_SPATIAL_KD_TREE_H_
+#define CASC_SPATIAL_KD_TREE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "spatial/spatial_index.h"
+
+namespace casc {
+
+/// A 2-D kd-tree over points, the classic alternative to the R-tree for
+/// the batch framework's working-area queries.
+///
+/// Build() produces a perfectly balanced tree by recursive median
+/// splitting (O(n log n)); Insert() descends by the splitting dimension
+/// and appends an unbalanced leaf (fine for the framework's
+/// mostly-rebuild usage). Queries prune by splitting-plane distance.
+///
+/// Stored in a flat array (no per-node allocations): children are
+/// indices, -1 for none.
+class KdTree : public SpatialIndex {
+ public:
+  KdTree() = default;
+
+  void Insert(const SpatialItem& item) override;
+  void Build(const std::vector<SpatialItem>& items) override;
+  std::vector<int64_t> RangeQuery(const Rect& rect) const override;
+  std::vector<int64_t> CircleQuery(const Point& center,
+                                   double radius) const override;
+  std::vector<int64_t> Knn(const Point& center, size_t k) const override;
+  size_t Size() const override { return nodes_.size(); }
+
+  /// Depth of the deepest node (0 for empty, 1 for a single node).
+  int Depth() const;
+
+  /// Verifies the kd ordering invariant on every node; CHECK-fails on
+  /// violation. Exposed for tests.
+  void CheckInvariants() const;
+
+ private:
+  struct Node {
+    SpatialItem item;
+    int axis = 0;    // 0 = x, 1 = y
+    int left = -1;   // coordinate on `axis` <= splitting coordinate
+    int right = -1;  // coordinate on `axis` >= splitting coordinate
+  };
+
+  int BuildRecursive(std::vector<SpatialItem>* items, size_t begin,
+                     size_t end, int axis);
+
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+}  // namespace casc
+
+#endif  // CASC_SPATIAL_KD_TREE_H_

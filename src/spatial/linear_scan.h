@@ -1,0 +1,29 @@
+#ifndef CASC_SPATIAL_LINEAR_SCAN_H_
+#define CASC_SPATIAL_LINEAR_SCAN_H_
+
+#include <vector>
+
+#include "spatial/spatial_index.h"
+
+namespace casc {
+
+/// Brute-force SpatialIndex: O(n) per query. Serves as the correctness
+/// reference for GridIndex and RTree in tests, and as the honest baseline
+/// in the spatial micro-benchmark.
+class LinearScan : public SpatialIndex {
+ public:
+  void Insert(const SpatialItem& item) override;
+  void Build(const std::vector<SpatialItem>& items) override;
+  std::vector<int64_t> RangeQuery(const Rect& rect) const override;
+  std::vector<int64_t> CircleQuery(const Point& center,
+                                   double radius) const override;
+  std::vector<int64_t> Knn(const Point& center, size_t k) const override;
+  size_t Size() const override { return items_.size(); }
+
+ private:
+  std::vector<SpatialItem> items_;
+};
+
+}  // namespace casc
+
+#endif  // CASC_SPATIAL_LINEAR_SCAN_H_

@@ -1,0 +1,60 @@
+#ifndef CASC_SPATIAL_RTREE_H_
+#define CASC_SPATIAL_RTREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "spatial/spatial_index.h"
+
+namespace casc {
+
+/// An R-tree over 2-D points, the index the paper cites ([24]) for the
+/// working-area range queries of the batch framework (Algorithm 1).
+///
+/// * Bulk loading uses Sort-Tile-Recursive (STR), producing a packed tree;
+///   the batch framework rebuilds the task index once per batch, so this
+///   is the common path.
+/// * Incremental Insert() uses Guttman's least-enlargement descent with
+///   quadratic split.
+/// * Queries: rectangle, circle (working area), and best-first kNN.
+class RTree : public SpatialIndex {
+ public:
+  /// Tree node; opaque to callers, public so internal helpers can name it.
+  struct Node;
+
+  /// Creates an R-tree with the given node fan-out bounds.
+  /// Requires 2 <= min_entries <= max_entries / 2.
+  explicit RTree(int max_entries = 16, int min_entries = 4);
+  ~RTree() override;
+
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+  RTree(RTree&&) = default;
+  RTree& operator=(RTree&&) = default;
+
+  void Insert(const SpatialItem& item) override;
+  void Build(const std::vector<SpatialItem>& items) override;
+  std::vector<int64_t> RangeQuery(const Rect& rect) const override;
+  std::vector<int64_t> CircleQuery(const Point& center,
+                                   double radius) const override;
+  std::vector<int64_t> Knn(const Point& center, size_t k) const override;
+  size_t Size() const override { return size_; }
+
+  /// Height of the tree (0 for empty, 1 for a single leaf).
+  int Height() const;
+
+  /// Verifies structural invariants (bounding boxes tight enough to
+  /// contain children, fan-out bounds, uniform leaf depth); CHECK-fails on
+  /// violation. Exposed for tests.
+  void CheckInvariants() const;
+
+ private:
+  std::unique_ptr<Node> root_;
+  int max_entries_;
+  int min_entries_;
+  size_t size_ = 0;
+};
+
+}  // namespace casc
+
+#endif  // CASC_SPATIAL_RTREE_H_

@@ -1,0 +1,9 @@
+#include "spatial/spatial_index.h"
+
+namespace casc {
+
+void SpatialIndex::Build(const std::vector<SpatialItem>& items) {
+  for (const auto& item : items) Insert(item);
+}
+
+}  // namespace casc

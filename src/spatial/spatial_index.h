@@ -1,0 +1,52 @@
+#ifndef CASC_SPATIAL_SPATIAL_INDEX_H_
+#define CASC_SPATIAL_SPATIAL_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+#include "geo/rect.h"
+
+namespace casc {
+
+/// An indexed point with an opaque caller-owned identifier (a task or
+/// worker index in the model layer).
+struct SpatialItem {
+  int64_t id = 0;
+  Point location;
+};
+
+/// Interface for 2-D point indexes used by the batch framework to retrieve
+/// the valid tasks inside each worker's working area (Algorithm 1, lines
+/// 4-5). Implementations: LinearScan (reference), GridIndex, RTree.
+class SpatialIndex {
+ public:
+  virtual ~SpatialIndex() = default;
+
+  /// Adds one item. Duplicate ids are allowed and returned independently.
+  virtual void Insert(const SpatialItem& item) = 0;
+
+  /// Bulk-loads `items`, replacing current contents. Implementations may
+  /// override with something faster than repeated Insert().
+  virtual void Build(const std::vector<SpatialItem>& items);
+
+  /// Returns ids of all items inside `rect` (boundary inclusive),
+  /// in ascending id order.
+  virtual std::vector<int64_t> RangeQuery(const Rect& rect) const = 0;
+
+  /// Returns ids of all items within `radius` of `center` (boundary
+  /// inclusive), in ascending id order.
+  virtual std::vector<int64_t> CircleQuery(const Point& center,
+                                           double radius) const = 0;
+
+  /// Returns the `k` nearest items to `center`, closest first; ties broken
+  /// by ascending id. Returns fewer when the index holds fewer items.
+  virtual std::vector<int64_t> Knn(const Point& center, size_t k) const = 0;
+
+  /// Number of stored items.
+  virtual size_t Size() const = 0;
+};
+
+}  // namespace casc
+
+#endif  // CASC_SPATIAL_SPATIAL_INDEX_H_

@@ -1,0 +1,315 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "algo/exact_assigner.h"
+#include "algo/gt_assigner.h"
+#include "algo/maxflow_assigner.h"
+#include "algo/random_assigner.h"
+#include "algo/tpg_assigner.h"
+#include "algo/upper_bound.h"
+#include "common/rng.h"
+#include "gen/synthetic.h"
+#include "model/objective.h"
+
+namespace casc {
+namespace {
+
+Instance AllValidInstance(int num_workers, int num_tasks, int capacity,
+                          int min_group, CooperationMatrix coop) {
+  std::vector<Worker> workers;
+  for (int i = 0; i < num_workers; ++i) {
+    workers.push_back(Worker{i, {0.5, 0.5}, 1.0, 1.0, 0.0});
+  }
+  std::vector<Task> tasks;
+  for (int j = 0; j < num_tasks; ++j) {
+    tasks.push_back(Task{j, {0.5, 0.5}, 0.0, 10.0, capacity});
+  }
+  Instance instance(std::move(workers), std::move(tasks), std::move(coop),
+                    0.0, min_group);
+  instance.ComputeValidPairs();
+  return instance;
+}
+
+Instance RandomInstance(int workers, int tasks, uint64_t seed,
+                        int capacity = 3, int min_group = 2) {
+  Rng rng(seed);
+  SyntheticInstanceConfig config;
+  config.num_workers = workers;
+  config.num_tasks = tasks;
+  config.task.capacity = capacity;
+  config.min_group_size = min_group;
+  return GenerateSyntheticInstance(config, 0.0, &rng);
+}
+
+// ---------------------------------------------------------------------------
+// MFLOW
+// ---------------------------------------------------------------------------
+
+TEST(MflowTest, MaximizesAssignedPairCount) {
+  // 4 workers all valid for one task of capacity 3: MFLOW assigns 3.
+  const Instance instance =
+      AllValidInstance(4, 1, 3, 2, CooperationMatrix(4, 0.5));
+  MaxFlowAssigner mflow;
+  const Assignment assignment = mflow.Run(instance);
+  EXPECT_EQ(assignment.NumAssigned(), 3);
+  EXPECT_TRUE(assignment.Validate(instance).ok());
+}
+
+TEST(MflowTest, RoutesAroundContention) {
+  // Worker 0 fits both tasks, workers 1 and 2 each fit only one; max
+  // matching must still place all three.
+  std::vector<Worker> workers = {Worker{0, {0.5, 0.5}, 1.0, 1.0, 0.0},
+                                 Worker{1, {0.1, 0.1}, 1.0, 0.2, 0.0},
+                                 Worker{2, {0.9, 0.9}, 1.0, 0.2, 0.0}};
+  std::vector<Task> tasks = {Task{0, {0.1, 0.1}, 0.0, 10.0, 2},
+                             Task{1, {0.9, 0.9}, 0.0, 10.0, 2}};
+  Instance instance(std::move(workers), std::move(tasks),
+                    CooperationMatrix(3, 0.5), 0.0, 2);
+  instance.ComputeValidPairs();
+  MaxFlowAssigner mflow;
+  const Assignment assignment = mflow.Run(instance);
+  EXPECT_EQ(assignment.NumAssigned(), 3);
+}
+
+TEST(MflowTest, IgnoresCooperationQuality) {
+  // Two disjoint pairs with very different qualities; MFLOW may split
+  // them badly, but it always assigns the maximum number of pairs.
+  const Instance instance = RandomInstance(40, 15, 99);
+  MaxFlowAssigner mflow;
+  const Assignment assignment = mflow.Run(instance);
+  EXPECT_TRUE(assignment.Validate(instance).ok());
+
+  // No algorithm can assign more pairs than max flow.
+  TpgAssigner tpg;
+  EXPECT_GE(assignment.NumAssigned(), tpg.Run(instance).NumAssigned());
+}
+
+TEST(MflowTest, EmptyInstance) {
+  const Instance instance =
+      AllValidInstance(0, 0, 3, 3, CooperationMatrix(0));
+  MaxFlowAssigner mflow;
+  EXPECT_EQ(mflow.Run(instance).NumAssigned(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// RAND
+// ---------------------------------------------------------------------------
+
+TEST(RandTest, ProducesFeasibleAssignments) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const Instance instance = RandomInstance(50, 20, seed);
+    RandomAssigner rand(seed);
+    EXPECT_TRUE(rand.Run(instance).Validate(instance).ok());
+  }
+}
+
+TEST(RandTest, DeterministicForSameSeed) {
+  const Instance instance = RandomInstance(40, 15, 7);
+  RandomAssigner a(123), b(123);
+  const auto pa = a.Run(instance).Pairs();
+  const auto pb = b.Run(instance).Pairs();
+  EXPECT_EQ(pa, pb);
+}
+
+TEST(RandTest, SkipsTasksBelowThreshold) {
+  // Only 2 candidates exist but B = 3: RAND must leave the task empty.
+  const Instance instance =
+      AllValidInstance(2, 1, 3, 3, CooperationMatrix(2, 0.5));
+  RandomAssigner rand(5);
+  EXPECT_EQ(rand.Run(instance).NumAssigned(), 0);
+}
+
+TEST(RandTest, FillsToCapacityWhenPossible) {
+  const Instance instance =
+      AllValidInstance(6, 1, 4, 2, CooperationMatrix(6, 0.5));
+  RandomAssigner rand(5);
+  EXPECT_EQ(rand.Run(instance).NumAssigned(), 4);
+}
+
+// ---------------------------------------------------------------------------
+// EXACT
+// ---------------------------------------------------------------------------
+
+TEST(ExactTest, FindsObviousOptimum) {
+  CooperationMatrix coop(4);
+  coop.SetSymmetric(0, 3, 0.9);
+  coop.SetSymmetric(1, 2, 0.9);
+  coop.SetSymmetric(0, 1, 0.1);
+  coop.SetSymmetric(2, 3, 0.1);
+  const Instance instance = AllValidInstance(4, 2, 2, 2, std::move(coop));
+  ExactAssigner exact;
+  const Assignment assignment = exact.Run(instance);
+  EXPECT_NEAR(TotalScore(instance, assignment), 3.6, 1e-9);
+}
+
+TEST(ExactTest, PrefersSkippingHarmfulWorker) {
+  CooperationMatrix coop(4);
+  coop.SetSymmetric(0, 1, 1.0);
+  coop.SetSymmetric(0, 2, 1.0);
+  coop.SetSymmetric(1, 2, 1.0);
+  const Instance instance = AllValidInstance(4, 1, 4, 2, std::move(coop));
+  ExactAssigner exact;
+  const Assignment assignment = exact.Run(instance);
+  EXPECT_EQ(assignment.TaskOf(3), kNoTask);
+  EXPECT_NEAR(TotalScore(instance, assignment), 3.0, 1e-9);
+}
+
+class ExactDominanceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExactDominanceTest, DominatesEveryHeuristic) {
+  const Instance instance = RandomInstance(9, 3, GetParam());
+  ExactAssigner exact;
+  const double optimum = TotalScore(instance, exact.Run(instance));
+
+  TpgAssigner tpg;
+  GtAssigner gt;
+  MaxFlowAssigner mflow;
+  RandomAssigner rand(GetParam());
+  for (Assigner* assigner :
+       std::vector<Assigner*>{&tpg, &gt, &mflow, &rand}) {
+    const double score = TotalScore(instance, assigner->Run(instance));
+    EXPECT_LE(score, optimum + 1e-9) << assigner->Name();
+  }
+  // ... and the Lemma V.2 bound dominates the optimum.
+  EXPECT_LE(optimum, ComputeUpperBound(instance) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactDominanceTest,
+                         ::testing::Values(41u, 42u, 43u, 44u, 45u, 46u,
+                                           47u, 48u));
+
+// ---------------------------------------------------------------------------
+// UPPER (Equations 8-9, Lemmas V.2/V.3)
+// ---------------------------------------------------------------------------
+
+TEST(UpperBoundTest, WorkerBoundIsTopBMinusOneAverage) {
+  CooperationMatrix coop(4);
+  coop.SetQuality(0, 1, 0.9);
+  coop.SetQuality(0, 2, 0.5);
+  coop.SetQuality(0, 3, 0.1);
+  const Instance instance = AllValidInstance(4, 1, 3, 3, std::move(coop));
+  // B = 3: mean of top 2 outgoing -> (0.9 + 0.5) / 2.
+  EXPECT_NEAR(WorkerQualityUpperBound(instance, 0), 0.7, 1e-12);
+  // Lemma V.3: mean of bottom 2 -> (0.5 + 0.1) / 2.
+  EXPECT_NEAR(WorkerQualityLowerBound(instance, 0), 0.3, 1e-12);
+}
+
+TEST(UpperBoundTest, LemmaV2HoldsOnRandomGroups) {
+  // For any group W with |W| >= B and any member i:
+  // avg_i(W) <= q̂_{i,B}.
+  Rng rng(8);
+  const Instance instance = RandomInstance(12, 2, 88, /*capacity=*/12,
+                                           /*min_group=*/3);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int size = static_cast<int>(rng.UniformInt(int64_t{3}, int64_t{8}));
+    std::vector<WorkerIndex> pool(12);
+    for (int i = 0; i < 12; ++i) pool[static_cast<size_t>(i)] = i;
+    rng.Shuffle(pool);
+    pool.resize(static_cast<size_t>(size));
+    for (const WorkerIndex i : pool) {
+      const double avg =
+          instance.coop().RowSum(i, pool) / (size - 1);
+      EXPECT_LE(avg, WorkerQualityUpperBound(instance, i) + 1e-12);
+      EXPECT_GE(avg, WorkerQualityLowerBound(instance, i) - 1e-12);
+    }
+  }
+}
+
+TEST(UpperBoundTest, TaskBoundZeroWithoutEnoughCandidates) {
+  const Instance instance =
+      AllValidInstance(2, 1, 3, 3, CooperationMatrix(2, 0.5));
+  std::vector<double> bounds(2, 1.0);
+  EXPECT_DOUBLE_EQ(TaskUpperBound(instance, 0, bounds), 0.0);
+}
+
+TEST(UpperBoundTest, TaskBoundSumsTopCapacityCeilings) {
+  const Instance instance =
+      AllValidInstance(5, 1, 3, 2, CooperationMatrix(5, 0.5));
+  const std::vector<double> bounds = {0.1, 0.9, 0.5, 0.7, 0.3};
+  // Top 3 of the ceilings: 0.9 + 0.7 + 0.5.
+  EXPECT_NEAR(TaskUpperBound(instance, 0, bounds), 2.1, 1e-12);
+}
+
+class UpperBoundPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UpperBoundPropertyTest, DominatesAllHeuristics) {
+  const Instance instance = RandomInstance(60, 20, GetParam());
+  const double upper = ComputeUpperBound(instance);
+  TpgAssigner tpg;
+  GtAssigner gt;
+  MaxFlowAssigner mflow;
+  for (Assigner* assigner : std::vector<Assigner*>{&tpg, &gt, &mflow}) {
+    EXPECT_LE(TotalScore(instance, assigner->Run(instance)), upper + 1e-9)
+        << assigner->Name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UpperBoundPropertyTest,
+                         ::testing::Values(61u, 62u, 63u, 64u, 65u));
+
+TEST(UpperBoundTest, CoCandidateScopeIsTighterButStillSound) {
+  for (uint64_t seed = 201; seed <= 206; ++seed) {
+    const Instance instance = RandomInstance(60, 20, seed);
+    const double literal =
+        ComputeUpperBound(instance, UpperBoundScope::kAllWorkers);
+    const double scoped =
+        ComputeUpperBound(instance, UpperBoundScope::kCoCandidates);
+    EXPECT_LE(scoped, literal + 1e-9) << "seed " << seed;
+    // Soundness: the tighter bound still dominates achieved scores.
+    GtAssigner gt;
+    EXPECT_LE(TotalScore(instance, gt.Run(instance)), scoped + 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(UpperBoundTest, CoCandidateScopeDominatesExactOptimum) {
+  for (uint64_t seed = 301; seed <= 306; ++seed) {
+    const Instance instance = RandomInstance(9, 3, seed);
+    const double scoped =
+        ComputeUpperBound(instance, UpperBoundScope::kCoCandidates);
+    ExactAssigner exact;
+    EXPECT_LE(TotalScore(instance, exact.Run(instance)), scoped + 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(UpperBoundTest, IsolatedWorkerHasZeroCoCandidateCeiling) {
+  // A worker with no valid tasks has no co-candidates, hence ceiling 0
+  // under the scoped bound (it can never be in a feasible group).
+  std::vector<Worker> workers = {
+      Worker{0, {0.0, 0.0}, 0.001, 0.01, 0.0},  // isolated
+      Worker{1, {0.5, 0.5}, 1.0, 1.0, 0.0},
+      Worker{2, {0.5, 0.5}, 1.0, 1.0, 0.0},
+      Worker{3, {0.5, 0.5}, 1.0, 1.0, 0.0}};
+  std::vector<Task> tasks = {Task{0, {0.5, 0.5}, 0.0, 9.0, 3}};
+  Instance instance(std::move(workers), std::move(tasks),
+                    CooperationMatrix(4, 0.9), 0.0, 3);
+  instance.ComputeValidPairs();
+  EXPECT_DOUBLE_EQ(
+      WorkerQualityUpperBound(instance, 0, UpperBoundScope::kCoCandidates),
+      0.0);
+  EXPECT_GT(
+      WorkerQualityUpperBound(instance, 0, UpperBoundScope::kAllWorkers),
+      0.0);
+  EXPECT_GT(
+      WorkerQualityUpperBound(instance, 1, UpperBoundScope::kCoCandidates),
+      0.0);
+}
+
+TEST(UpperBoundTest, PoaLowerBoundIsSane) {
+  const Instance instance = RandomInstance(30, 10, 333);
+  const double poa = PriceOfAnarchyLowerBound(instance, 5);
+  EXPECT_GE(poa, 0.0);
+}
+
+TEST(UpperBoundTest, EmptyInstanceBoundIsZero) {
+  const Instance instance =
+      AllValidInstance(0, 0, 3, 3, CooperationMatrix(0));
+  EXPECT_DOUBLE_EQ(ComputeUpperBound(instance), 0.0);
+}
+
+}  // namespace
+}  // namespace casc

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "algo/best_response.h"
+#include "algo/gt_assigner.h"
+#include "common/rng.h"
+#include "gen/synthetic.h"
+#include "model/objective.h"
+
+namespace casc {
+namespace {
+
+Instance RandomInstance(int m, int n, uint64_t seed, int capacity = 4,
+                        int min_group = 3) {
+  Rng rng(seed);
+  SyntheticInstanceConfig config;
+  config.num_workers = m;
+  config.num_tasks = n;
+  config.task.capacity = capacity;
+  config.min_group_size = min_group;
+  config.worker.radius_min = 0.2;
+  config.worker.radius_max = 0.45;
+  config.worker.speed_min = 0.05;
+  config.worker.speed_max = 0.15;
+  return GenerateSyntheticInstance(config, 0.0, &rng);
+}
+
+// ---------------------------------------------------------------------------
+// Random move sequences preserve every structural invariant
+// ---------------------------------------------------------------------------
+
+class MoveSequenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MoveSequenceTest, ArbitraryMovesKeepAssignmentFeasible) {
+  const Instance instance = RandomInstance(40, 15, GetParam());
+  Assignment assignment(instance);
+  Rng rng(GetParam() ^ 0xFEED);
+  for (int step = 0; step < 500; ++step) {
+    const WorkerIndex w = static_cast<WorkerIndex>(
+        rng.UniformInt(static_cast<uint64_t>(instance.num_workers())));
+    const auto& valid = instance.ValidTasks(w);
+    TaskIndex target = kNoTask;
+    if (!valid.empty() && !rng.Bernoulli(0.2)) {
+      target = valid[static_cast<size_t>(
+          rng.UniformInt(static_cast<uint64_t>(valid.size())))];
+    }
+    ApplyMove(instance, &assignment, w, target);
+    // Capacity is restored by the crowding rule after every move.
+    if (target != kNoTask) {
+      EXPECT_LE(assignment.GroupSize(target),
+                instance.tasks()[static_cast<size_t>(target)].capacity);
+    }
+  }
+  EXPECT_TRUE(assignment.Validate(instance).ok());
+}
+
+TEST_P(MoveSequenceTest, BestResponseMovesMonotonicallyRaiseThePotential) {
+  const Instance instance = RandomInstance(50, 18, GetParam() ^ 0xAB);
+  Assignment assignment(instance);
+  Rng rng(GetParam());
+  // Seed with random strategies.
+  for (WorkerIndex w = 0; w < instance.num_workers(); ++w) {
+    const auto& valid = instance.ValidTasks(w);
+    if (valid.empty()) continue;
+    ApplyMove(instance, &assignment, w,
+              valid[static_cast<size_t>(
+                  rng.UniformInt(static_cast<uint64_t>(valid.size())))]);
+  }
+  double potential = TotalScore(instance, assignment);
+  for (int step = 0; step < 300; ++step) {
+    const WorkerIndex w = static_cast<WorkerIndex>(
+        rng.UniformInt(static_cast<uint64_t>(instance.num_workers())));
+    const BestResponse best = ComputeBestResponse(instance, assignment, w);
+    const double current =
+        StrategyUtility(instance, assignment, w, assignment.TaskOf(w),
+                        nullptr);
+    if (best.task == assignment.TaskOf(w) || best.utility <= current) {
+      continue;
+    }
+    ApplyMove(instance, &assignment, w, best.task);
+    const double new_potential = TotalScore(instance, assignment);
+    // Theorem V.1 extended to crowding moves: the potential rises by the
+    // mover's utility improvement (the evicted worker contributes its
+    // own ΔQ = marginal, which is exactly what the mover's over-capacity
+    // utility already nets out).
+    EXPECT_GT(new_potential, potential - 1e-9);
+    potential = new_potential;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MoveSequenceTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// ---------------------------------------------------------------------------
+// IsNashEquilibrium is a real detector, not a rubber stamp
+// ---------------------------------------------------------------------------
+
+TEST(NashDetectorTest, FlagsAnObviouslyImprovableState) {
+  // Two workers with high mutual quality sit on different tasks while
+  // both could pair up on one: the lone states are not equilibria.
+  std::vector<Worker> workers = {Worker{0, {0.5, 0.5}, 1.0, 1.0, 0.0},
+                                 Worker{1, {0.5, 0.5}, 1.0, 1.0, 0.0}};
+  std::vector<Task> tasks = {Task{0, {0.5, 0.5}, 0.0, 9.0, 2},
+                             Task{1, {0.5, 0.5}, 0.0, 9.0, 2}};
+  CooperationMatrix coop(2);
+  coop.SetSymmetric(0, 1, 0.9);
+  Instance instance(std::move(workers), std::move(tasks), std::move(coop),
+                    0.0, 2);
+  instance.ComputeValidPairs();
+
+  Assignment split(instance);
+  split.Assign(0, 0);
+  split.Assign(1, 1);
+  EXPECT_FALSE(IsNashEquilibrium(instance, split, 1e-9));
+
+  Assignment together(instance);
+  together.Assign(0, 0);
+  together.Assign(1, 0);
+  EXPECT_TRUE(IsNashEquilibrium(instance, together, 1e-9));
+}
+
+TEST(NashDetectorTest, ToleranceScreensTinyImprovements) {
+  std::vector<Worker> workers = {Worker{0, {0.5, 0.5}, 1.0, 1.0, 0.0},
+                                 Worker{1, {0.5, 0.5}, 1.0, 1.0, 0.0},
+                                 Worker{2, {0.5, 0.5}, 1.0, 1.0, 0.0}};
+  std::vector<Task> tasks = {Task{0, {0.5, 0.5}, 0.0, 9.0, 2},
+                             Task{1, {0.5, 0.5}, 0.0, 9.0, 2}};
+  CooperationMatrix coop(3);
+  coop.SetSymmetric(0, 1, 0.500);
+  coop.SetSymmetric(0, 2, 0.501);  // joining 2 is better by a whisker
+  Instance instance(std::move(workers), std::move(tasks), std::move(coop),
+                    0.0, 2);
+  instance.ComputeValidPairs();
+  Assignment assignment(instance);
+  assignment.Assign(0, 0);
+  assignment.Assign(1, 0);
+  assignment.Assign(2, 1);
+  // Worker 0 could improve by 2*(0.501-0.500); a coarse tolerance
+  // accepts the state, a fine one rejects it.
+  EXPECT_TRUE(IsNashEquilibrium(instance, assignment, 0.1));
+  EXPECT_FALSE(IsNashEquilibrium(instance, assignment, 1e-6));
+}
+
+// ---------------------------------------------------------------------------
+// Best-response seeding of ComputeBestResponse
+// ---------------------------------------------------------------------------
+
+TEST(BestResponseTest, PrefersStayingOnTies) {
+  // Two identical tasks; whichever the worker group sits on, the best
+  // response must keep it there (no oscillation on exact ties).
+  const int m = 4;
+  std::vector<Worker> workers;
+  for (int i = 0; i < m; ++i) {
+    workers.push_back(Worker{i, {0.5, 0.5}, 1.0, 1.0, 0.0});
+  }
+  std::vector<Task> tasks = {Task{0, {0.5, 0.5}, 0.0, 9.0, 4},
+                             Task{1, {0.5, 0.5}, 0.0, 9.0, 4}};
+  Instance instance(std::move(workers), std::move(tasks),
+                    CooperationMatrix(m, 0.5), 0.0, 2);
+  instance.ComputeValidPairs();
+  Assignment assignment(instance);
+  for (int i = 0; i < m; ++i) assignment.Assign(i, 1);
+  for (int i = 0; i < m; ++i) {
+    const BestResponse best = ComputeBestResponse(instance, assignment, i);
+    EXPECT_EQ(best.task, 1) << "worker " << i << " oscillated";
+  }
+}
+
+TEST(BestResponseTest, WorkerWithNoValidTasksIdles) {
+  std::vector<Worker> workers = {Worker{0, {0.0, 0.0}, 0.001, 0.01, 0.0}};
+  std::vector<Task> tasks = {Task{0, {0.9, 0.9}, 0.0, 1.0, 2}};
+  Instance instance(std::move(workers), std::move(tasks),
+                    CooperationMatrix(1, 0.5), 0.0, 2);
+  instance.ComputeValidPairs();
+  const Assignment assignment(instance);
+  const BestResponse best = ComputeBestResponse(instance, assignment, 0);
+  EXPECT_EQ(best.task, kNoTask);
+  EXPECT_DOUBLE_EQ(best.utility, 0.0);
+}
+
+TEST(BestResponseTest, ReportsCrowdedOutWorker) {
+  CooperationMatrix coop(4);
+  coop.SetSymmetric(0, 1, 0.9);
+  coop.SetSymmetric(0, 3, 0.8);
+  coop.SetSymmetric(1, 3, 0.8);
+  // Worker 2 contributes nothing and gets evicted when 3 arrives.
+  std::vector<Worker> workers;
+  for (int i = 0; i < 4; ++i) {
+    workers.push_back(Worker{i, {0.5, 0.5}, 1.0, 1.0, 0.0});
+  }
+  std::vector<Task> tasks = {Task{0, {0.5, 0.5}, 0.0, 9.0, 3}};
+  Instance instance(std::move(workers), std::move(tasks), std::move(coop),
+                    0.0, 2);
+  instance.ComputeValidPairs();
+  Assignment assignment(instance);
+  assignment.Assign(0, 0);
+  assignment.Assign(1, 0);
+  assignment.Assign(2, 0);
+  const BestResponse best = ComputeBestResponse(instance, assignment, 3);
+  EXPECT_EQ(best.task, 0);
+  EXPECT_EQ(best.crowded_out, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Asymmetric cooperation matrices (Equation 1 allows q_i(k) != q_k(i))
+// ---------------------------------------------------------------------------
+
+TEST(AsymmetricTest, GtConvergesOnAsymmetricQualities) {
+  Rng rng(404);
+  const int m = 30, n = 10;
+  std::vector<Worker> workers;
+  for (int i = 0; i < m; ++i) {
+    workers.push_back(Worker{i, {rng.Uniform(), rng.Uniform()}, 0.3, 0.5,
+                             0.0});
+  }
+  std::vector<Task> tasks;
+  for (int j = 0; j < n; ++j) {
+    tasks.push_back(Task{j, {rng.Uniform(), rng.Uniform()}, 0.0, 5.0, 4});
+  }
+  CooperationMatrix coop(m);
+  for (int i = 0; i < m; ++i) {
+    for (int k = 0; k < m; ++k) {
+      if (i != k) coop.SetQuality(i, k, rng.Uniform());
+    }
+  }
+  Instance instance(std::move(workers), std::move(tasks), std::move(coop),
+                    0.0, 3);
+  instance.ComputeValidPairs();
+  GtAssigner gt;
+  const Assignment assignment = gt.Run(instance);
+  EXPECT_TRUE(gt.stats().converged);
+  EXPECT_TRUE(IsNashEquilibrium(instance, assignment, 1e-9));
+  EXPECT_TRUE(assignment.Validate(instance).ok());
+}
+
+}  // namespace
+}  // namespace casc

@@ -1,0 +1,225 @@
+// Differential fidelity tests: every equation of the paper is
+// re-implemented here in the most naive way possible and compared
+// against the library's (optimized) implementations on random inputs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "algo/best_response.h"
+#include "algo/upper_bound.h"
+#include "common/rng.h"
+#include "gen/synthetic.h"
+#include "model/cooperation_matrix.h"
+#include "model/instance.h"
+#include "model/objective.h"
+
+namespace casc {
+namespace {
+
+CooperationMatrix RandomMatrix(int m, uint64_t seed, bool symmetric) {
+  Rng rng(seed);
+  CooperationMatrix coop(m);
+  for (int i = 0; i < m; ++i) {
+    for (int k = 0; k < m; ++k) {
+      if (i == k) continue;
+      if (symmetric && k < i) continue;
+      const double q = rng.Uniform();
+      if (symmetric) {
+        coop.SetSymmetric(i, k, q);
+      } else {
+        coop.SetQuality(i, k, q);
+      }
+    }
+  }
+  return coop;
+}
+
+Instance AllValidInstance(int m, int num_tasks, int capacity, int min_group,
+                          CooperationMatrix coop) {
+  std::vector<Worker> workers;
+  for (int i = 0; i < m; ++i) {
+    workers.push_back(Worker{i, {0.5, 0.5}, 1.0, 1.0, 0.0});
+  }
+  std::vector<Task> tasks;
+  for (int j = 0; j < num_tasks; ++j) {
+    tasks.push_back(Task{j, {0.5, 0.5}, 0.0, 10.0, capacity});
+  }
+  Instance instance(std::move(workers), std::move(tasks), std::move(coop),
+                    0.0, min_group);
+  instance.ComputeValidPairs();
+  return instance;
+}
+
+// --- Naive re-implementations --------------------------------------------
+
+/// Equation 2, straight from the paper's formula.
+double NaiveQ(const CooperationMatrix& coop,
+              const std::vector<WorkerIndex>& group, int capacity,
+              int min_group) {
+  const int size = static_cast<int>(group.size());
+  if (size < min_group) return 0.0;
+  if (size <= capacity) {
+    double sum = 0.0;
+    for (const WorkerIndex i : group) {
+      for (const WorkerIndex k : group) {
+        if (i != k) sum += coop.Quality(i, k);
+      }
+    }
+    return sum / (std::min(size, capacity) - 1);
+  }
+  // Over capacity: best a_j-subset by exhaustive bitmask enumeration.
+  double best = 0.0;
+  const int n = size;
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    if (__builtin_popcount(static_cast<unsigned>(mask)) != capacity) {
+      continue;
+    }
+    std::vector<WorkerIndex> subset;
+    for (int b = 0; b < n; ++b) {
+      if (mask & (1 << b)) subset.push_back(group[static_cast<size_t>(b)]);
+    }
+    double sum = 0.0;
+    for (const WorkerIndex i : subset) {
+      for (const WorkerIndex k : subset) {
+        if (i != k) sum += coop.Quality(i, k);
+      }
+    }
+    best = std::max(best, sum / (capacity - 1));
+  }
+  return best;
+}
+
+class EquationFidelityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EquationFidelityTest, Equation2MatchesNaive) {
+  const int m = 10;
+  const CooperationMatrix coop = RandomMatrix(m, GetParam(), false);
+  const Instance instance = AllValidInstance(m, 1, 4, 3, coop);
+  Rng rng(GetParam() ^ 0xE2);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int size = static_cast<int>(rng.UniformInt(int64_t{0}, int64_t{7}));
+    std::vector<WorkerIndex> pool(m);
+    for (int i = 0; i < m; ++i) pool[static_cast<size_t>(i)] = i;
+    rng.Shuffle(pool);
+    pool.resize(static_cast<size_t>(size));
+    EXPECT_NEAR(GroupScore(instance, 0, pool),
+                NaiveQ(instance.coop(), pool, 4, 3), 1e-9)
+        << "group size " << size;
+  }
+}
+
+TEST_P(EquationFidelityTest, Equation4MatchesScoreDifference) {
+  const int m = 9;
+  const CooperationMatrix coop = RandomMatrix(m, GetParam() ^ 0xE4, false);
+  const Instance instance = AllValidInstance(m, 1, 5, 2, coop);
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    const int size = static_cast<int>(rng.UniformInt(int64_t{1}, int64_t{5}));
+    std::vector<WorkerIndex> pool(m);
+    for (int i = 0; i < m; ++i) pool[static_cast<size_t>(i)] = i;
+    rng.Shuffle(pool);
+    std::vector<WorkerIndex> group(pool.begin(), pool.begin() + size);
+    const WorkerIndex w = group.back();
+    std::vector<WorkerIndex> without(group.begin(), group.end() - 1);
+    EXPECT_NEAR(MarginalOfMember(instance, 0, group, w),
+                NaiveQ(instance.coop(), group, 5, 2) -
+                    NaiveQ(instance.coop(), without, 5, 2),
+                1e-9);
+  }
+}
+
+TEST_P(EquationFidelityTest, Equation5UtilityMatchesNaiveQDifference) {
+  const int m = 8;
+  const CooperationMatrix coop = RandomMatrix(m, GetParam() ^ 0xE5, true);
+  const Instance instance = AllValidInstance(m, 2, 3, 2, coop);
+  Rng rng(GetParam());
+  Assignment assignment(instance);
+  // Random partial assignment within capacity.
+  for (WorkerIndex w = 0; w < m; ++w) {
+    const TaskIndex t =
+        static_cast<TaskIndex>(rng.UniformInt(int64_t{0}, int64_t{2}));
+    if (t < 2 && assignment.GroupSize(t) < 3) assignment.Assign(w, t);
+  }
+  for (WorkerIndex w = 0; w < m; ++w) {
+    for (TaskIndex t = 0; t < 2; ++t) {
+      // Build W_t = others + w naively.
+      std::vector<WorkerIndex> others;
+      for (const WorkerIndex member : assignment.GroupOf(t)) {
+        if (member != w) others.push_back(member);
+      }
+      std::vector<WorkerIndex> with = others;
+      with.push_back(w);
+      const double expected = NaiveQ(instance.coop(), with, 3, 2) -
+                              NaiveQ(instance.coop(), others, 3, 2);
+      EXPECT_NEAR(StrategyUtility(instance, assignment, w, t, nullptr),
+                  expected, 1e-9)
+          << "worker " << w << " task " << t;
+    }
+  }
+}
+
+TEST_P(EquationFidelityTest, Equation8And9MatchNaiveEnumeration) {
+  const int m = 9;
+  const int min_group = 3;
+  const CooperationMatrix coop = RandomMatrix(m, GetParam() ^ 0xE8, true);
+  const Instance instance = AllValidInstance(m, 2, 4, min_group, coop);
+
+  // Naive q̂_{i,B}: sort all outgoing qualities, take top B-1 mean.
+  std::vector<double> naive_ceilings(static_cast<size_t>(m));
+  for (WorkerIndex w = 0; w < m; ++w) {
+    std::vector<double> qs;
+    for (WorkerIndex k = 0; k < m; ++k) {
+      if (k != w) qs.push_back(instance.coop().Quality(w, k));
+    }
+    std::sort(qs.rbegin(), qs.rend());
+    double sum = 0.0;
+    for (int i = 0; i < min_group - 1; ++i) sum += qs[static_cast<size_t>(i)];
+    naive_ceilings[static_cast<size_t>(w)] = sum / (min_group - 1);
+    EXPECT_NEAR(WorkerQualityUpperBound(instance, w),
+                naive_ceilings[static_cast<size_t>(w)], 1e-12);
+  }
+
+  // Naive Equation 8 for task 0 (all workers are candidates): top-4 sum.
+  std::vector<double> sorted = naive_ceilings;
+  std::sort(sorted.rbegin(), sorted.rend());
+  const double naive_task_bound =
+      sorted[0] + sorted[1] + sorted[2] + sorted[3];
+  EXPECT_NEAR(TaskUpperBound(instance, 0, naive_ceilings),
+              naive_task_bound, 1e-12);
+
+  // Naive Equation 9.
+  double worker_side = 0.0;
+  for (const double c : naive_ceilings) worker_side += c;
+  EXPECT_NEAR(ComputeUpperBound(instance),
+              std::min(2 * naive_task_bound, worker_side), 1e-12);
+}
+
+TEST_P(EquationFidelityTest, TotalScoreIsSumOfMemberAverages) {
+  // The identity behind Lemma V.2's use in bounds and pruning:
+  // Q(W) = sum over members of RowSum(i, W) / (|W| - 1).
+  const int m = 10;
+  const CooperationMatrix coop = RandomMatrix(m, GetParam() ^ 0x7A, false);
+  const Instance instance = AllValidInstance(m, 1, 6, 2, coop);
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 30; ++trial) {
+    const int size = static_cast<int>(rng.UniformInt(int64_t{2}, int64_t{6}));
+    std::vector<WorkerIndex> pool(m);
+    for (int i = 0; i < m; ++i) pool[static_cast<size_t>(i)] = i;
+    rng.Shuffle(pool);
+    pool.resize(static_cast<size_t>(size));
+    double member_sum = 0.0;
+    for (const WorkerIndex i : pool) {
+      member_sum += instance.coop().RowSum(i, pool) / (size - 1);
+    }
+    EXPECT_NEAR(GroupScore(instance, 0, pool), member_sum, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EquationFidelityTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u));
+
+}  // namespace
+}  // namespace casc

@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/dinic.h"
+#include "graph/flow_network.h"
+#include "graph/ford_fulkerson.h"
+
+namespace casc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FlowNetwork
+// ---------------------------------------------------------------------------
+
+TEST(FlowNetworkTest, EdgeBookkeeping) {
+  FlowNetwork network(3);
+  const int e0 = network.AddEdge(0, 1, 5);
+  const int e1 = network.AddEdge(1, 2, 3);
+  EXPECT_EQ(network.num_vertices(), 3);
+  EXPECT_EQ(network.num_edges(), 2);
+  EXPECT_EQ(network.Capacity(e0), 5);
+  EXPECT_EQ(network.Capacity(e1), 3);
+  EXPECT_EQ(network.Flow(e0), 0);
+}
+
+TEST(FlowNetworkTest, FlowReadsAfterMaxFlow) {
+  FlowNetwork network(2);
+  const int e = network.AddEdge(0, 1, 7);
+  EXPECT_EQ(DinicMaxFlow(&network, 0, 1), 7);
+  EXPECT_EQ(network.Flow(e), 7);
+}
+
+TEST(FlowNetworkTest, ResetFlowRestoresCapacity) {
+  FlowNetwork network(2);
+  const int e = network.AddEdge(0, 1, 7);
+  DinicMaxFlow(&network, 0, 1);
+  network.ResetFlow();
+  EXPECT_EQ(network.Flow(e), 0);
+  EXPECT_EQ(DinicMaxFlow(&network, 0, 1), 7);
+}
+
+// ---------------------------------------------------------------------------
+// Known max-flow answers
+// ---------------------------------------------------------------------------
+
+TEST(DinicTest, DisconnectedGraphHasZeroFlow) {
+  FlowNetwork network(4);
+  network.AddEdge(0, 1, 10);
+  network.AddEdge(2, 3, 10);
+  EXPECT_EQ(DinicMaxFlow(&network, 0, 3), 0);
+}
+
+TEST(DinicTest, SeriesBottleneck) {
+  FlowNetwork network(4);
+  network.AddEdge(0, 1, 10);
+  network.AddEdge(1, 2, 2);
+  network.AddEdge(2, 3, 10);
+  EXPECT_EQ(DinicMaxFlow(&network, 0, 3), 2);
+}
+
+TEST(DinicTest, ParallelPathsAdd) {
+  FlowNetwork network(4);
+  network.AddEdge(0, 1, 3);
+  network.AddEdge(1, 3, 3);
+  network.AddEdge(0, 2, 4);
+  network.AddEdge(2, 3, 4);
+  EXPECT_EQ(DinicMaxFlow(&network, 0, 3), 7);
+}
+
+TEST(DinicTest, ClassicClrsExample) {
+  // CLRS figure 26.6 network; max flow 23.
+  FlowNetwork network(6);
+  network.AddEdge(0, 1, 16);
+  network.AddEdge(0, 2, 13);
+  network.AddEdge(1, 2, 10);
+  network.AddEdge(2, 1, 4);
+  network.AddEdge(1, 3, 12);
+  network.AddEdge(3, 2, 9);
+  network.AddEdge(2, 4, 14);
+  network.AddEdge(4, 3, 7);
+  network.AddEdge(3, 5, 20);
+  network.AddEdge(4, 5, 4);
+  EXPECT_EQ(DinicMaxFlow(&network, 0, 5), 23);
+}
+
+TEST(DinicTest, RequiresAugmentingThroughResidualEdge) {
+  // The classic "cross" network where a greedy path must be undone via
+  // the residual edge.
+  FlowNetwork network(4);
+  network.AddEdge(0, 1, 1);
+  network.AddEdge(0, 2, 1);
+  network.AddEdge(1, 2, 1);
+  network.AddEdge(1, 3, 1);
+  network.AddEdge(2, 3, 1);
+  EXPECT_EQ(DinicMaxFlow(&network, 0, 3), 2);
+}
+
+TEST(DinicTest, BipartiteMatchingShape) {
+  // 3 workers, 2 tasks with capacity 2 each: max assignment = 3.
+  // Layout: 0 source, 1-3 workers, 4-5 tasks, 6 sink.
+  FlowNetwork network(7);
+  for (int w = 1; w <= 3; ++w) network.AddEdge(0, w, 1);
+  network.AddEdge(1, 4, 1);
+  network.AddEdge(2, 4, 1);
+  network.AddEdge(2, 5, 1);
+  network.AddEdge(3, 5, 1);
+  network.AddEdge(4, 6, 2);
+  network.AddEdge(5, 6, 2);
+  EXPECT_EQ(DinicMaxFlow(&network, 0, 6), 3);
+}
+
+TEST(FordFulkersonTest, MatchesKnownAnswer) {
+  FlowNetwork network(4);
+  network.AddEdge(0, 1, 10);
+  network.AddEdge(1, 2, 2);
+  network.AddEdge(1, 3, 4);
+  network.AddEdge(2, 3, 10);
+  EXPECT_EQ(FordFulkersonMaxFlow(&network, 0, 3), 6);
+}
+
+// ---------------------------------------------------------------------------
+// Flow conservation and feasibility after Dinic
+// ---------------------------------------------------------------------------
+
+TEST(DinicTest, FlowConservationHolds) {
+  Rng rng(5);
+  FlowNetwork network(10);
+  std::vector<int> edge_from;
+  std::vector<int> edges;
+  for (int i = 0; i < 40; ++i) {
+    const int from = static_cast<int>(rng.UniformInt(uint64_t{10}));
+    const int to = static_cast<int>(rng.UniformInt(uint64_t{10}));
+    if (from == to) continue;
+    edges.push_back(network.AddEdge(from, to,
+                                    static_cast<int64_t>(
+                                        rng.UniformInt(uint64_t{9}) + 1)));
+    edge_from.push_back(from);
+  }
+  const int64_t total = DinicMaxFlow(&network, 0, 9);
+
+  std::vector<int64_t> net_out(10, 0);
+  for (size_t i = 0; i < edges.size(); ++i) {
+    const int64_t flow = network.Flow(edges[i]);
+    EXPECT_GE(flow, 0);
+    EXPECT_LE(flow, network.Capacity(edges[i]));
+    const int from = edge_from[i];
+    const int to = network.edges()[static_cast<size_t>(edges[i]) * 2].to;
+    net_out[static_cast<size_t>(from)] += flow;
+    net_out[static_cast<size_t>(to)] -= flow;
+  }
+  EXPECT_EQ(net_out[0], total);
+  EXPECT_EQ(net_out[9], -total);
+  for (int v = 1; v < 9; ++v) EXPECT_EQ(net_out[static_cast<size_t>(v)], 0);
+}
+
+// ---------------------------------------------------------------------------
+// Dinic vs Ford-Fulkerson on random graphs (property test)
+// ---------------------------------------------------------------------------
+
+struct GraphCase {
+  std::string name;
+  int vertices;
+  int edges;
+  int64_t max_capacity;
+  uint64_t seed;
+};
+
+class MaxFlowEquivalenceTest : public ::testing::TestWithParam<GraphCase> {};
+
+TEST_P(MaxFlowEquivalenceTest, SolversAgree) {
+  const GraphCase& param = GetParam();
+  Rng rng(param.seed);
+  for (int trial = 0; trial < 10; ++trial) {
+    FlowNetwork a(param.vertices);
+    FlowNetwork b(param.vertices);
+    for (int e = 0; e < param.edges; ++e) {
+      const int from =
+          static_cast<int>(rng.UniformInt(static_cast<uint64_t>(param.vertices)));
+      const int to =
+          static_cast<int>(rng.UniformInt(static_cast<uint64_t>(param.vertices)));
+      if (from == to) continue;
+      const int64_t capacity = static_cast<int64_t>(
+          rng.UniformInt(static_cast<uint64_t>(param.max_capacity)) + 1);
+      a.AddEdge(from, to, capacity);
+      b.AddEdge(from, to, capacity);
+    }
+    const int source = 0;
+    const int sink = param.vertices - 1;
+    EXPECT_EQ(DinicMaxFlow(&a, source, sink),
+              FordFulkersonMaxFlow(&b, source, sink));
+  }
+}
+
+TEST_P(MaxFlowEquivalenceTest, MaxFlowEqualsMinCut) {
+  // Strong duality check: after Dinic, the set S of vertices reachable
+  // from the source in the residual graph defines a cut whose original
+  // capacity equals the computed flow.
+  const GraphCase& param = GetParam();
+  Rng rng(param.seed ^ 0xC07);
+  for (int trial = 0; trial < 5; ++trial) {
+    FlowNetwork network(param.vertices);
+    struct EdgeRecord {
+      int from, to, index;
+    };
+    std::vector<EdgeRecord> records;
+    for (int e = 0; e < param.edges; ++e) {
+      const int from = static_cast<int>(
+          rng.UniformInt(static_cast<uint64_t>(param.vertices)));
+      const int to = static_cast<int>(
+          rng.UniformInt(static_cast<uint64_t>(param.vertices)));
+      if (from == to) continue;
+      const int64_t capacity = static_cast<int64_t>(
+          rng.UniformInt(static_cast<uint64_t>(param.max_capacity)) + 1);
+      records.push_back({from, to, network.AddEdge(from, to, capacity)});
+    }
+    const int source = 0;
+    const int sink = param.vertices - 1;
+    const int64_t flow = DinicMaxFlow(&network, source, sink);
+
+    // Residual reachability from the source.
+    std::vector<bool> reachable(static_cast<size_t>(param.vertices), false);
+    std::vector<int> stack = {source};
+    reachable[static_cast<size_t>(source)] = true;
+    while (!stack.empty()) {
+      const int v = stack.back();
+      stack.pop_back();
+      for (const int edge_index :
+           network.adjacency()[static_cast<size_t>(v)]) {
+        const auto& edge = network.edges()[static_cast<size_t>(edge_index)];
+        if (edge.capacity > 0 && !reachable[static_cast<size_t>(edge.to)]) {
+          reachable[static_cast<size_t>(edge.to)] = true;
+          stack.push_back(edge.to);
+        }
+      }
+    }
+    ASSERT_FALSE(reachable[static_cast<size_t>(sink)]);
+
+    int64_t cut_capacity = 0;
+    for (const EdgeRecord& record : records) {
+      if (reachable[static_cast<size_t>(record.from)] &&
+          !reachable[static_cast<size_t>(record.to)]) {
+        cut_capacity += network.Capacity(record.index);
+      }
+    }
+    EXPECT_EQ(cut_capacity, flow);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, MaxFlowEquivalenceTest,
+    ::testing::Values(GraphCase{"sparse_small", 6, 8, 5, 100},
+                      GraphCase{"dense_small", 6, 25, 5, 101},
+                      GraphCase{"unit_capacities", 12, 40, 1, 102},
+                      GraphCase{"medium", 20, 80, 10, 103},
+                      GraphCase{"large_capacities", 10, 30, 1000, 104}),
+    [](const ::testing::TestParamInfo<GraphCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace casc

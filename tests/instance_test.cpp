@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "gen/synthetic.h"
+#include "model/instance.h"
+
+namespace casc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Validity semantics (Definition 3)
+// ---------------------------------------------------------------------------
+
+TEST(InstanceTest, PairValidityRespectsRadius) {
+  std::vector<Worker> workers = {
+      Worker{0, {0.0, 0.0}, 1.0, 0.3, 0.0},   // fast but short radius
+      Worker{1, {0.0, 0.0}, 1.0, 0.9, 0.0}};  // long radius
+  std::vector<Task> tasks = {Task{0, {0.5, 0.0}, 0.0, 10.0, 2}};
+  Instance instance(std::move(workers), std::move(tasks),
+                    CooperationMatrix(2, 0.5), 0.0, 2);
+  EXPECT_FALSE(instance.IsValidPair(0, 0));  // 0.5 > 0.3
+  EXPECT_TRUE(instance.IsValidPair(1, 0));
+}
+
+TEST(InstanceTest, PairValidityRespectsDeadline) {
+  std::vector<Worker> workers = {
+      Worker{0, {0.0, 0.0}, 0.1, 1.0, 0.0},   // needs 5 time units
+      Worker{1, {0.0, 0.0}, 0.5, 1.0, 0.0}};  // needs 1 time unit
+  std::vector<Task> tasks = {Task{0, {0.5, 0.0}, 0.0, 2.0, 2}};
+  Instance instance(std::move(workers), std::move(tasks),
+                    CooperationMatrix(2, 0.5), 0.0, 2);
+  EXPECT_FALSE(instance.IsValidPair(0, 0));
+  EXPECT_TRUE(instance.IsValidPair(1, 0));
+}
+
+TEST(InstanceTest, PairValidityRespectsPresence) {
+  std::vector<Worker> workers = {
+      Worker{0, {0.5, 0.5}, 1.0, 1.0, 5.0}};  // arrives at t=5
+  std::vector<Task> tasks = {Task{0, {0.5, 0.5}, 0.0, 10.0, 2},
+                             Task{1, {0.5, 0.5}, 4.0, 10.0, 2}};
+  {
+    // Batch at t=1: the worker is not there yet.
+    Instance instance({workers[0]}, tasks, CooperationMatrix(1, 0.5), 1.0,
+                      2);
+    EXPECT_FALSE(instance.IsValidPair(0, 0));
+  }
+  {
+    // Batch at t=6: worker present, both tasks created.
+    Instance instance({workers[0]}, tasks, CooperationMatrix(1, 0.5), 6.0,
+                      2);
+    EXPECT_TRUE(instance.IsValidPair(0, 0));
+    EXPECT_TRUE(instance.IsValidPair(0, 1));
+  }
+}
+
+TEST(InstanceTest, FutureTaskNotValid) {
+  std::vector<Worker> workers = {Worker{0, {0.5, 0.5}, 1.0, 1.0, 0.0}};
+  std::vector<Task> tasks = {Task{0, {0.5, 0.5}, 3.0, 10.0, 2}};
+  Instance instance(std::move(workers), std::move(tasks),
+                    CooperationMatrix(1, 0.5), 1.0, 2);
+  EXPECT_FALSE(instance.IsValidPair(0, 0));
+}
+
+TEST(InstanceTest, DeadlineCountsFromNowNotCreation) {
+  // Worker needs 3 units; at now=0 the deadline (4) is reachable, at
+  // now=2 it no longer is.
+  std::vector<Worker> workers = {Worker{0, {0.0, 0.0}, 0.1, 1.0, 0.0}};
+  std::vector<Task> tasks = {Task{0, {0.3, 0.0}, 0.0, 4.0, 2}};
+  {
+    Instance instance(workers, tasks, CooperationMatrix(1, 0.5), 0.0, 2);
+    EXPECT_TRUE(instance.IsValidPair(0, 0));
+  }
+  {
+    Instance instance(workers, tasks, CooperationMatrix(1, 0.5), 2.0, 2);
+    EXPECT_FALSE(instance.IsValidPair(0, 0));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ComputeValidPairs vs brute force (property test)
+// ---------------------------------------------------------------------------
+
+struct ValidPairCase {
+  std::string name;
+  int workers;
+  int tasks;
+  uint64_t seed;
+};
+
+class ValidPairsTest : public ::testing::TestWithParam<ValidPairCase> {};
+
+TEST_P(ValidPairsTest, IndexMatchesBruteForce) {
+  const ValidPairCase& param = GetParam();
+  Rng rng(param.seed);
+  SyntheticInstanceConfig config;
+  config.num_workers = param.workers;
+  config.num_tasks = param.tasks;
+  config.min_group_size = 2;
+  config.task.capacity = 3;
+  Instance instance = GenerateSyntheticInstance(config, 0.0, &rng);
+
+  size_t total = 0;
+  for (WorkerIndex w = 0; w < instance.num_workers(); ++w) {
+    std::vector<TaskIndex> expected;
+    for (TaskIndex t = 0; t < instance.num_tasks(); ++t) {
+      if (instance.IsValidPair(w, t)) expected.push_back(t);
+    }
+    EXPECT_EQ(instance.ValidTasks(w), expected) << "worker " << w;
+    total += expected.size();
+  }
+  EXPECT_EQ(instance.NumValidPairs(), total);
+
+  // Candidates is the exact transpose of ValidTasks.
+  for (TaskIndex t = 0; t < instance.num_tasks(); ++t) {
+    std::vector<WorkerIndex> expected;
+    for (WorkerIndex w = 0; w < instance.num_workers(); ++w) {
+      if (instance.IsValidPair(w, t)) expected.push_back(w);
+    }
+    EXPECT_EQ(instance.Candidates(t), expected) << "task " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomInstances, ValidPairsTest,
+    ::testing::Values(ValidPairCase{"tiny", 5, 3, 1},
+                      ValidPairCase{"small", 30, 12, 2},
+                      ValidPairCase{"medium", 150, 60, 3},
+                      ValidPairCase{"wide", 50, 200, 4}),
+    [](const ::testing::TestParamInfo<ValidPairCase>& info) {
+      return info.param.name;
+    });
+
+TEST(InstanceTest, ComputeValidPairsIsIdempotent) {
+  Rng rng(9);
+  SyntheticInstanceConfig config;
+  config.num_workers = 20;
+  config.num_tasks = 10;
+  Instance instance = GenerateSyntheticInstance(config, 0.0, &rng);
+  const size_t first = instance.NumValidPairs();
+  instance.ComputeValidPairs();
+  EXPECT_EQ(instance.NumValidPairs(), first);
+}
+
+TEST(InstanceTest, AccessorsExposeInputs) {
+  std::vector<Worker> workers = {Worker{7, {0.1, 0.2}, 0.3, 0.4, 0.5}};
+  std::vector<Task> tasks = {Task{9, {0.6, 0.7}, 0.0, 2.0, 4}};
+  Instance instance(std::move(workers), std::move(tasks),
+                    CooperationMatrix(1, 0.5), 1.0, 3);
+  EXPECT_EQ(instance.num_workers(), 1);
+  EXPECT_EQ(instance.num_tasks(), 1);
+  EXPECT_DOUBLE_EQ(instance.now(), 1.0);
+  EXPECT_EQ(instance.min_group_size(), 3);
+  EXPECT_EQ(instance.workers()[0].id, 7);
+  EXPECT_EQ(instance.tasks()[0].id, 9);
+  EXPECT_FALSE(instance.valid_pairs_ready());
+}
+
+}  // namespace
+}  // namespace casc

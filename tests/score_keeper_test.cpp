@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "algo/tpg_assigner.h"
+#include "common/rng.h"
+#include "gen/synthetic.h"
+#include "model/objective.h"
+#include "model/score_keeper.h"
+
+namespace casc {
+namespace {
+
+Instance RandomInstance(int m, int n, uint64_t seed) {
+  Rng rng(seed);
+  SyntheticInstanceConfig config;
+  config.num_workers = m;
+  config.num_tasks = n;
+  config.worker.radius_min = 0.2;
+  config.worker.radius_max = 0.4;
+  config.worker.speed_min = 0.05;
+  config.worker.speed_max = 0.15;
+  return GenerateSyntheticInstance(config, 0.0, &rng);
+}
+
+TEST(ScoreKeeperTest, EmptyKeeperScoresZero) {
+  const Instance instance = RandomInstance(10, 4, 1);
+  const ScoreKeeper keeper(instance);
+  EXPECT_DOUBLE_EQ(keeper.TotalScore(), 0.0);
+  for (TaskIndex t = 0; t < instance.num_tasks(); ++t) {
+    EXPECT_DOUBLE_EQ(keeper.TaskScore(t), 0.0);
+    EXPECT_TRUE(keeper.GroupOf(t).empty());
+  }
+}
+
+TEST(ScoreKeeperTest, AddRemoveMatchesGroupScore) {
+  const Instance instance = RandomInstance(12, 3, 2);
+  ScoreKeeper keeper(instance);
+  keeper.Add(0, 0);
+  keeper.Add(1, 0);
+  keeper.Add(2, 0);
+  EXPECT_NEAR(keeper.TaskScore(0), GroupScore(instance, 0, {0, 1, 2}),
+              1e-12);
+  keeper.Remove(1, 0);
+  EXPECT_NEAR(keeper.TaskScore(0), GroupScore(instance, 0, {0, 2}), 1e-12);
+  EXPECT_NEAR(keeper.TotalScore(), keeper.TaskScore(0), 1e-12);
+}
+
+TEST(ScoreKeeperTest, SyncMatchesTotalScore) {
+  const Instance instance = RandomInstance(60, 20, 3);
+  TpgAssigner tpg;
+  const Assignment assignment = tpg.Run(instance);
+  ScoreKeeper keeper(instance);
+  keeper.Sync(assignment);
+  EXPECT_NEAR(keeper.TotalScore(), TotalScore(instance, assignment), 1e-9);
+  for (TaskIndex t = 0; t < instance.num_tasks(); ++t) {
+    EXPECT_NEAR(keeper.TaskScore(t),
+                GroupScore(instance, t, assignment.GroupOf(t)), 1e-9);
+  }
+}
+
+TEST(ScoreKeeperTest, WhatIfQueriesDoNotMutate) {
+  const Instance instance = RandomInstance(12, 3, 4);
+  ScoreKeeper keeper(instance);
+  keeper.Add(0, 0);
+  keeper.Add(1, 0);
+  const double before = keeper.TotalScore();
+
+  const double if_added = keeper.ScoreIfAdded(2, 0);
+  EXPECT_DOUBLE_EQ(keeper.TotalScore(), before);
+  keeper.Add(2, 0);
+  EXPECT_NEAR(keeper.TotalScore(), if_added, 1e-12);
+
+  const double if_removed = keeper.ScoreIfRemoved(1, 0);
+  keeper.Remove(1, 0);
+  EXPECT_NEAR(keeper.TotalScore(), if_removed, 1e-12);
+}
+
+class ScoreKeeperFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ScoreKeeperFuzzTest, RandomMutationSequencesTrackRecompute) {
+  const Instance instance = RandomInstance(30, 10, GetParam());
+  ScoreKeeper keeper(instance);
+  Assignment mirror(instance);
+  Rng rng(GetParam() ^ 0x5C0);
+
+  for (int step = 0; step < 400; ++step) {
+    const WorkerIndex w = static_cast<WorkerIndex>(
+        rng.UniformInt(static_cast<uint64_t>(instance.num_workers())));
+    const TaskIndex current = mirror.TaskOf(w);
+    if (current != kNoTask) {
+      keeper.Remove(w, current);
+      mirror.Unassign(w);
+      continue;
+    }
+    // Join a random task with spare capacity (validity is irrelevant to
+    // the arithmetic being tested).
+    const TaskIndex t = static_cast<TaskIndex>(
+        rng.UniformInt(static_cast<uint64_t>(instance.num_tasks())));
+    if (mirror.GroupSize(t) >=
+        instance.tasks()[static_cast<size_t>(t)].capacity) {
+      continue;
+    }
+    keeper.Add(w, t);
+    mirror.Assign(w, t);
+  }
+  EXPECT_NEAR(keeper.TotalScore(), TotalScore(instance, mirror), 1e-9);
+  for (TaskIndex t = 0; t < instance.num_tasks(); ++t) {
+    EXPECT_NEAR(keeper.TaskScore(t),
+                GroupScore(instance, t, mirror.GroupOf(t)), 1e-9)
+        << "task " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScoreKeeperFuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+}  // namespace
+}  // namespace casc

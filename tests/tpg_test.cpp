@@ -1,0 +1,296 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "algo/random_assigner.h"
+#include "algo/tpg_assigner.h"
+#include "common/rng.h"
+#include "gen/synthetic.h"
+#include "model/objective.h"
+
+namespace casc {
+namespace {
+
+Instance AllValidInstance(int num_workers, int num_tasks, int capacity,
+                          int min_group, CooperationMatrix coop) {
+  std::vector<Worker> workers;
+  for (int i = 0; i < num_workers; ++i) {
+    workers.push_back(Worker{i, {0.5, 0.5}, 1.0, 1.0, 0.0});
+  }
+  std::vector<Task> tasks;
+  for (int j = 0; j < num_tasks; ++j) {
+    tasks.push_back(Task{j, {0.5, 0.5}, 0.0, 10.0, capacity});
+  }
+  Instance instance(std::move(workers), std::move(tasks), std::move(coop),
+                    0.0, min_group);
+  instance.ComputeValidPairs();
+  return instance;
+}
+
+// ---------------------------------------------------------------------------
+// GreedySeedSet
+// ---------------------------------------------------------------------------
+
+TEST(GreedySeedSetTest, ReturnsEmptyWhenTooFewCandidates) {
+  const Instance instance =
+      AllValidInstance(2, 1, 3, 3, CooperationMatrix(2, 0.5));
+  const std::vector<bool> available(2, true);
+  EXPECT_TRUE(TpgAssigner::GreedySeedSet(instance, 0, available).empty());
+}
+
+TEST(GreedySeedSetTest, PicksBestPairForBTwo) {
+  CooperationMatrix coop(4);
+  coop.SetSymmetric(0, 1, 0.2);
+  coop.SetSymmetric(2, 3, 0.9);
+  const Instance instance = AllValidInstance(4, 1, 2, 2, std::move(coop));
+  const std::vector<bool> available(4, true);
+  const auto seed = TpgAssigner::GreedySeedSet(instance, 0, available);
+  EXPECT_EQ(seed, (std::vector<WorkerIndex>{2, 3}));
+}
+
+TEST(GreedySeedSetTest, RespectsAvailabilityMask) {
+  CooperationMatrix coop(4);
+  coop.SetSymmetric(0, 1, 0.2);
+  coop.SetSymmetric(2, 3, 0.9);
+  const Instance instance = AllValidInstance(4, 1, 2, 2, std::move(coop));
+  std::vector<bool> available(4, true);
+  available[2] = false;  // the great pair is gone
+  const auto seed = TpgAssigner::GreedySeedSet(instance, 0, available);
+  ASSERT_EQ(seed.size(), 2u);
+  EXPECT_TRUE(std::find(seed.begin(), seed.end(), 2) == seed.end());
+}
+
+TEST(GreedySeedSetTest, ExtendsPairGreedily) {
+  CooperationMatrix coop(5);
+  coop.SetSymmetric(0, 1, 1.0);   // seed pair
+  coop.SetSymmetric(0, 2, 0.8);   // 2 adds 0.8 + 0.1
+  coop.SetSymmetric(1, 2, 0.1);
+  coop.SetSymmetric(0, 3, 0.4);   // 3 adds 0.4 + 0.4
+  coop.SetSymmetric(1, 3, 0.4);
+  const Instance instance = AllValidInstance(5, 1, 3, 3, std::move(coop));
+  const std::vector<bool> available(5, true);
+  const auto seed = TpgAssigner::GreedySeedSet(instance, 0, available);
+  EXPECT_EQ(seed, (std::vector<WorkerIndex>{0, 1, 2}));
+}
+
+// ---------------------------------------------------------------------------
+// Full algorithm behaviour
+// ---------------------------------------------------------------------------
+
+TEST(TpgTest, SolvesPaperExampleOne) {
+  // Example 1: two tasks, four workers, B = 2. With every pair valid, TPG
+  // must find the good assignment {w1,w4} / {w2,w3}.
+  CooperationMatrix coop(4);
+  coop.SetSymmetric(0, 3, 0.9);
+  coop.SetSymmetric(1, 2, 0.9);
+  coop.SetSymmetric(0, 1, 0.1);
+  coop.SetSymmetric(2, 3, 0.1);
+  const Instance instance = AllValidInstance(4, 2, 2, 2, std::move(coop));
+  TpgAssigner tpg;
+  const Assignment assignment = tpg.Run(instance);
+  EXPECT_TRUE(assignment.Validate(instance).ok());
+  EXPECT_NEAR(TotalScore(instance, assignment), 3.6, 1e-9);
+  // w1 with w4, w2 with w3.
+  EXPECT_EQ(assignment.TaskOf(0), assignment.TaskOf(3));
+  EXPECT_EQ(assignment.TaskOf(1), assignment.TaskOf(2));
+}
+
+TEST(TpgTest, EmptyInstanceYieldsEmptyAssignment) {
+  const Instance instance =
+      AllValidInstance(0, 0, 3, 3, CooperationMatrix(0));
+  TpgAssigner tpg;
+  const Assignment assignment = tpg.Run(instance);
+  EXPECT_EQ(assignment.NumAssigned(), 0);
+}
+
+TEST(TpgTest, NoTasksMeansNoAssignments) {
+  const Instance instance =
+      AllValidInstance(5, 0, 3, 3, CooperationMatrix(5, 0.5));
+  TpgAssigner tpg;
+  EXPECT_EQ(tpg.Run(instance).NumAssigned(), 0);
+}
+
+TEST(TpgTest, TooFewWorkersLeavesTasksUnserved) {
+  const Instance instance =
+      AllValidInstance(2, 3, 3, 3, CooperationMatrix(2, 0.5));
+  TpgAssigner tpg;
+  const Assignment assignment = tpg.Run(instance);
+  EXPECT_EQ(assignment.NumAssigned(), 0);
+  EXPECT_DOUBLE_EQ(TotalScore(instance, assignment), 0.0);
+}
+
+TEST(TpgTest, StageOneSeedsEveryServableTask) {
+  // 9 workers, 3 tasks, B = 3: all tasks can and should be seeded.
+  const Instance instance =
+      AllValidInstance(9, 3, 3, 3, CooperationMatrix(9, 0.5));
+  TpgAssigner tpg;
+  const Assignment assignment = tpg.Run(instance);
+  for (TaskIndex t = 0; t < 3; ++t) {
+    EXPECT_EQ(assignment.GroupSize(t), 3) << "task " << t;
+  }
+}
+
+TEST(TpgTest, StageTwoFillsTowardCapacityWhenProfitable) {
+  // Constant q = 0.5: every extra worker adds 0.5 to a group's score, so
+  // TPG should fill the single task to capacity.
+  const Instance instance =
+      AllValidInstance(6, 1, 5, 3, CooperationMatrix(6, 0.5));
+  TpgAssigner tpg;
+  const Assignment assignment = tpg.Run(instance);
+  EXPECT_EQ(assignment.GroupSize(0), 5);
+}
+
+TEST(TpgTest, StageTwoSkipsHarmfulAdditions) {
+  // Three compatible workers; the fourth ruins the average.
+  CooperationMatrix coop(4);
+  coop.SetSymmetric(0, 1, 1.0);
+  coop.SetSymmetric(0, 2, 1.0);
+  coop.SetSymmetric(1, 2, 1.0);
+  const Instance instance = AllValidInstance(4, 1, 4, 3, std::move(coop));
+  TpgAssigner tpg;
+  const Assignment assignment = tpg.Run(instance);
+  EXPECT_EQ(assignment.GroupSize(0), 3);
+  EXPECT_EQ(assignment.TaskOf(3), kNoTask);
+}
+
+TEST(TpgTest, AllowZeroGainTopsUpSubThresholdGroups) {
+  // 2 workers per task but B = 3 via one shared task: with zero-gain
+  // moves allowed, idle workers still get parked on tasks.
+  const Instance instance =
+      AllValidInstance(2, 1, 3, 3, CooperationMatrix(2, 0.5));
+  TpgOptions options;
+  options.allow_zero_gain = true;
+  TpgAssigner tpg(options);
+  const Assignment assignment = tpg.Run(instance);
+  // Stage 1 cannot seed (needs 3), but stage 2 may park both workers.
+  EXPECT_EQ(assignment.NumAssigned(), 2);
+}
+
+TEST(TpgTest, CompetitionTieBreaksTowardMorePotentialWorkers) {
+  // Both tasks want the same best pair {0,1}; task 1 has an extra
+  // candidate (worker 4 is valid only for it), so the pair must go to
+  // task 1 per Algorithm 2 lines 6-9.
+  std::vector<Worker> workers;
+  for (int i = 0; i < 4; ++i) {
+    workers.push_back(Worker{i, {0.5, 0.5}, 1.0, 1.0, 0.0});
+  }
+  // Worker 4 sits close to task 1 only.
+  workers.push_back(Worker{4, {0.9, 0.9}, 1.0, 0.05, 0.0});
+  std::vector<Task> tasks = {Task{0, {0.5, 0.5}, 0.0, 10.0, 3},
+                             Task{1, {0.9, 0.9}, 0.0, 10.0, 3}};
+  CooperationMatrix coop(5);
+  coop.SetSymmetric(0, 1, 1.0);  // the contested best pair
+  // Workers 0..3 can reach everything.
+  Instance instance(std::move(workers), std::move(tasks), std::move(coop),
+                    0.0, 2);
+  instance.ComputeValidPairs();
+  ASSERT_EQ(instance.Candidates(0).size(), 4u);
+  ASSERT_EQ(instance.Candidates(1).size(), 5u);
+  TpgAssigner tpg;
+  const Assignment assignment = tpg.Run(instance);
+  EXPECT_EQ(assignment.TaskOf(0), 1);
+  EXPECT_EQ(assignment.TaskOf(1), 1);
+}
+
+TEST(TpgTest, SkipStageOneChangesNameAndStillFeasible) {
+  Rng rng(44);
+  SyntheticInstanceConfig config;
+  config.num_workers = 80;
+  config.num_tasks = 25;
+  config.worker.radius_min = 0.2;
+  config.worker.radius_max = 0.4;
+  const Instance instance = GenerateSyntheticInstance(config, 0.0, &rng);
+  TpgOptions options;
+  options.skip_stage_one = true;
+  TpgAssigner no_seed(options);
+  EXPECT_EQ(no_seed.Name(), "TPG-S1");
+  const Assignment assignment = no_seed.Run(instance);
+  EXPECT_TRUE(assignment.Validate(instance).ok());
+  // Zero-gain parking is implied, so teams still form.
+  EXPECT_GT(assignment.NumAssigned(), 0);
+}
+
+TEST(TpgTest, StageOneSeedingHelpsOrTies) {
+  // The task-priority seeding is the heart of the algorithm; across a
+  // few instances the full TPG should on aggregate beat the stage-2-only
+  // variant.
+  double with_total = 0.0, without_total = 0.0;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed * 1000);
+    SyntheticInstanceConfig config;
+    config.num_workers = 90;
+    config.num_tasks = 30;
+    config.worker.radius_min = 0.2;
+    config.worker.radius_max = 0.4;
+    const Instance instance = GenerateSyntheticInstance(config, 0.0, &rng);
+    TpgAssigner full;
+    TpgOptions options;
+    options.skip_stage_one = true;
+    TpgAssigner stage_two_only(options);
+    with_total += TotalScore(instance, full.Run(instance));
+    without_total += TotalScore(instance, stage_two_only.Run(instance));
+  }
+  EXPECT_GE(with_total, without_total * 0.95);
+}
+
+TEST(TpgTest, StatsArePopulated) {
+  Rng rng(3);
+  SyntheticInstanceConfig config;
+  config.num_workers = 60;
+  config.num_tasks = 20;
+  const Instance instance = GenerateSyntheticInstance(config, 0.0, &rng);
+  TpgAssigner tpg;
+  const Assignment assignment = tpg.Run(instance);
+  EXPECT_NEAR(tpg.stats().final_score, TotalScore(instance, assignment),
+              1e-9);
+  EXPECT_LE(tpg.stats().init_score, tpg.stats().final_score + 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Properties on random instances
+// ---------------------------------------------------------------------------
+
+class TpgPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TpgPropertyTest, FeasibleAndBeatsRandom) {
+  Rng rng(GetParam());
+  SyntheticInstanceConfig config;
+  config.num_workers = 120;
+  config.num_tasks = 40;
+  const Instance instance = GenerateSyntheticInstance(config, 0.0, &rng);
+
+  TpgAssigner tpg;
+  const Assignment assignment = tpg.Run(instance);
+  ASSERT_TRUE(assignment.Validate(instance).ok());
+
+  // RAND is the sanity floor: average over a few seeds to damp luck.
+  double random_average = 0.0;
+  for (uint64_t s = 0; s < 5; ++s) {
+    RandomAssigner rand(GetParam() * 97 + s);
+    random_average += TotalScore(instance, rand.Run(instance));
+  }
+  random_average /= 5;
+  EXPECT_GE(TotalScore(instance, assignment), random_average);
+}
+
+TEST_P(TpgPropertyTest, NeverExceedsCapacityAnywhere) {
+  Rng rng(GetParam() ^ 0xF00D);
+  SyntheticInstanceConfig config;
+  config.num_workers = 80;
+  config.num_tasks = 30;
+  config.task.capacity = 3;
+  const Instance instance = GenerateSyntheticInstance(config, 0.0, &rng);
+  TpgAssigner tpg;
+  const Assignment assignment = tpg.Run(instance);
+  for (TaskIndex t = 0; t < instance.num_tasks(); ++t) {
+    EXPECT_LE(assignment.GroupSize(t), 3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TpgPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace casc
