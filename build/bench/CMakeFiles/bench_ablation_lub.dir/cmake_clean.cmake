@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lub.dir/bench_ablation_lub.cpp.o"
+  "CMakeFiles/bench_ablation_lub.dir/bench_ablation_lub.cpp.o.d"
+  "bench_ablation_lub"
+  "bench_ablation_lub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

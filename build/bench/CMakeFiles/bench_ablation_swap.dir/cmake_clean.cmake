@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_swap.dir/bench_ablation_swap.cpp.o"
+  "CMakeFiles/bench_ablation_swap.dir/bench_ablation_swap.cpp.o.d"
+  "bench_ablation_swap"
+  "bench_ablation_swap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_upper.dir/bench_ablation_upper.cpp.o"
+  "CMakeFiles/bench_ablation_upper.dir/bench_ablation_upper.cpp.o.d"
+  "bench_ablation_upper"
+  "bench_ablation_upper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_upper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_workers.dir/bench_fig7_workers.cpp.o"
+  "CMakeFiles/bench_fig7_workers.dir/bench_fig7_workers.cpp.o.d"
+  "bench_fig7_workers"
+  "bench_fig7_workers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_workers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

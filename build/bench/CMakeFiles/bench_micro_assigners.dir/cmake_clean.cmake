@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_assigners.dir/bench_micro_assigners.cpp.o"
+  "CMakeFiles/bench_micro_assigners.dir/bench_micro_assigners.cpp.o.d"
+  "bench_micro_assigners"
+  "bench_micro_assigners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_assigners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_objective.cpp" "bench/CMakeFiles/bench_micro_objective.dir/bench_micro_objective.cpp.o" "gcc" "bench/CMakeFiles/bench_micro_objective.dir/bench_micro_objective.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/casc_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/casc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/casc_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/casc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/casc_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/casc_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/casc_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/casc_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/casc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_objective.dir/bench_micro_objective.cpp.o"
+  "CMakeFiles/bench_micro_objective.dir/bench_micro_objective.cpp.o.d"
+  "bench_micro_objective"
+  "bench_micro_objective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_objective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wedding_catering.dir/wedding_catering.cpp.o"
+  "CMakeFiles/wedding_catering.dir/wedding_catering.cpp.o.d"
+  "wedding_catering"
+  "wedding_catering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wedding_catering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for wedding_catering.
+# This may be replaced when dependencies are built.

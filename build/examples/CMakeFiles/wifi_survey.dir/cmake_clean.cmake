@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wifi_survey.dir/wifi_survey.cpp.o"
+  "CMakeFiles/wifi_survey.dir/wifi_survey.cpp.o.d"
+  "wifi_survey"
+  "wifi_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wifi_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

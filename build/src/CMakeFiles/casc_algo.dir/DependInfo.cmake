@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/assigner.cpp" "src/CMakeFiles/casc_algo.dir/algo/assigner.cpp.o" "gcc" "src/CMakeFiles/casc_algo.dir/algo/assigner.cpp.o.d"
+  "/root/repo/src/algo/best_response.cpp" "src/CMakeFiles/casc_algo.dir/algo/best_response.cpp.o" "gcc" "src/CMakeFiles/casc_algo.dir/algo/best_response.cpp.o.d"
+  "/root/repo/src/algo/exact_assigner.cpp" "src/CMakeFiles/casc_algo.dir/algo/exact_assigner.cpp.o" "gcc" "src/CMakeFiles/casc_algo.dir/algo/exact_assigner.cpp.o.d"
+  "/root/repo/src/algo/gt_assigner.cpp" "src/CMakeFiles/casc_algo.dir/algo/gt_assigner.cpp.o" "gcc" "src/CMakeFiles/casc_algo.dir/algo/gt_assigner.cpp.o.d"
+  "/root/repo/src/algo/local_search.cpp" "src/CMakeFiles/casc_algo.dir/algo/local_search.cpp.o" "gcc" "src/CMakeFiles/casc_algo.dir/algo/local_search.cpp.o.d"
+  "/root/repo/src/algo/maxflow_assigner.cpp" "src/CMakeFiles/casc_algo.dir/algo/maxflow_assigner.cpp.o" "gcc" "src/CMakeFiles/casc_algo.dir/algo/maxflow_assigner.cpp.o.d"
+  "/root/repo/src/algo/online_assigner.cpp" "src/CMakeFiles/casc_algo.dir/algo/online_assigner.cpp.o" "gcc" "src/CMakeFiles/casc_algo.dir/algo/online_assigner.cpp.o.d"
+  "/root/repo/src/algo/random_assigner.cpp" "src/CMakeFiles/casc_algo.dir/algo/random_assigner.cpp.o" "gcc" "src/CMakeFiles/casc_algo.dir/algo/random_assigner.cpp.o.d"
+  "/root/repo/src/algo/tpg_assigner.cpp" "src/CMakeFiles/casc_algo.dir/algo/tpg_assigner.cpp.o" "gcc" "src/CMakeFiles/casc_algo.dir/algo/tpg_assigner.cpp.o.d"
+  "/root/repo/src/algo/upper_bound.cpp" "src/CMakeFiles/casc_algo.dir/algo/upper_bound.cpp.o" "gcc" "src/CMakeFiles/casc_algo.dir/algo/upper_bound.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/casc_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/casc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/casc_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/casc_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/casc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casc_algo.dir/algo/assigner.cpp.o"
+  "CMakeFiles/casc_algo.dir/algo/assigner.cpp.o.d"
+  "CMakeFiles/casc_algo.dir/algo/best_response.cpp.o"
+  "CMakeFiles/casc_algo.dir/algo/best_response.cpp.o.d"
+  "CMakeFiles/casc_algo.dir/algo/exact_assigner.cpp.o"
+  "CMakeFiles/casc_algo.dir/algo/exact_assigner.cpp.o.d"
+  "CMakeFiles/casc_algo.dir/algo/gt_assigner.cpp.o"
+  "CMakeFiles/casc_algo.dir/algo/gt_assigner.cpp.o.d"
+  "CMakeFiles/casc_algo.dir/algo/local_search.cpp.o"
+  "CMakeFiles/casc_algo.dir/algo/local_search.cpp.o.d"
+  "CMakeFiles/casc_algo.dir/algo/maxflow_assigner.cpp.o"
+  "CMakeFiles/casc_algo.dir/algo/maxflow_assigner.cpp.o.d"
+  "CMakeFiles/casc_algo.dir/algo/online_assigner.cpp.o"
+  "CMakeFiles/casc_algo.dir/algo/online_assigner.cpp.o.d"
+  "CMakeFiles/casc_algo.dir/algo/random_assigner.cpp.o"
+  "CMakeFiles/casc_algo.dir/algo/random_assigner.cpp.o.d"
+  "CMakeFiles/casc_algo.dir/algo/tpg_assigner.cpp.o"
+  "CMakeFiles/casc_algo.dir/algo/tpg_assigner.cpp.o.d"
+  "CMakeFiles/casc_algo.dir/algo/upper_bound.cpp.o"
+  "CMakeFiles/casc_algo.dir/algo/upper_bound.cpp.o.d"
+  "libcasc_algo.a"
+  "libcasc_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casc_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

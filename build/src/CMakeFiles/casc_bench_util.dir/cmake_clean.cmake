@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casc_bench_util.dir/bench_util/experiment.cpp.o"
+  "CMakeFiles/casc_bench_util.dir/bench_util/experiment.cpp.o.d"
+  "CMakeFiles/casc_bench_util.dir/bench_util/replication.cpp.o"
+  "CMakeFiles/casc_bench_util.dir/bench_util/replication.cpp.o.d"
+  "CMakeFiles/casc_bench_util.dir/bench_util/settings.cpp.o"
+  "CMakeFiles/casc_bench_util.dir/bench_util/settings.cpp.o.d"
+  "CMakeFiles/casc_bench_util.dir/bench_util/table_printer.cpp.o"
+  "CMakeFiles/casc_bench_util.dir/bench_util/table_printer.cpp.o.d"
+  "libcasc_bench_util.a"
+  "libcasc_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casc_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casc_common.dir/common/check.cpp.o"
+  "CMakeFiles/casc_common.dir/common/check.cpp.o.d"
+  "CMakeFiles/casc_common.dir/common/flags.cpp.o"
+  "CMakeFiles/casc_common.dir/common/flags.cpp.o.d"
+  "CMakeFiles/casc_common.dir/common/histogram.cpp.o"
+  "CMakeFiles/casc_common.dir/common/histogram.cpp.o.d"
+  "CMakeFiles/casc_common.dir/common/logging.cpp.o"
+  "CMakeFiles/casc_common.dir/common/logging.cpp.o.d"
+  "CMakeFiles/casc_common.dir/common/rng.cpp.o"
+  "CMakeFiles/casc_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/casc_common.dir/common/status.cpp.o"
+  "CMakeFiles/casc_common.dir/common/status.cpp.o.d"
+  "CMakeFiles/casc_common.dir/common/stopwatch.cpp.o"
+  "CMakeFiles/casc_common.dir/common/stopwatch.cpp.o.d"
+  "CMakeFiles/casc_common.dir/common/strings.cpp.o"
+  "CMakeFiles/casc_common.dir/common/strings.cpp.o.d"
+  "libcasc_common.a"
+  "libcasc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/distributions.cpp" "src/CMakeFiles/casc_gen.dir/gen/distributions.cpp.o" "gcc" "src/CMakeFiles/casc_gen.dir/gen/distributions.cpp.o.d"
+  "/root/repo/src/gen/meetup_like.cpp" "src/CMakeFiles/casc_gen.dir/gen/meetup_like.cpp.o" "gcc" "src/CMakeFiles/casc_gen.dir/gen/meetup_like.cpp.o.d"
+  "/root/repo/src/gen/synthetic.cpp" "src/CMakeFiles/casc_gen.dir/gen/synthetic.cpp.o" "gcc" "src/CMakeFiles/casc_gen.dir/gen/synthetic.cpp.o.d"
+  "/root/repo/src/gen/trace.cpp" "src/CMakeFiles/casc_gen.dir/gen/trace.cpp.o" "gcc" "src/CMakeFiles/casc_gen.dir/gen/trace.cpp.o.d"
+  "/root/repo/src/gen/workload.cpp" "src/CMakeFiles/casc_gen.dir/gen/workload.cpp.o" "gcc" "src/CMakeFiles/casc_gen.dir/gen/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/casc_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/casc_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/casc_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/casc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

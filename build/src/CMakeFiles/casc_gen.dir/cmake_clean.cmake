@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casc_gen.dir/gen/distributions.cpp.o"
+  "CMakeFiles/casc_gen.dir/gen/distributions.cpp.o.d"
+  "CMakeFiles/casc_gen.dir/gen/meetup_like.cpp.o"
+  "CMakeFiles/casc_gen.dir/gen/meetup_like.cpp.o.d"
+  "CMakeFiles/casc_gen.dir/gen/synthetic.cpp.o"
+  "CMakeFiles/casc_gen.dir/gen/synthetic.cpp.o.d"
+  "CMakeFiles/casc_gen.dir/gen/trace.cpp.o"
+  "CMakeFiles/casc_gen.dir/gen/trace.cpp.o.d"
+  "CMakeFiles/casc_gen.dir/gen/workload.cpp.o"
+  "CMakeFiles/casc_gen.dir/gen/workload.cpp.o.d"
+  "libcasc_gen.a"
+  "libcasc_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casc_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

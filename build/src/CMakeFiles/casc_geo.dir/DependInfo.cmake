@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/point.cpp" "src/CMakeFiles/casc_geo.dir/geo/point.cpp.o" "gcc" "src/CMakeFiles/casc_geo.dir/geo/point.cpp.o.d"
+  "/root/repo/src/geo/reachability.cpp" "src/CMakeFiles/casc_geo.dir/geo/reachability.cpp.o" "gcc" "src/CMakeFiles/casc_geo.dir/geo/reachability.cpp.o.d"
+  "/root/repo/src/geo/rect.cpp" "src/CMakeFiles/casc_geo.dir/geo/rect.cpp.o" "gcc" "src/CMakeFiles/casc_geo.dir/geo/rect.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/casc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casc_geo.dir/geo/point.cpp.o"
+  "CMakeFiles/casc_geo.dir/geo/point.cpp.o.d"
+  "CMakeFiles/casc_geo.dir/geo/reachability.cpp.o"
+  "CMakeFiles/casc_geo.dir/geo/reachability.cpp.o.d"
+  "CMakeFiles/casc_geo.dir/geo/rect.cpp.o"
+  "CMakeFiles/casc_geo.dir/geo/rect.cpp.o.d"
+  "libcasc_geo.a"
+  "libcasc_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casc_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/dinic.cpp" "src/CMakeFiles/casc_graph.dir/graph/dinic.cpp.o" "gcc" "src/CMakeFiles/casc_graph.dir/graph/dinic.cpp.o.d"
+  "/root/repo/src/graph/flow_network.cpp" "src/CMakeFiles/casc_graph.dir/graph/flow_network.cpp.o" "gcc" "src/CMakeFiles/casc_graph.dir/graph/flow_network.cpp.o.d"
+  "/root/repo/src/graph/ford_fulkerson.cpp" "src/CMakeFiles/casc_graph.dir/graph/ford_fulkerson.cpp.o" "gcc" "src/CMakeFiles/casc_graph.dir/graph/ford_fulkerson.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/casc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

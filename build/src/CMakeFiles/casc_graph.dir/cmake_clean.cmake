@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casc_graph.dir/graph/dinic.cpp.o"
+  "CMakeFiles/casc_graph.dir/graph/dinic.cpp.o.d"
+  "CMakeFiles/casc_graph.dir/graph/flow_network.cpp.o"
+  "CMakeFiles/casc_graph.dir/graph/flow_network.cpp.o.d"
+  "CMakeFiles/casc_graph.dir/graph/ford_fulkerson.cpp.o"
+  "CMakeFiles/casc_graph.dir/graph/ford_fulkerson.cpp.o.d"
+  "libcasc_graph.a"
+  "libcasc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/assignment.cpp" "src/CMakeFiles/casc_model.dir/model/assignment.cpp.o" "gcc" "src/CMakeFiles/casc_model.dir/model/assignment.cpp.o.d"
+  "/root/repo/src/model/cooperation_matrix.cpp" "src/CMakeFiles/casc_model.dir/model/cooperation_matrix.cpp.o" "gcc" "src/CMakeFiles/casc_model.dir/model/cooperation_matrix.cpp.o.d"
+  "/root/repo/src/model/instance.cpp" "src/CMakeFiles/casc_model.dir/model/instance.cpp.o" "gcc" "src/CMakeFiles/casc_model.dir/model/instance.cpp.o.d"
+  "/root/repo/src/model/io.cpp" "src/CMakeFiles/casc_model.dir/model/io.cpp.o" "gcc" "src/CMakeFiles/casc_model.dir/model/io.cpp.o.d"
+  "/root/repo/src/model/objective.cpp" "src/CMakeFiles/casc_model.dir/model/objective.cpp.o" "gcc" "src/CMakeFiles/casc_model.dir/model/objective.cpp.o.d"
+  "/root/repo/src/model/score_keeper.cpp" "src/CMakeFiles/casc_model.dir/model/score_keeper.cpp.o" "gcc" "src/CMakeFiles/casc_model.dir/model/score_keeper.cpp.o.d"
+  "/root/repo/src/model/task.cpp" "src/CMakeFiles/casc_model.dir/model/task.cpp.o" "gcc" "src/CMakeFiles/casc_model.dir/model/task.cpp.o.d"
+  "/root/repo/src/model/worker.cpp" "src/CMakeFiles/casc_model.dir/model/worker.cpp.o" "gcc" "src/CMakeFiles/casc_model.dir/model/worker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/casc_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/casc_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/casc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

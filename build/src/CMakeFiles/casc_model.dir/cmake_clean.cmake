@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casc_model.dir/model/assignment.cpp.o"
+  "CMakeFiles/casc_model.dir/model/assignment.cpp.o.d"
+  "CMakeFiles/casc_model.dir/model/cooperation_matrix.cpp.o"
+  "CMakeFiles/casc_model.dir/model/cooperation_matrix.cpp.o.d"
+  "CMakeFiles/casc_model.dir/model/instance.cpp.o"
+  "CMakeFiles/casc_model.dir/model/instance.cpp.o.d"
+  "CMakeFiles/casc_model.dir/model/io.cpp.o"
+  "CMakeFiles/casc_model.dir/model/io.cpp.o.d"
+  "CMakeFiles/casc_model.dir/model/objective.cpp.o"
+  "CMakeFiles/casc_model.dir/model/objective.cpp.o.d"
+  "CMakeFiles/casc_model.dir/model/score_keeper.cpp.o"
+  "CMakeFiles/casc_model.dir/model/score_keeper.cpp.o.d"
+  "CMakeFiles/casc_model.dir/model/task.cpp.o"
+  "CMakeFiles/casc_model.dir/model/task.cpp.o.d"
+  "CMakeFiles/casc_model.dir/model/worker.cpp.o"
+  "CMakeFiles/casc_model.dir/model/worker.cpp.o.d"
+  "libcasc_model.a"
+  "libcasc_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casc_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

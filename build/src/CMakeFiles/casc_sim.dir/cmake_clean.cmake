@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casc_sim.dir/sim/batch_runner.cpp.o"
+  "CMakeFiles/casc_sim.dir/sim/batch_runner.cpp.o.d"
+  "CMakeFiles/casc_sim.dir/sim/event_stream.cpp.o"
+  "CMakeFiles/casc_sim.dir/sim/event_stream.cpp.o.d"
+  "CMakeFiles/casc_sim.dir/sim/metrics.cpp.o"
+  "CMakeFiles/casc_sim.dir/sim/metrics.cpp.o.d"
+  "CMakeFiles/casc_sim.dir/sim/rating_model.cpp.o"
+  "CMakeFiles/casc_sim.dir/sim/rating_model.cpp.o.d"
+  "libcasc_sim.a"
+  "libcasc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

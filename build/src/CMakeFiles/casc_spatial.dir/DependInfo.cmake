@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spatial/grid_index.cpp" "src/CMakeFiles/casc_spatial.dir/spatial/grid_index.cpp.o" "gcc" "src/CMakeFiles/casc_spatial.dir/spatial/grid_index.cpp.o.d"
+  "/root/repo/src/spatial/kd_tree.cpp" "src/CMakeFiles/casc_spatial.dir/spatial/kd_tree.cpp.o" "gcc" "src/CMakeFiles/casc_spatial.dir/spatial/kd_tree.cpp.o.d"
+  "/root/repo/src/spatial/linear_scan.cpp" "src/CMakeFiles/casc_spatial.dir/spatial/linear_scan.cpp.o" "gcc" "src/CMakeFiles/casc_spatial.dir/spatial/linear_scan.cpp.o.d"
+  "/root/repo/src/spatial/rtree.cpp" "src/CMakeFiles/casc_spatial.dir/spatial/rtree.cpp.o" "gcc" "src/CMakeFiles/casc_spatial.dir/spatial/rtree.cpp.o.d"
+  "/root/repo/src/spatial/spatial_index.cpp" "src/CMakeFiles/casc_spatial.dir/spatial/spatial_index.cpp.o" "gcc" "src/CMakeFiles/casc_spatial.dir/spatial/spatial_index.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/casc_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/casc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

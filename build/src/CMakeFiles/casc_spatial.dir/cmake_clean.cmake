@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casc_spatial.dir/spatial/grid_index.cpp.o"
+  "CMakeFiles/casc_spatial.dir/spatial/grid_index.cpp.o.d"
+  "CMakeFiles/casc_spatial.dir/spatial/kd_tree.cpp.o"
+  "CMakeFiles/casc_spatial.dir/spatial/kd_tree.cpp.o.d"
+  "CMakeFiles/casc_spatial.dir/spatial/linear_scan.cpp.o"
+  "CMakeFiles/casc_spatial.dir/spatial/linear_scan.cpp.o.d"
+  "CMakeFiles/casc_spatial.dir/spatial/rtree.cpp.o"
+  "CMakeFiles/casc_spatial.dir/spatial/rtree.cpp.o.d"
+  "CMakeFiles/casc_spatial.dir/spatial/spatial_index.cpp.o"
+  "CMakeFiles/casc_spatial.dir/spatial/spatial_index.cpp.o.d"
+  "libcasc_spatial.a"
+  "libcasc_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casc_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

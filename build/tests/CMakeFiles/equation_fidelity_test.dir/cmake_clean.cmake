@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equation_fidelity_test.dir/equation_fidelity_test.cpp.o"
+  "CMakeFiles/equation_fidelity_test.dir/equation_fidelity_test.cpp.o.d"
+  "equation_fidelity_test"
+  "equation_fidelity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equation_fidelity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

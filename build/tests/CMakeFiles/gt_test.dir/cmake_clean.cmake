@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_test.dir/gt_test.cpp.o"
+  "CMakeFiles/gt_test.dir/gt_test.cpp.o.d"
+  "gt_test"
+  "gt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

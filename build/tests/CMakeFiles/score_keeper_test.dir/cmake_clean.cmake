@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/score_keeper_test.dir/score_keeper_test.cpp.o"
+  "CMakeFiles/score_keeper_test.dir/score_keeper_test.cpp.o.d"
+  "score_keeper_test"
+  "score_keeper_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/score_keeper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casc_cli.dir/casc_cli.cpp.o"
+  "CMakeFiles/casc_cli.dir/casc_cli.cpp.o.d"
+  "casc_cli"
+  "casc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
