@@ -16,6 +16,8 @@ int main(int argc, char** argv) {
   flags.DefineInt64("rounds", 5, "rounds per replication (R)");
   flags.DefineInt64("replications", 5, "independent seeds");
   flags.DefineBool("meetup", false, "use the Meetup-like dataset");
+  flags.DefineInt64("threads", 1,
+                    "thread-pool size for the replication fan-out");
   if (!flags.Parse(argc, argv).ok()) return 1;
 
   casc::ExperimentSettings settings;
@@ -31,8 +33,9 @@ int main(int argc, char** argv) {
   const casc::DataKind kind = flags.GetBool("meetup")
                                   ? casc::DataKind::kMeetupLike
                                   : casc::DataKind::kSynthetic;
-  const auto results = casc::RunReplications(settings, kind,
-                                             casc::AllApproaches(), seeds);
+  const auto results = casc::RunReplications(
+      settings, kind, casc::AllApproaches(), seeds,
+      static_cast<int>(flags.GetInt64("threads")));
   casc::PrintReplications(
       "Replication study: Table II defaults across " +
           std::to_string(seeds.size()) + " seeds (" +

@@ -79,6 +79,72 @@ BestResponse ComputeBestResponse(const Instance& instance,
   return best;
 }
 
+double StrategyUtility(const Instance& instance, const ScoreKeeper& keeper,
+                       const Assignment& assignment, WorkerIndex w,
+                       TaskIndex t, WorkerIndex* crowded_out) {
+  if (crowded_out != nullptr) *crowded_out = kNoWorker;
+  if (t == kNoTask) return 0.0;
+
+  if (assignment.TaskOf(w) == t) {
+    // U_i = Q(W_t) - Q(W_t \ {w_i}): exactly the leaving marginal.
+    return keeper.LossIfLeft(w, t);
+  }
+
+  const std::vector<WorkerIndex>& others = keeper.GroupOf(t);
+  const int capacity = instance.tasks()[static_cast<size_t>(t)].capacity;
+  if (static_cast<int>(others.size()) < capacity) {
+    return keeper.GainIfJoined(w, t);
+  }
+
+  // Overfull: Equation 2 pays only the best a_t-subset of W_t ∪ {w}. The
+  // pre-join score is already cached; only the joined group needs the
+  // BestSubset fallback.
+  std::vector<WorkerIndex> group = others;
+  group.push_back(w);
+  const std::vector<WorkerIndex> best =
+      BestSubset(instance.coop(), group, capacity);
+  if (crowded_out != nullptr) {
+    for (const WorkerIndex member : group) {
+      if (std::find(best.begin(), best.end(), member) == best.end()) {
+        *crowded_out = member;
+        break;
+      }
+    }
+  }
+  double joined_score = 0.0;
+  if (static_cast<int>(group.size()) >= instance.min_group_size()) {
+    joined_score = instance.coop().PairSum(best) / (capacity - 1);
+  }
+  return joined_score - keeper.TaskScore(t);
+}
+
+BestResponse ComputeBestResponse(const Instance& instance,
+                                 const ScoreKeeper& keeper,
+                                 const Assignment& assignment,
+                                 WorkerIndex w) {
+  const TaskIndex current = assignment.TaskOf(w);
+  BestResponse best;
+  best.task = current;
+  best.utility = StrategyUtility(instance, keeper, assignment, w, current,
+                                 &best.crowded_out);
+
+  for (const TaskIndex t : instance.ValidTasks(w)) {
+    if (t == current) continue;
+    WorkerIndex crowded = kNoWorker;
+    const double utility =
+        StrategyUtility(instance, keeper, assignment, w, t, &crowded);
+    if (utility > best.utility + kImprovementTolerance) {
+      best.task = t;
+      best.utility = utility;
+      best.crowded_out = crowded;
+    }
+  }
+  if (0.0 > best.utility + kImprovementTolerance) {
+    best = BestResponse{kNoTask, 0.0, kNoWorker};
+  }
+  return best;
+}
+
 MoveResult ApplyMove(const Instance& instance, Assignment* assignment,
                      WorkerIndex w, TaskIndex t) {
   CASC_CHECK(assignment != nullptr);
@@ -104,6 +170,21 @@ MoveResult ApplyMove(const Instance& instance, Assignment* assignment,
       }
     }
     CASC_CHECK_LE(assignment->GroupSize(t), capacity);
+  }
+  return result;
+}
+
+MoveResult ApplyMove(const Instance& instance, Assignment* assignment,
+                     ScoreKeeper* keeper, WorkerIndex w, TaskIndex t) {
+  const MoveResult result = ApplyMove(instance, assignment, w, t);
+  if (keeper == nullptr) return result;
+  if (result.from == t) return result;  // Assign(w, TaskOf(w)) is a no-op
+  if (result.from != kNoTask) keeper->Remove(w, result.from);
+  if (t != kNoTask && result.crowded_out != w) {
+    if (result.crowded_out != kNoWorker) {
+      keeper->Remove(result.crowded_out, t);
+    }
+    keeper->Add(w, t);
   }
   return result;
 }

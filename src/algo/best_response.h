@@ -3,6 +3,7 @@
 
 #include "model/assignment.h"
 #include "model/instance.h"
+#include "model/score_keeper.h"
 
 namespace casc {
 
@@ -43,6 +44,23 @@ BestResponse ComputeBestResponse(const Instance& instance,
                                  const Assignment& assignment,
                                  WorkerIndex w);
 
+/// Delta-evaluated StrategyUtility: identical semantics to the scratch
+/// overload above, but each candidate costs one ScoreKeeper marginal —
+/// O(|W_t|) with no allocation — instead of two from-scratch GroupScore
+/// calls (O(|W_t|^2) each). Only the crowding branch (joining a full
+/// task) still runs BestSubset. `keeper` must mirror `assignment`
+/// exactly: same group membership for every task.
+double StrategyUtility(const Instance& instance, const ScoreKeeper& keeper,
+                       const Assignment& assignment, WorkerIndex w,
+                       TaskIndex t, WorkerIndex* crowded_out);
+
+/// Delta-evaluated best response; the keeper-backed twin of
+/// ComputeBestResponse with the same tie-breaking contract.
+BestResponse ComputeBestResponse(const Instance& instance,
+                                 const ScoreKeeper& keeper,
+                                 const Assignment& assignment,
+                                 WorkerIndex w);
+
 /// Result of applying one strategy change.
 struct MoveResult {
   TaskIndex from = kNoTask;            ///< previous strategy
@@ -54,6 +72,13 @@ struct MoveResult {
 /// leaves this function over capacity. Requires t to be valid for w.
 MoveResult ApplyMove(const Instance& instance, Assignment* assignment,
                      WorkerIndex w, TaskIndex t);
+
+/// ApplyMove that also keeps `keeper` in sync with the assignment (a
+/// null keeper degrades to the plain overload). The keeper never observes
+/// an over-capacity group: on crowding, the evicted member is removed
+/// before the newcomer is added.
+MoveResult ApplyMove(const Instance& instance, Assignment* assignment,
+                     ScoreKeeper* keeper, WorkerIndex w, TaskIndex t);
 
 /// True when no worker can strictly improve its utility (beyond
 /// `tolerance`) by unilaterally deviating: the pure Nash equilibrium

@@ -1,6 +1,7 @@
 #include "algo/gt_assigner.h"
 
 #include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "algo/best_response.h"
@@ -8,6 +9,7 @@
 #include "common/check.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "model/objective.h"
 
 namespace casc {
@@ -15,6 +17,67 @@ namespace {
 
 /// Strict-improvement threshold; mirrors best_response.cpp.
 constexpr double kTolerance = 1e-12;
+
+/// Per-round speculative evaluation state. Best responses computed in
+/// parallel against the round-start state are consumed sequentially; a
+/// result is discarded once any of its worker's valid tasks was touched
+/// by an applied move, so every consumed value equals what a serial
+/// inline evaluation would have produced.
+struct Speculation {
+  bool active = false;
+  std::vector<BestResponse> results;  // per worker
+  std::vector<char> computed;         // per worker
+  std::vector<char> task_touched;     // per task, reset each round
+};
+
+/// Pre-computes best responses for the workers of `order` that the
+/// sequential pass will (initially) evaluate: all of them in a full
+/// round, the dirty ones in a LUB round.
+void Speculate(const Instance& instance, const Assignment& assignment,
+               const ScoreKeeper& keeper,
+               const std::vector<WorkerIndex>& order,
+               const std::vector<bool>* dirty, ThreadPool* pool,
+               Speculation* spec) {
+  spec->active = true;
+  spec->results.assign(static_cast<size_t>(instance.num_workers()),
+                       BestResponse{});
+  spec->computed.assign(static_cast<size_t>(instance.num_workers()), 0);
+  spec->task_touched.assign(static_cast<size_t>(instance.num_tasks()), 0);
+
+  std::vector<WorkerIndex> pending;
+  pending.reserve(order.size());
+  for (const WorkerIndex w : order) {
+    if (dirty == nullptr || (*dirty)[static_cast<size_t>(w)]) {
+      pending.push_back(w);
+    }
+  }
+  pool->ParallelFor(
+      static_cast<int64_t>(pending.size()), [&](int64_t i) {
+        const WorkerIndex w = pending[static_cast<size_t>(i)];
+        spec->results[static_cast<size_t>(w)] =
+            ComputeBestResponse(instance, keeper, assignment, w);
+        spec->computed[static_cast<size_t>(w)] = 1;
+      });
+}
+
+/// True when `w`'s speculated best response is still exact: it was
+/// computed and no task `w` could play has changed since. The current
+/// task needs no separate check — an assigned task is always one of the
+/// worker's valid tasks.
+bool SpeculationUsable(const Instance& instance, const Speculation& spec,
+                       WorkerIndex w) {
+  if (!spec.computed[static_cast<size_t>(w)]) return false;
+  for (const TaskIndex t : instance.ValidTasks(w)) {
+    if (spec.task_touched[static_cast<size_t>(t)]) return false;
+  }
+  return true;
+}
+
+void MarkTouched(Speculation* spec, TaskIndex t) {
+  if (spec->active && t != kNoTask) {
+    spec->task_touched[static_cast<size_t>(t)] = 1;
+  }
+}
 
 }  // namespace
 
@@ -27,30 +90,13 @@ std::string GtAssigner::Name() const {
   return "GT";
 }
 
-int64_t GtAssigner::FullRound(const Instance& instance,
-                              const std::vector<WorkerIndex>& order,
-                              Assignment* assignment) {
-  int64_t moves = 0;
-  for (const WorkerIndex w : order) {
-    const TaskIndex current = assignment->TaskOf(w);
-    const BestResponse best = ComputeBestResponse(instance, *assignment, w);
-    ++stats_.best_response_evals;
-    if (best.task == current) continue;
-    const double current_utility =
-        StrategyUtility(instance, *assignment, w, current, nullptr);
-    if (best.utility <= current_utility + kTolerance) continue;
-    ApplyMove(instance, assignment, w, best.task);
-    ++moves;
-  }
-  stats_.moves += moves;
-  return moves;
-}
-
-void GtAssigner::MoveAndMarkDirty(const Instance& instance,
-                                  Assignment* assignment, WorkerIndex w,
-                                  TaskIndex target,
-                                  std::vector<bool>* dirty) {
-  const MoveResult move = ApplyMove(instance, assignment, w, target);
+MoveResult GtAssigner::MoveAndMarkDirty(const Instance& instance,
+                                        Assignment* assignment,
+                                        ScoreKeeper* keeper, WorkerIndex w,
+                                        TaskIndex target,
+                                        std::vector<bool>* dirty) {
+  const MoveResult move = ApplyMove(instance, assignment, keeper, w, target);
+  if (dirty == nullptr) return move;
   const TaskIndex from = move.from;
   const WorkerIndex evicted = move.crowded_out;
   const CooperationMatrix& coop = instance.coop();
@@ -99,27 +145,41 @@ void GtAssigner::MoveAndMarkDirty(const Instance& instance,
       }
     }
   }
+  return move;
 }
 
-int64_t GtAssigner::LubRound(const Instance& instance,
-                             const std::vector<WorkerIndex>& order,
-                             Assignment* assignment,
-                             std::vector<bool>* dirty) {
+int64_t GtAssigner::Round(const Instance& instance,
+                          const std::vector<WorkerIndex>& order,
+                          Assignment* assignment, ScoreKeeper* keeper,
+                          ThreadPool* pool, std::vector<bool>* dirty) {
+  Speculation spec;
+  if (pool != nullptr) {
+    Speculate(instance, *assignment, *keeper, order, dirty, pool, &spec);
+  }
+
   int64_t moves = 0;
   for (const WorkerIndex w : order) {
-    if (!(*dirty)[static_cast<size_t>(w)]) {
-      ++stats_.best_response_skips;
-      continue;
+    if (dirty != nullptr) {
+      if (!(*dirty)[static_cast<size_t>(w)]) {
+        ++stats_.best_response_skips;
+        continue;
+      }
+      (*dirty)[static_cast<size_t>(w)] = false;
     }
-    (*dirty)[static_cast<size_t>(w)] = false;
     const TaskIndex current = assignment->TaskOf(w);
-    const BestResponse best = ComputeBestResponse(instance, *assignment, w);
+    const BestResponse best =
+        spec.active && SpeculationUsable(instance, spec, w)
+            ? spec.results[static_cast<size_t>(w)]
+            : ComputeBestResponse(instance, *keeper, *assignment, w);
     ++stats_.best_response_evals;
     if (best.task == current) continue;
     const double current_utility =
-        StrategyUtility(instance, *assignment, w, current, nullptr);
+        StrategyUtility(instance, *keeper, *assignment, w, current, nullptr);
     if (best.utility <= current_utility + kTolerance) continue;
-    MoveAndMarkDirty(instance, assignment, w, best.task, dirty);
+    const MoveResult move =
+        MoveAndMarkDirty(instance, assignment, keeper, w, best.task, dirty);
+    MarkTouched(&spec, move.from);
+    MarkTouched(&spec, best.task);
     ++moves;
   }
   stats_.moves += moves;
@@ -156,7 +216,17 @@ Assignment GtAssigner::Run(const Instance& instance) {
     case GtInit::kEmpty:
       break;
   }
-  stats_.init_score = TotalScore(instance, assignment);
+
+  // The keeper delta-evaluates every utility from here on; it is kept in
+  // sync with `assignment` through keeper-aware ApplyMove.
+  ScoreKeeper keeper(instance);
+  keeper.Sync(assignment);
+  stats_.init_score = keeper.TotalScore();
+
+  std::unique_ptr<ThreadPool> pool;
+  if (options_.num_threads > 1) {
+    pool = std::make_unique<ThreadPool>(options_.num_threads);
+  }
 
   std::vector<bool> dirty;
   if (options_.use_lub) {
@@ -177,13 +247,14 @@ Assignment GtAssigner::Run(const Instance& instance) {
     if (options_.order == GtOrder::kShuffled) order_rng.Shuffle(order);
     int64_t moves;
     if (options_.use_lub) {
-      moves = LubRound(instance, order, &assignment, &dirty);
+      moves = Round(instance, order, &assignment, &keeper, pool.get(),
+                    &dirty);
       if (moves == 0) {
         // The dirty set drained without a move. The theorem-based
         // filters are sound, but we still certify the equilibrium with
         // one full pass; any move it finds re-enters the loop.
-        const int64_t verification_moves =
-            FullRound(instance, order, &assignment);
+        const int64_t verification_moves = Round(
+            instance, order, &assignment, &keeper, pool.get(), nullptr);
         if (verification_moves == 0) {
           reached_equilibrium = true;
           break;
@@ -193,14 +264,15 @@ Assignment GtAssigner::Run(const Instance& instance) {
                          << verification_moves << " extra moves";
       }
     } else {
-      moves = FullRound(instance, order, &assignment);
+      moves =
+          Round(instance, order, &assignment, &keeper, pool.get(), nullptr);
       if (moves == 0) {
         reached_equilibrium = true;
         break;
       }
     }
 
-    const double new_score = TotalScore(instance, assignment);
+    const double new_score = keeper.TotalScore();
     stats_.round_scores.push_back(new_score);
     if (options_.use_tsi) {
       // Threshold stop: the round improved the total by less than
@@ -214,7 +286,7 @@ Assignment GtAssigner::Run(const Instance& instance) {
   }
 
   stats_.converged = reached_equilibrium;
-  stats_.final_score = TotalScore(instance, assignment);
+  stats_.final_score = keeper.TotalScore();
   return assignment;
 }
 

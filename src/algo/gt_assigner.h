@@ -4,8 +4,12 @@
 #include <string>
 
 #include "algo/assigner.h"
+#include "algo/best_response.h"
+#include "model/score_keeper.h"
 
 namespace casc {
+
+class ThreadPool;
 
 /// How Algorithm 3 seeds the best-response dynamic.
 enum class GtInit {
@@ -60,6 +64,16 @@ struct GtOptions {
 
   /// Safety cap on best-response rounds.
   int max_rounds = 100000;
+
+  /// Worker threads for speculative best-response evaluation (1 = fully
+  /// serial). Each round pre-computes the best responses of all
+  /// to-be-processed workers in parallel against the round-start state,
+  /// then applies moves sequentially in `order`; a speculated result is
+  /// consumed only if none of that worker's valid tasks changed since the
+  /// round started, and is recomputed inline otherwise. The produced
+  /// assignment, stats, and score trajectory are bit-identical to
+  /// num_threads == 1 for the same options.
+  int num_threads = 1;
 };
 
 /// The game-theoretic approach (GT), Algorithm 3 of the paper.
@@ -84,23 +98,24 @@ class GtAssigner : public Assigner {
   const GtOptions& options() const { return options_; }
 
  private:
-  /// One full best-response pass over all workers in `order` (a
-  /// "round"). Returns the number of moves applied.
-  int64_t FullRound(const Instance& instance,
-                    const std::vector<WorkerIndex>& order,
-                    Assignment* assignment);
+  /// One best-response pass over `order` (a "round"), delta-evaluated
+  /// through `keeper` (which must mirror *assignment and stays in sync).
+  /// A null `dirty` is a full round; otherwise only workers flagged dirty
+  /// are re-evaluated and the flags are updated per Theorems V.3 / V.4
+  /// after each move. A non-null `pool` evaluates the round's pending
+  /// best responses speculatively in parallel first (see
+  /// GtOptions::num_threads). Returns the number of moves applied.
+  int64_t Round(const Instance& instance,
+                const std::vector<WorkerIndex>& order,
+                Assignment* assignment, ScoreKeeper* keeper,
+                ThreadPool* pool, std::vector<bool>* dirty);
 
-  /// LUB-driven pass: only workers flagged dirty are re-evaluated; the
-  /// flags are updated per Theorems V.3 / V.4 after each move.
-  int64_t LubRound(const Instance& instance,
-                   const std::vector<WorkerIndex>& order,
-                   Assignment* assignment, std::vector<bool>* dirty);
-
-  /// Applies the move and flags the workers whose best response may have
-  /// changed (Theorems V.3 / V.4).
-  void MoveAndMarkDirty(const Instance& instance, Assignment* assignment,
-                        WorkerIndex w, TaskIndex target,
-                        std::vector<bool>* dirty);
+  /// Applies the move (keeping `keeper` in sync) and flags the workers
+  /// whose best response may have changed (Theorems V.3 / V.4).
+  MoveResult MoveAndMarkDirty(const Instance& instance,
+                              Assignment* assignment, ScoreKeeper* keeper,
+                              WorkerIndex w, TaskIndex target,
+                              std::vector<bool>* dirty);
 
   GtOptions options_;
 };

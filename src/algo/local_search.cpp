@@ -12,18 +12,6 @@ namespace {
 /// Tolerance for "strictly improving" to avoid floating-point cycling.
 constexpr double kTolerance = 1e-12;
 
-/// Score of `group` with `out` replaced by `in`.
-double ScoreWithReplacement(const Instance& instance, TaskIndex t,
-                            const std::vector<WorkerIndex>& group,
-                            WorkerIndex out, WorkerIndex in) {
-  std::vector<WorkerIndex> modified;
-  modified.reserve(group.size());
-  for (const WorkerIndex member : group) {
-    modified.push_back(member == out ? in : member);
-  }
-  return GroupScore(instance, t, modified);
-}
-
 }  // namespace
 
 LocalSearchAssigner::LocalSearchAssigner(std::unique_ptr<Assigner> base,
@@ -37,7 +25,8 @@ std::string LocalSearchAssigner::Name() const {
 }
 
 int64_t LocalSearchAssigner::ImprovementPass(const Instance& instance,
-                                             Assignment* assignment) {
+                                             Assignment* assignment,
+                                             ScoreKeeper* keeper) {
   int64_t swaps = 0;
   const int n = instance.num_tasks();
   for (TaskIndex t1 = 0; t1 < n; ++t1) {
@@ -48,15 +37,21 @@ int64_t LocalSearchAssigner::ImprovementPass(const Instance& instance,
         improved = false;
         const std::vector<WorkerIndex> group1 = assignment->GroupOf(t1);
         const std::vector<WorkerIndex> group2 = assignment->GroupOf(t2);
-        const double base_score = GroupScore(instance, t1, group1) +
-                                  GroupScore(instance, t2, group2);
+        const double base_score =
+            keeper->TaskScore(t1) + keeper->TaskScore(t2);
         for (const WorkerIndex w1 : group1) {
           if (!instance.IsValidPair(w1, t2)) continue;
           for (const WorkerIndex w2 : group2) {
             if (!instance.IsValidPair(w2, t1)) continue;
+            // Trial-apply the exchange on the keeper: four O(group)
+            // mutations instead of rebuilding and rescoring both groups
+            // from scratch.
+            keeper->Remove(w1, t1);
+            keeper->Remove(w2, t2);
+            keeper->Add(w2, t1);
+            keeper->Add(w1, t2);
             const double swapped =
-                ScoreWithReplacement(instance, t1, group1, w1, w2) +
-                ScoreWithReplacement(instance, t2, group2, w2, w1);
+                keeper->TaskScore(t1) + keeper->TaskScore(t2);
             if (swapped > base_score + kTolerance) {
               assignment->Assign(w1, t2);
               assignment->Assign(w2, t1);
@@ -64,6 +59,10 @@ int64_t LocalSearchAssigner::ImprovementPass(const Instance& instance,
               improved = true;
               break;
             }
+            keeper->Remove(w2, t1);
+            keeper->Remove(w1, t2);
+            keeper->Add(w1, t1);
+            keeper->Add(w2, t2);
           }
           if (improved) break;
         }
@@ -77,8 +76,10 @@ Assignment LocalSearchAssigner::Run(const Instance& instance) {
   Assignment assignment = base_->Run(instance);
   stats_ = base_->stats();
   swaps_applied_ = 0;
+  ScoreKeeper keeper(instance);
+  keeper.Sync(assignment);
   for (int pass = 0; pass < options_.max_passes; ++pass) {
-    const int64_t swaps = ImprovementPass(instance, &assignment);
+    const int64_t swaps = ImprovementPass(instance, &assignment, &keeper);
     swaps_applied_ += swaps;
     if (swaps == 0) break;
   }

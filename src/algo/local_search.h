@@ -5,6 +5,7 @@
 #include <string>
 
 #include "algo/assigner.h"
+#include "model/score_keeper.h"
 
 namespace casc {
 
@@ -36,8 +37,12 @@ class LocalSearchAssigner : public Assigner {
   int64_t swaps_applied() const { return swaps_applied_; }
 
  private:
-  /// One full pass; returns the number of swaps applied.
-  int64_t ImprovementPass(const Instance& instance, Assignment* assignment);
+  /// One full pass; returns the number of swaps applied. Candidate
+  /// exchanges are delta-evaluated on `keeper` (mirroring *assignment)
+  /// via trial mutations — O(group) per candidate instead of rebuilding
+  /// both groups and rescoring from scratch.
+  int64_t ImprovementPass(const Instance& instance, Assignment* assignment,
+                          ScoreKeeper* keeper);
 
   std::unique_ptr<Assigner> base_;
   LocalSearchOptions options_;

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "model/objective.h"
+#include "model/score_keeper.h"
 
 namespace casc {
 
@@ -16,6 +17,10 @@ Assignment OnlineAssigner::Run(const Instance& instance) {
       << "ONLINE requires Instance::ComputeValidPairs()";
   stats_ = AssignerStats{};
   Assignment assignment(instance);
+  // Joining gains are delta-evaluated: the keeper grows with the
+  // assignment, so each candidate task costs one affinity-row scan
+  // instead of a rebuilt-group GroupScore pair.
+  ScoreKeeper keeper(instance);
 
   // Arrival order; ties broken by worker index for determinism.
   std::vector<WorkerIndex> order(static_cast<size_t>(instance.num_workers()));
@@ -37,7 +42,7 @@ Assignment OnlineAssigner::Run(const Instance& instance) {
       const int capacity =
           instance.tasks()[static_cast<size_t>(t)].capacity;
       if (static_cast<int>(group.size()) >= capacity) continue;
-      const double gain = GainOfJoining(instance, t, group, w);
+      const double gain = keeper.GainIfJoined(w, t);
       if (gain > best_gain) {
         best_gain = gain;
         best_task = t;
@@ -69,6 +74,7 @@ Assignment OnlineAssigner::Run(const Instance& instance) {
     }
     if (best_task != kNoTask) {
       assignment.Assign(w, best_task);
+      keeper.Add(w, best_task);
       (void)best_is_optimistic;
     }
   }

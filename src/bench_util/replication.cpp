@@ -5,23 +5,32 @@
 #include "bench_util/table_printer.h"
 #include "common/check.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 
 namespace casc {
 
 std::vector<ReplicatedResult> RunReplications(
     const ExperimentSettings& settings, DataKind kind,
     const std::vector<ApproachId>& approaches,
-    const std::vector<uint64_t>& seeds) {
+    const std::vector<uint64_t>& seeds, int num_threads) {
   CASC_CHECK(!seeds.empty());
   std::vector<ReplicatedResult> results(approaches.size());
   for (size_t a = 0; a < approaches.size(); ++a) {
     results[a].name = ApproachName(approaches[a]);
   }
-  for (const uint64_t seed : seeds) {
+
+  // Fan the independent replications out, then fold in seed order so the
+  // aggregates do not depend on the thread count.
+  std::vector<std::vector<ApproachResult>> runs(seeds.size());
+  ThreadPool pool(num_threads);
+  pool.ParallelFor(static_cast<int64_t>(seeds.size()), [&](int64_t i) {
     ExperimentSettings run_settings = settings;
-    run_settings.seed = seed;
-    const std::vector<ApproachResult> run =
+    run_settings.seed = seeds[static_cast<size_t>(i)];
+    runs[static_cast<size_t>(i)] =
         RunComparison(run_settings, kind, approaches);
+  });
+
+  for (const std::vector<ApproachResult>& run : runs) {
     for (size_t a = 0; a < approaches.size(); ++a) {
       results[a].score.Add(run[a].total_score);
       results[a].batch_ms.Add(run[a].avg_seconds * 1e3);

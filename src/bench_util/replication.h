@@ -23,10 +23,16 @@ struct ReplicatedResult {
 /// `settings`) and folds the outcomes into per-approach summaries. The
 /// paper reports single-seed curves; replication quantifies how much of
 /// an observed gap is signal versus sampling noise.
+///
+/// With num_threads > 1 the seeds fan out across a deterministic-
+/// partition thread pool (each replication is independent); the fold
+/// always happens in seed order, so the aggregates are identical for any
+/// thread count. Timing statistics naturally get noisier when
+/// replications share cores.
 std::vector<ReplicatedResult> RunReplications(
     const ExperimentSettings& settings, DataKind kind,
     const std::vector<ApproachId>& approaches,
-    const std::vector<uint64_t>& seeds);
+    const std::vector<uint64_t>& seeds, int num_threads = 1);
 
 /// Prints the replication table ("score mean +- se", "ms mean",
 /// "score/UPPER") for the given results.

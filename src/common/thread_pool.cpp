@@ -1,0 +1,82 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace casc {
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(num_threads, 1)) {
+  threads_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+int ThreadPool::DefaultThreads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::RunChunk(int chunk_index) {
+  const int64_t threads = num_threads_;
+  const int64_t begin = count_ * chunk_index / threads;
+  const int64_t end = count_ * (chunk_index + 1) / threads;
+  for (int64_t i = begin; i < end; ++i) (*fn_)(i);
+}
+
+void ThreadPool::ParallelFor(int64_t count,
+                             const std::function<void(int64_t)>& fn) {
+  if (count <= 0) return;
+  if (threads_.empty()) {
+    for (int64_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CASC_CHECK(fn_ == nullptr) << "ThreadPool::ParallelFor cannot nest";
+    fn_ = &fn;
+    count_ = count;
+    pending_ = static_cast<int>(threads_.size());
+    ++epoch_;
+  }
+  start_cv_.notify_all();
+  RunChunk(0);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    fn_ = nullptr;
+  }
+}
+
+void ThreadPool::WorkerLoop(int worker_index) {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [this, seen_epoch] {
+        return shutdown_ || epoch_ != seen_epoch;
+      });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+    }
+    RunChunk(worker_index + 1);
+    bool last = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      last = --pending_ == 0;
+    }
+    if (last) done_cv_.notify_one();
+  }
+}
+
+}  // namespace casc

@@ -1,0 +1,66 @@
+#ifndef CASC_COMMON_THREAD_POOL_H_
+#define CASC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace casc {
+
+/// Fixed-size thread pool for deterministic data parallelism.
+///
+/// ParallelFor(count, fn) splits [0, count) into num_threads() contiguous
+/// chunks — chunk k always covers indices [count*k/T, count*(k+1)/T) — and
+/// runs fn over each chunk on its own thread, blocking until every index
+/// is done. There is no work stealing and no shared queue: the static
+/// partition makes the index-to-thread mapping reproducible run to run,
+/// which the speculative best-response engine relies on for bit-identical
+/// serial/parallel results (the partition only decides *where* an index
+/// runs, never *what* it computes).
+///
+/// The calling thread executes chunk 0 itself; the pool spawns
+/// num_threads - 1 workers. A pool constructed with num_threads <= 1 runs
+/// everything inline and spawns nothing, so a ThreadPool(1) member is a
+/// zero-cost way to keep one code path.
+///
+/// `fn` must not throw, must not call back into the pool (no nesting),
+/// and must only write to disjoint state per index.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs fn(i) for every i in [0, count); returns once all are done.
+  void ParallelFor(int64_t count, const std::function<void(int64_t)>& fn);
+
+  /// The hardware concurrency, at least 1.
+  static int DefaultThreads();
+
+ private:
+  void WorkerLoop(int worker_index);
+  void RunChunk(int chunk_index);
+
+  int num_threads_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  uint64_t epoch_ = 0;  // bumped once per ParallelFor
+  int pending_ = 0;     // workers still running the current epoch
+  bool shutdown_ = false;
+  int64_t count_ = 0;
+  const std::function<void(int64_t)>* fn_ = nullptr;
+};
+
+}  // namespace casc
+
+#endif  // CASC_COMMON_THREAD_POOL_H_

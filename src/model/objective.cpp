@@ -68,24 +68,35 @@ std::vector<WorkerIndex> BestSubset(const CooperationMatrix& coop,
   }
 
   // Greedy backward elimination: drop the member with the smallest total
-  // affinity (incoming + outgoing) to the remaining members.
+  // affinity (incoming + outgoing) to the remaining members. Each
+  // member's affinity is computed once up front (O(g^2)) and decremented
+  // when a member is dropped, so every drop costs O(g) instead of the
+  // naive O(g^2) rescan.
   std::vector<WorkerIndex> remaining = group;
+  std::vector<double> affinity(remaining.size(), 0.0);
+  for (size_t i = 0; i < remaining.size(); ++i) {
+    for (size_t j = 0; j < remaining.size(); ++j) {
+      if (i == j) continue;
+      affinity[i] += coop.Quality(remaining[i], remaining[j]) +
+                     coop.Quality(remaining[j], remaining[i]);
+    }
+  }
   while (static_cast<int>(remaining.size()) > k) {
     size_t worst_index = 0;
     double worst_affinity = std::numeric_limits<double>::infinity();
     for (size_t i = 0; i < remaining.size(); ++i) {
-      double affinity = 0.0;
-      for (size_t j = 0; j < remaining.size(); ++j) {
-        if (i == j) continue;
-        affinity += coop.Quality(remaining[i], remaining[j]) +
-                    coop.Quality(remaining[j], remaining[i]);
-      }
-      if (affinity < worst_affinity) {
-        worst_affinity = affinity;
+      if (affinity[i] < worst_affinity) {
+        worst_affinity = affinity[i];
         worst_index = i;
       }
     }
+    const WorkerIndex worst = remaining[worst_index];
     remaining.erase(remaining.begin() + static_cast<ptrdiff_t>(worst_index));
+    affinity.erase(affinity.begin() + static_cast<ptrdiff_t>(worst_index));
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      affinity[i] -= coop.Quality(remaining[i], worst) +
+                     coop.Quality(worst, remaining[i]);
+    }
   }
   return remaining;
 }

@@ -86,6 +86,14 @@ const std::vector<WorkerIndex>& ScoreKeeper::GroupOf(TaskIndex t) const {
 }
 
 double ScoreKeeper::ScoreIfAdded(WorkerIndex w, TaskIndex t) const {
+  return total_ + GainIfJoined(w, t);
+}
+
+double ScoreKeeper::ScoreIfRemoved(WorkerIndex w, TaskIndex t) const {
+  return total_ - LossIfLeft(w, t);
+}
+
+double ScoreKeeper::GainIfJoined(WorkerIndex w, TaskIndex t) const {
   const auto& group = groups_[static_cast<size_t>(t)];
   double added = 0.0;
   for (const WorkerIndex member : group) {
@@ -95,10 +103,10 @@ double ScoreKeeper::ScoreIfAdded(WorkerIndex w, TaskIndex t) const {
   const double new_score =
       GroupScoreFromSum(t, pair_sums_[static_cast<size_t>(t)] + added,
                         static_cast<int>(group.size()) + 1);
-  return total_ - scores_[static_cast<size_t>(t)] + new_score;
+  return new_score - scores_[static_cast<size_t>(t)];
 }
 
-double ScoreKeeper::ScoreIfRemoved(WorkerIndex w, TaskIndex t) const {
+double ScoreKeeper::LossIfLeft(WorkerIndex w, TaskIndex t) const {
   const auto& group = groups_[static_cast<size_t>(t)];
   CASC_CHECK(std::find(group.begin(), group.end(), w) != group.end());
   double removed = 0.0;
@@ -110,7 +118,7 @@ double ScoreKeeper::ScoreIfRemoved(WorkerIndex w, TaskIndex t) const {
   const double new_score =
       GroupScoreFromSum(t, pair_sums_[static_cast<size_t>(t)] - removed,
                         static_cast<int>(group.size()) - 1);
-  return total_ - scores_[static_cast<size_t>(t)] + new_score;
+  return scores_[static_cast<size_t>(t)] - new_score;
 }
 
 }  // namespace casc

@@ -51,6 +51,18 @@ class ScoreKeeper {
   /// What TotalScore() would become if `w` left `t` (no mutation).
   double ScoreIfRemoved(WorkerIndex w, TaskIndex t) const;
 
+  /// Marginal gain in TotalScore() if `w` joined `t`:
+  /// Q(W_t ∪ {w}) - Q(W_t), Equation 5's joining direction. One affinity
+  /// row scan over the group plus the cached pair sum — O(|W_t|), no
+  /// allocation. Requires w not in the group and the group below capacity
+  /// (over-capacity evaluation is the caller's BestSubset fallback).
+  double GainIfJoined(WorkerIndex w, TaskIndex t) const;
+
+  /// Marginal loss in TotalScore() if `w` left `t`:
+  /// Q(W_t) - Q(W_t \ {w}). Same O(|W_t|) allocation-free shape.
+  /// Requires membership.
+  double LossIfLeft(WorkerIndex w, TaskIndex t) const;
+
  private:
   double GroupScoreFromSum(TaskIndex t, double pair_sum, int size) const;
 

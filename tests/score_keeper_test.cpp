@@ -76,6 +76,79 @@ TEST(ScoreKeeperTest, WhatIfQueriesDoNotMutate) {
   EXPECT_NEAR(keeper.TotalScore(), if_removed, 1e-12);
 }
 
+TEST(ScoreKeeperTest, MarginalsMatchScratchObjective) {
+  const Instance instance = RandomInstance(12, 3, 5);
+  ScoreKeeper keeper(instance);
+  keeper.Add(0, 0);
+  keeper.Add(1, 0);
+  keeper.Add(2, 0);
+
+  const std::vector<WorkerIndex> group = {0, 1, 2};
+  EXPECT_NEAR(keeper.GainIfJoined(3, 0),
+              GainOfJoining(instance, 0, group, 3), 1e-12);
+  EXPECT_NEAR(keeper.LossIfLeft(1, 0),
+              MarginalOfMember(instance, 0, group, 1), 1e-12);
+  // Marginals are pure what-ifs.
+  EXPECT_NEAR(keeper.TaskScore(0), GroupScore(instance, 0, group), 1e-12);
+}
+
+// The delta path must track the from-scratch objective through long
+// random mutation sequences: after every step, GainIfJoined/LossIfLeft
+// for random probes must match the rebuilt-group marginals to 1e-9.
+class ScoreKeeperMarginalFuzzTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ScoreKeeperMarginalFuzzTest, MarginalsTrackScratchUnderChurn) {
+  const Instance instance = RandomInstance(30, 10, GetParam() ^ 0xA11);
+  ScoreKeeper keeper(instance);
+  Assignment mirror(instance);
+  Rng rng(GetParam() ^ 0x717);
+
+  for (int step = 0; step < 250; ++step) {
+    const WorkerIndex w = static_cast<WorkerIndex>(
+        rng.UniformInt(static_cast<uint64_t>(instance.num_workers())));
+    const TaskIndex current = mirror.TaskOf(w);
+    if (current != kNoTask) {
+      keeper.Remove(w, current);
+      mirror.Unassign(w);
+    } else {
+      const TaskIndex t = static_cast<TaskIndex>(
+          rng.UniformInt(static_cast<uint64_t>(instance.num_tasks())));
+      if (mirror.GroupSize(t) <
+          instance.tasks()[static_cast<size_t>(t)].capacity) {
+        keeper.Add(w, t);
+        mirror.Assign(w, t);
+      }
+    }
+
+    // Probe a random join and a random leave against scratch rebuilds.
+    const TaskIndex probe_task = static_cast<TaskIndex>(
+        rng.UniformInt(static_cast<uint64_t>(instance.num_tasks())));
+    const std::vector<WorkerIndex>& group = mirror.GroupOf(probe_task);
+    const WorkerIndex joiner = static_cast<WorkerIndex>(
+        rng.UniformInt(static_cast<uint64_t>(instance.num_workers())));
+    if (mirror.TaskOf(joiner) != probe_task &&
+        static_cast<int>(group.size()) <
+            instance.tasks()[static_cast<size_t>(probe_task)].capacity) {
+      EXPECT_NEAR(keeper.GainIfJoined(joiner, probe_task),
+                  GainOfJoining(instance, probe_task, group, joiner), 1e-9)
+          << "step " << step;
+    }
+    if (!group.empty()) {
+      const WorkerIndex leaver = group[static_cast<size_t>(
+          rng.UniformInt(static_cast<uint64_t>(group.size())))];
+      EXPECT_NEAR(keeper.LossIfLeft(leaver, probe_task),
+                  MarginalOfMember(instance, probe_task, group, leaver),
+                  1e-9)
+          << "step " << step;
+    }
+  }
+  EXPECT_NEAR(keeper.TotalScore(), TotalScore(instance, mirror), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScoreKeeperMarginalFuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
 class ScoreKeeperFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(ScoreKeeperFuzzTest, RandomMutationSequencesTrackRecompute) {

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Records the perf trajectory of the assignment engine: builds and runs
+# the delta-evaluation micro-benchmarks and writes google-benchmark JSON
+# (scratch vs. delta vs. parallel numbers side by side) to the repo root.
+#
+# Usage: tools/run_bench.sh [OUT_JSON]
+#   OUT_JSON    output file (default BENCH_PR1.json)
+# Env:
+#   BUILD_DIR   cmake build directory (default build)
+#   BENCH_ARGS  extra args for the benchmark binary (e.g. a filter)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_PR1.json}"
+BUILD_DIR="${BUILD_DIR:-build}"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j --target bench_micro_best_response >/dev/null
+
+"$BUILD_DIR/bench/bench_micro_best_response" \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true \
+  ${BENCH_ARGS:-}
+
+echo "wrote $OUT"
