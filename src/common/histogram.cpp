@@ -104,10 +104,15 @@ std::string Histogram::ToString(int bar_width) const {
     const int64_t count = counts_[static_cast<size_t>(b)];
     const int bar = static_cast<int>(
         static_cast<double>(count) / static_cast<double>(peak) * bar_width);
-    out += "[" + FormatDouble(bucket_lo, 2) + ", " +
-           FormatDouble(bucket_hi, 2) + ") " +
-           std::string(static_cast<size_t>(bar), '#') + " " +
-           std::to_string(count) + "\n";
+    out += '[';
+    out += FormatDouble(bucket_lo, 2);
+    out += ", ";
+    out += FormatDouble(bucket_hi, 2);
+    out += ") ";
+    out.append(static_cast<size_t>(bar), '#');
+    out += ' ';
+    out += std::to_string(count);
+    out += '\n';
   }
   return out;
 }

@@ -5,36 +5,92 @@
 #include "common/check.h"
 
 namespace casc {
+namespace {
+
+/// splitmix64 finalizer: a full-avalanche 64-bit mix.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic symmetric quality in [0, 1) for the procedural mode.
+double HashQuality(uint64_t seed, int i, int k) {
+  const uint64_t lo = static_cast<uint64_t>(std::min(i, k));
+  const uint64_t hi = static_cast<uint64_t>(std::max(i, k));
+  const uint64_t h = Mix64(seed ^ Mix64((lo << 32) | hi));
+  // Top 53 bits -> uniform double in [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
 
 CooperationMatrix::CooperationMatrix(int num_workers, double initial)
-    : num_workers_(num_workers) {
+    : num_workers_(num_workers), stride_(num_workers) {
   CASC_CHECK_GE(num_workers, 0);
   CASC_CHECK_GE(initial, 0.0);
   CASC_CHECK_LE(initial, 1.0);
-  cells_.assign(static_cast<size_t>(num_workers) * num_workers, initial);
+  cells_ = std::make_shared<std::vector<double>>(
+      static_cast<size_t>(num_workers) * num_workers, initial);
   for (int i = 0; i < num_workers; ++i) {
-    cells_[CellIndex(i, i)] = 0.0;
+    (*cells_)[static_cast<size_t>(i) * stride_ + i] = 0.0;
   }
 }
 
-std::size_t CooperationMatrix::CellIndex(int i, int k) const {
+CooperationMatrix CooperationMatrix::Procedural(int num_workers,
+                                                uint64_t seed) {
+  CASC_CHECK_GE(num_workers, 0);
+  CooperationMatrix matrix;
+  matrix.num_workers_ = num_workers;
+  matrix.stride_ = num_workers;
+  matrix.procedural_ = true;
+  matrix.seed_ = seed;
+  return matrix;
+}
+
+void CooperationMatrix::CheckLogicalIndex(int i) const {
   CASC_CHECK_GE(i, 0);
   CASC_CHECK_LT(i, num_workers_);
-  CASC_CHECK_GE(k, 0);
-  CASC_CHECK_LT(k, num_workers_);
-  return static_cast<size_t>(i) * num_workers_ + k;
+}
+
+int CooperationMatrix::BackingIndex(int i) const {
+  return remap_.empty() ? i : remap_[static_cast<size_t>(i)];
+}
+
+std::size_t CooperationMatrix::CellIndex(int i, int k) const {
+  return static_cast<size_t>(i) * stride_ + k;
 }
 
 double CooperationMatrix::Quality(int i, int k) const {
+  CheckLogicalIndex(i);
+  CheckLogicalIndex(k);
   if (i == k) return 0.0;
-  return cells_[CellIndex(i, k)];
+  const int bi = BackingIndex(i);
+  const int bk = BackingIndex(k);
+  // Remapped views may alias two logical workers onto one backing worker;
+  // treat that as the (unused) diagonal for consistency.
+  if (bi == bk) return 0.0;
+  if (procedural_) return HashQuality(seed_, bi, bk);
+  return (*cells_)[CellIndex(bi, bk)];
+}
+
+void CooperationMatrix::DetachIfShared() {
+  if (cells_ && cells_.use_count() > 1) {
+    cells_ = std::make_shared<std::vector<double>>(*cells_);
+  }
 }
 
 void CooperationMatrix::SetQuality(int i, int k, double value) {
+  CASC_CHECK(!is_view() && !is_procedural())
+      << "CooperationMatrix views and procedural matrices are read-only";
+  CheckLogicalIndex(i);
+  CheckLogicalIndex(k);
   CASC_CHECK_NE(i, k);
   CASC_CHECK_GE(value, 0.0);
   CASC_CHECK_LE(value, 1.0);
-  cells_[CellIndex(i, k)] = value;
+  DetachIfShared();
+  (*cells_)[CellIndex(i, k)] = value;
 }
 
 void CooperationMatrix::SetSymmetric(int i, int k, double value) {
@@ -58,6 +114,28 @@ double CooperationMatrix::RowSum(int i, const std::vector<int>& group) const {
     if (k != i) total += Quality(i, k);
   }
   return total;
+}
+
+CooperationMatrix CooperationMatrix::View(std::vector<int> ids) const {
+  CooperationMatrix view;
+  view.num_workers_ = static_cast<int>(ids.size());
+  view.stride_ = stride_;
+  view.procedural_ = procedural_;
+  view.seed_ = seed_;
+  view.cells_ = cells_;
+  for (int& id : ids) {
+    CASC_CHECK_GE(id, 0);
+    CASC_CHECK_LT(id, num_workers_);
+    // Compose with this matrix's own remap so views of views stay flat.
+    id = BackingIndex(id);
+  }
+  view.remap_ = std::move(ids);
+  if (view.remap_.empty()) {
+    // An empty view has no indexable workers; keep the identity remap
+    // convention (empty vector) harmless by zeroing the logical size.
+    view.num_workers_ = 0;
+  }
+  return view;
 }
 
 CooperationHistory::CooperationHistory(int num_workers, double alpha,

@@ -4,32 +4,54 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <utility>
 #include <vector>
 
 namespace casc {
 
-/// Dense pairwise cooperation-quality store: q_i(w_k) in [0, 1] for every
+/// Pairwise cooperation-quality store: q_i(w_k) in [0, 1] for every
 /// ordered worker pair (Definition 1). The diagonal is unused and fixed
 /// at 0.
 ///
 /// The store is ordered (q_i(w_k) and q_k(w_i) are independent cells) to
 /// match the paper's definition; generators that model symmetric quality
 /// simply write both cells.
+///
+/// Three backing modes share one read interface:
+/// * **dense** (the constructors below): an owned m x m cell block.
+///   Copies share the block copy-on-write — mutation detaches — so value
+///   semantics are preserved while copies stay O(1).
+/// * **view** (View()): a remapped window onto another matrix's backing.
+///   `view.Quality(i, k) == base.Quality(ids[i], ids[k])` with no copy of
+///   the cell block; the view keeps the backing alive. This is how the
+///   dispatch service builds per-shard and per-batch instances without
+///   materializing submatrices.
+/// * **procedural** (Procedural()): qualities are a deterministic
+///   symmetric hash of the worker pair — O(1) memory for any m, which is
+///   what city-scale benches (10^4..10^6 workers) require; a dense block
+///   at m = 50k would already be 20 GB.
 class CooperationMatrix {
  public:
   /// Creates an empty matrix for 0 workers.
   CooperationMatrix() = default;
 
-  /// Creates an m x m matrix with every off-diagonal cell = `initial`.
+  /// Creates an m x m dense matrix with every off-diagonal cell = `initial`.
   explicit CooperationMatrix(int num_workers, double initial = 0.0);
+
+  /// Creates a procedural matrix: Quality(i, k) for i != k is a
+  /// deterministic symmetric hash of {i, k} and `seed`, uniform in [0, 1).
+  /// Requires num_workers >= 0.
+  static CooperationMatrix Procedural(int num_workers, uint64_t seed);
 
   int num_workers() const { return num_workers_; }
 
   /// Returns q_i(w_k). Requires valid indices; returns 0 for i == k.
   double Quality(int i, int k) const;
 
-  /// Sets q_i(w_k) only (one direction). Requires value in [0, 1], i != k.
+  /// Sets q_i(w_k) only (one direction). Requires value in [0, 1], i != k,
+  /// and a dense (non-view, non-procedural) matrix. Detaches shared cells
+  /// first, so views and copies taken earlier are unaffected.
   void SetQuality(int i, int k, double value);
 
   /// Sets both q_i(w_k) and q_k(w_i) to `value`.
@@ -43,11 +65,31 @@ class CooperationMatrix {
   /// worker i's raw affinity to the group.
   double RowSum(int i, const std::vector<int>& group) const;
 
+  /// Returns a read-only view restricted (and remapped) to `ids`:
+  /// the result has num_workers() == ids.size() and
+  /// Quality(i, k) == this->Quality(ids[i], ids[k]), sharing this
+  /// matrix's backing. Views of views compose. Requires every id in
+  /// [0, num_workers()).
+  CooperationMatrix View(std::vector<int> ids) const;
+
+  /// True for matrices produced by View() (remapped indices).
+  bool is_view() const { return !remap_.empty(); }
+
+  /// True for matrices produced by Procedural().
+  bool is_procedural() const { return procedural_; }
+
  private:
   std::size_t CellIndex(int i, int k) const;
+  int BackingIndex(int i) const;
+  void CheckLogicalIndex(int i) const;
+  void DetachIfShared();
 
-  int num_workers_ = 0;
-  std::vector<double> cells_;
+  int num_workers_ = 0;  ///< logical size (what callers index with)
+  int stride_ = 0;       ///< backing matrix size (row stride)
+  bool procedural_ = false;
+  uint64_t seed_ = 0;
+  std::shared_ptr<std::vector<double>> cells_;  ///< null when procedural
+  std::vector<int> remap_;  ///< logical -> backing; empty = identity
 };
 
 /// Running history of co-performed tasks used to *estimate* cooperation

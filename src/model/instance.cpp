@@ -72,6 +72,18 @@ void Instance::ComputeValidPairs() {
   valid_pairs_ready_ = true;
 }
 
+void Instance::AdoptValidPairs(
+    std::vector<std::vector<TaskIndex>> valid_tasks,
+    std::vector<std::vector<WorkerIndex>> candidates) {
+  CASC_CHECK(!valid_pairs_ready_)
+      << "valid pairs already computed; AdoptValidPairs would discard them";
+  CASC_CHECK_EQ(static_cast<int>(valid_tasks.size()), num_workers());
+  CASC_CHECK_EQ(static_cast<int>(candidates.size()), num_tasks());
+  valid_tasks_ = std::move(valid_tasks);
+  candidates_ = std::move(candidates);
+  valid_pairs_ready_ = true;
+}
+
 const std::vector<TaskIndex>& Instance::ValidTasks(WorkerIndex w) const {
   CASC_CHECK(valid_pairs_ready_) << "call ComputeValidPairs() first";
   CASC_CHECK_GE(w, 0);

@@ -49,6 +49,17 @@ class Instance {
   /// Algorithm 1 lines 4-5. Idempotent.
   void ComputeValidPairs();
 
+  /// Installs precomputed valid-pair lists instead of running
+  /// ComputeValidPairs(). The dispatch service uses this to derive a
+  /// shard's lists from the already-computed global lists (a filter +
+  /// remap) rather than re-querying the R-tree per shard. The caller
+  /// promises the lists equal what ComputeValidPairs() would produce:
+  /// per-worker tasks and per-task workers, each in ascending index
+  /// order, mutually consistent. Sizes must match the instance; may not
+  /// be called after valid pairs are ready.
+  void AdoptValidPairs(std::vector<std::vector<TaskIndex>> valid_tasks,
+                       std::vector<std::vector<WorkerIndex>> candidates);
+
   /// Valid tasks T_i for worker `w`, ascending task index.
   /// Requires ComputeValidPairs() to have run.
   const std::vector<TaskIndex>& ValidTasks(WorkerIndex w) const;

@@ -1,0 +1,190 @@
+#include "service/boundary_reconciler.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "algo/best_response.h"
+#include "common/check.h"
+#include "model/score_keeper.h"
+
+namespace casc {
+namespace {
+
+/// Strict-improvement threshold; mirrors best_response.cpp.
+constexpr double kTolerance = 1e-12;
+
+/// Two-way affinity of `w` to the current members: the pair-sum increase
+/// of adding `w` (the Equation-2 numerator delta).
+double Affinity(const CooperationMatrix& coop, WorkerIndex w,
+                const std::vector<WorkerIndex>& members) {
+  double total = 0.0;
+  for (const WorkerIndex m : members) {
+    total += coop.Quality(w, m) + coop.Quality(m, w);
+  }
+  return total;
+}
+
+}  // namespace
+
+BoundaryReconciler::BoundaryReconciler(ReconcileOptions options)
+    : options_(options) {}
+
+ReconcileStats BoundaryReconciler::Reconcile(
+    const Instance& global, const std::vector<WorkerIndex>& boundary,
+    Assignment* assignment) const {
+  CASC_CHECK(assignment != nullptr);
+  CASC_CHECK(global.valid_pairs_ready())
+      << "compute the global valid pairs before reconciling";
+  ReconcileStats stats;
+  ScoreKeeper keeper(global);
+  keeper.Sync(*assignment);
+
+  // Pass 1: globally greedy best-marginal insertion — always commit the
+  // highest-gain (boundary worker, task) pair next, not the next worker
+  // by index. One lazily-revalidated heap entry per worker: a popped
+  // entry is recomputed against the current groups and committed only if
+  // still accurate, re-pushed otherwise (gains drift whenever a commit
+  // touches the target group). The comparator's total order (gain desc,
+  // worker asc, task asc) keeps the pass deterministic.
+  struct Entry {
+    double gain;
+    WorkerIndex worker;
+    TaskIndex task;
+  };
+  const auto worse = [](const Entry& a, const Entry& b) {
+    if (a.gain != b.gain) return a.gain < b.gain;
+    if (a.worker != b.worker) return a.worker > b.worker;
+    return a.task > b.task;
+  };
+  const auto best_insertion = [&](WorkerIndex w) {
+    Entry entry{0.0, w, kNoTask};
+    double best_gain = kTolerance;
+    for (const TaskIndex t : global.ValidTasks(w)) {
+      if (assignment->GroupSize(t) >=
+          global.tasks()[static_cast<size_t>(t)].capacity) {
+        continue;
+      }
+      const double gain = keeper.GainIfJoined(w, t);
+      if (gain > best_gain) {  // ties keep the lowest task index
+        best_gain = gain;
+        entry.gain = gain;
+        entry.task = t;
+      }
+    }
+    return entry;
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(worse)> heap(worse);
+  for (const WorkerIndex w : boundary) {
+    // Phase 1 may have placed the worker on a home-shard task already;
+    // insertion only serves the ones it left idle (the polish pass below
+    // re-arbitrates the placed ones across shards).
+    if (assignment->TaskOf(w) != kNoTask) continue;
+    const Entry entry = best_insertion(w);
+    if (entry.task != kNoTask) heap.push(entry);
+  }
+  while (!heap.empty()) {
+    const Entry top = heap.top();
+    heap.pop();
+    const Entry current = best_insertion(top.worker);
+    if (current.task == kNoTask) continue;  // no positive gain left
+    if (current.task != top.task || current.gain != top.gain) {
+      heap.push(current);  // stale — re-rank under the updated groups
+      continue;
+    }
+    assignment->Assign(top.worker, top.task);
+    keeper.Add(top.worker, top.task);
+    ++stats.inserted;
+  }
+
+  // Pass 2: top up tasks still below B from the unassigned remainder.
+  if (options_.seed_underfilled) {
+    std::vector<bool> available(static_cast<size_t>(global.num_workers()),
+                                false);
+    for (const WorkerIndex w : boundary) {
+      if (assignment->TaskOf(w) == kNoTask) {
+        available[static_cast<size_t>(w)] = true;
+      }
+    }
+    for (TaskIndex t = 0; t < global.num_tasks(); ++t) {
+      const int size = assignment->GroupSize(t);
+      if (size >= global.min_group_size()) continue;
+      std::vector<WorkerIndex> pool;
+      for (const WorkerIndex w : global.Candidates(t)) {
+        if (available[static_cast<size_t>(w)]) pool.push_back(w);
+      }
+      if (size + static_cast<int>(pool.size()) < global.min_group_size()) {
+        continue;  // cannot reach B even with every available candidate
+      }
+      // Grow to exactly B by max two-way affinity (ties to the lowest
+      // worker index — `pool` is ascending). B <= a_j always, so the
+      // capacity constraint cannot be hit here.
+      std::vector<WorkerIndex> members = keeper.GroupOf(t);
+      std::vector<WorkerIndex> chosen;
+      while (static_cast<int>(members.size()) < global.min_group_size()) {
+        WorkerIndex best = kNoWorker;
+        double best_affinity = -1.0;
+        for (const WorkerIndex w : pool) {
+          if (!available[static_cast<size_t>(w)]) continue;
+          const double affinity = Affinity(global.coop(), w, members);
+          if (affinity > best_affinity) {
+            best_affinity = affinity;
+            best = w;
+          }
+        }
+        CASC_CHECK_NE(best, kNoWorker);
+        members.push_back(best);
+        chosen.push_back(best);
+        available[static_cast<size_t>(best)] = false;
+      }
+      for (const WorkerIndex w : chosen) {
+        assignment->Assign(w, t);
+        keeper.Add(w, t);
+        ++stats.seeded;
+      }
+    }
+  }
+
+  // Pass 3: best-response rounds over an *active set* that starts as the
+  // boundary workers and grows by whoever a move crowds out — an evicted
+  // interior worker must get the chance to re-place itself or it would
+  // be stranded idle. Rounds stop once no active worker moves (a Nash
+  // equilibrium restricted to the active players). The set and the
+  // ascending processing order are functions of the moves alone, so the
+  // pass stays deterministic; ties resolve to the current strategy, so a
+  // differing response is a strict improvement, and ApplyMove keeps the
+  // keeper exact.
+  if (options_.polish_rounds > 0) {
+    std::vector<WorkerIndex> active = boundary;  // ascending
+    std::vector<bool> in_active(static_cast<size_t>(global.num_workers()),
+                                false);
+    for (const WorkerIndex w : active) in_active[static_cast<size_t>(w)] = true;
+    for (int round = 0; round < options_.polish_rounds; ++round) {
+      int moves_this_round = 0;
+      std::vector<WorkerIndex> evicted;
+      for (const WorkerIndex w : active) {
+        const BestResponse response =
+            ComputeBestResponse(global, keeper, *assignment, w);
+        if (response.task == assignment->TaskOf(w)) continue;
+        const MoveResult result =
+            ApplyMove(global, assignment, &keeper, w, response.task);
+        ++moves_this_round;
+        if (result.crowded_out != kNoWorker &&
+            !in_active[static_cast<size_t>(result.crowded_out)]) {
+          in_active[static_cast<size_t>(result.crowded_out)] = true;
+          evicted.push_back(result.crowded_out);
+        }
+      }
+      stats.polish_moves += moves_this_round;
+      if (moves_this_round == 0) break;
+      if (!evicted.empty()) {
+        std::sort(evicted.begin(), evicted.end());
+        const auto middle = active.insert(active.end(), evicted.begin(),
+                                          evicted.end());
+        std::inplace_merge(active.begin(), middle, active.end());
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace casc

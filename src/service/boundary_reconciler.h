@@ -1,0 +1,77 @@
+#ifndef CASC_SERVICE_BOUNDARY_RECONCILER_H_
+#define CASC_SERVICE_BOUNDARY_RECONCILER_H_
+
+#include <vector>
+
+#include "model/assignment.h"
+#include "model/instance.h"
+
+namespace casc {
+
+/// Knobs of the phase-2 protocol.
+struct ReconcileOptions {
+  /// After the marginal-insertion pass, top up tasks still below the
+  /// minimum group size B from the remaining unassigned boundary
+  /// workers (greedy max-affinity seeding). Without this, boundary
+  /// workers can only join groups that phase 1 already grew to B-1 —
+  /// tasks whose candidates are mostly boundary workers would starve.
+  bool seed_underfilled = true;
+
+  /// Best-response rounds restricted to boundary workers after
+  /// insertion/seeding (0 disables polishing). Uses the full
+  /// game-theoretic move (including crowding out), so each move can only
+  /// increase the total score (the potential-game argument of Theorem
+  /// V.1); rounds stop early once no boundary worker moves. A small cap
+  /// recovers most of the cross-shard score the greedy insertion leaves
+  /// behind while keeping phase 2 linear in practice.
+  int polish_rounds = 3;
+};
+
+/// What phase 2 did, for ServiceMetrics.
+struct ReconcileStats {
+  int inserted = 0;      ///< workers placed by best-marginal insertion
+  int seeded = 0;        ///< workers placed by under-B seeding
+  int polish_moves = 0;  ///< strategy changes in the polish pass
+};
+
+/// Phase 2 of the sharded dispatch protocol: re-arbitrates the boundary
+/// workers — placed on home-shard tasks or left idle by the per-shard
+/// phase 1 — against the committed global assignment.
+///
+/// Every pass is deterministic and shard-independent — ordered by global
+/// worker index or by a totally-ordered gain ranking — so the final
+/// assignment depends only on the instance and the phase-1 result, never
+/// on thread count or shard processing order:
+///   1. *Greedy best-marginal insertion*: repeatedly commit the highest
+///      ScoreKeeper::GainIfJoined marginal over all (boundary worker,
+///      valid non-full task) pairs (strictly positive; ties by lowest
+///      worker then task index), via a lazily-revalidated heap.
+///   2. *Under-B seeding* (optional): tasks still below B are topped up
+///      to B from the remaining unassigned boundary workers, growing the
+///      group greedily by two-way affinity — the cross-shard analogue of
+///      TPG stage 1's seed sets.
+///   3. *Polish* (optional): one best-response round over the boundary
+///      workers only.
+/// Every mutation goes through ApplyMove/ScoreKeeper, so capacity,
+/// reachability and one-task-per-worker validity are preserved exactly
+/// as on the monolithic path.
+class BoundaryReconciler {
+ public:
+  explicit BoundaryReconciler(ReconcileOptions options = {});
+
+  /// Merges `boundary` (ascending global worker indices; members may be
+  /// idle or already placed) into `assignment`. Requires global valid
+  /// pairs.
+  ReconcileStats Reconcile(const Instance& global,
+                           const std::vector<WorkerIndex>& boundary,
+                           Assignment* assignment) const;
+
+  const ReconcileOptions& options() const { return options_; }
+
+ private:
+  ReconcileOptions options_;
+};
+
+}  // namespace casc
+
+#endif  // CASC_SERVICE_BOUNDARY_RECONCILER_H_

@@ -1,0 +1,276 @@
+#include "service/dispatch_service.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "model/objective.h"
+
+namespace casc {
+namespace {
+
+void AppendIntArray(std::ostringstream& out, const char* key,
+                    const std::vector<int>& values) {
+  out << "\"" << key << "\":[";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out << ",";
+    out << values[i];
+  }
+  out << "]";
+}
+
+void AppendDoubleArray(std::ostringstream& out, const char* key,
+                       const std::vector<double>& values) {
+  out << "\"" << key << "\":[";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out << ",";
+    out << values[i];
+  }
+  out << "]";
+}
+
+}  // namespace
+
+std::string ServiceMetrics::ToJson() const {
+  std::ostringstream out;
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << "{\"num_shards\":" << num_shards << ",";
+  AppendIntArray(out, "shard_workers", shard_workers);
+  out << ",";
+  AppendIntArray(out, "shard_tasks", shard_tasks);
+  out << ",";
+  AppendDoubleArray(out, "shard_seconds", shard_seconds);
+  out << ",\"interior_workers\":" << interior_workers
+      << ",\"boundary_workers\":" << boundary_workers
+      << ",\"inserted_boundary\":" << inserted_boundary
+      << ",\"seeded_boundary\":" << seeded_boundary
+      << ",\"polish_moves\":" << polish_moves
+      << ",\"partition_seconds\":" << partition_seconds
+      << ",\"phase1_seconds\":" << phase1_seconds
+      << ",\"phase2_seconds\":" << phase2_seconds
+      << ",\"admitted_tasks\":" << admitted_tasks
+      << ",\"deferred_tasks\":" << deferred_tasks
+      << ",\"queue_depth\":" << queue_depth << "}";
+  return out.str();
+}
+
+ShardedAssigner::ShardedAssigner(ShardedOptions options,
+                                 AssignerFactory factory)
+    : options_(options),
+      factory_(std::move(factory)),
+      executor_(options.num_threads),
+      reconciler_(options.reconcile) {
+  CASC_CHECK(factory_ != nullptr);
+  CASC_CHECK_GE(options_.shards_per_side, 1);
+  name_ = "SHARD" + std::to_string(options_.shards_per_side) + "x" +
+          std::to_string(options_.shards_per_side) + "(" +
+          factory_()->Name() + ")";
+}
+
+std::string ShardedAssigner::Name() const { return name_; }
+
+Assignment ShardedAssigner::Run(const Instance& instance) {
+  CASC_CHECK(instance.valid_pairs_ready());
+  stats_ = AssignerStats{};
+  metrics_ = ServiceMetrics{};
+
+  Stopwatch watch;
+  ShardMapConfig map_config;
+  map_config.shards_per_side = options_.shards_per_side;
+  map_config.world = options_.world;
+  const ShardMap map(instance.workers(), instance.tasks(), map_config);
+  const std::vector<ShardProblem> problems =
+      executor_.BuildProblems(instance, map);
+  metrics_.partition_seconds = watch.ElapsedSeconds();
+
+  const ShardLoadStats load = map.LoadStats();
+  metrics_.num_shards = map.num_shards();
+  metrics_.shard_workers = load.workers_per_shard;
+  metrics_.shard_tasks = load.tasks_per_shard;
+  metrics_.interior_workers = load.interior_workers;
+  metrics_.boundary_workers = load.boundary_workers;
+
+  watch.Restart();
+  Assignment assignment =
+      executor_.Run(instance, problems, factory_, &metrics_.shard_seconds);
+  metrics_.phase1_seconds = watch.ElapsedSeconds();
+
+  watch.Restart();
+  const ReconcileStats reconcile =
+      reconciler_.Reconcile(instance, map.boundary_workers(), &assignment);
+  metrics_.phase2_seconds = watch.ElapsedSeconds();
+  metrics_.inserted_boundary = reconcile.inserted;
+  metrics_.seeded_boundary = reconcile.seeded;
+  metrics_.polish_moves = reconcile.polish_moves;
+
+  stats_.moves = reconcile.polish_moves;
+  stats_.final_score = TotalScore(instance, assignment);
+  return assignment;
+}
+
+DispatchService::DispatchService(DispatchConfig config,
+                                 const CooperationMatrix* global_coop,
+                                 AssignerFactory factory)
+    : config_(config),
+      global_coop_(global_coop),
+      sharded_(config.sharded, std::move(factory)) {
+  CASC_CHECK(global_coop_ != nullptr);
+  CASC_CHECK_GE(config_.max_tasks_per_batch, 0);
+  CASC_CHECK_GT(config_.batch_interval, 0.0);
+}
+
+DispatchResult DispatchService::RunBatch(std::vector<Worker> workers,
+                                         std::vector<Task> tasks,
+                                         double now) {
+  // Admission: earliest deadline first under the per-batch budget.
+  std::vector<Task> deferred;
+  const int budget = config_.max_tasks_per_batch;
+  if (budget > 0 && static_cast<int>(tasks.size()) > budget) {
+    std::stable_sort(tasks.begin(), tasks.end(),
+                     [](const Task& a, const Task& b) {
+                       if (a.deadline != b.deadline) {
+                         return a.deadline < b.deadline;
+                       }
+                       return a.id < b.id;
+                     });
+    deferred.assign(tasks.begin() + budget, tasks.end());
+    tasks.resize(static_cast<size_t>(budget));
+  }
+
+  std::vector<int> ids;
+  ids.reserve(workers.size());
+  for (const Worker& worker : workers) {
+    CASC_CHECK_GE(worker.id, 0)
+        << "worker ids index the service's global cooperation matrix";
+    CASC_CHECK_LT(worker.id, global_coop_->num_workers())
+        << "worker id beyond the global cooperation matrix";
+    ids.push_back(static_cast<int>(worker.id));
+  }
+  const int num_admitted = static_cast<int>(tasks.size());
+  Instance instance(std::move(workers), std::move(tasks),
+                    global_coop_->View(std::move(ids)), now,
+                    config_.min_group_size);
+  instance.ComputeValidPairs();
+
+  BatchMetrics batch;
+  batch.now = now;
+  batch.num_workers = instance.num_workers();
+  batch.num_tasks = instance.num_tasks();
+  batch.valid_pairs = static_cast<int64_t>(instance.NumValidPairs());
+  Stopwatch watch;
+  Assignment assignment = sharded_.Run(instance);
+  batch.seconds = watch.ElapsedSeconds();
+  batch.score = TotalScore(instance, assignment);
+  batch.assigned_workers = assignment.NumAssigned();
+  for (TaskIndex t = 0; t < instance.num_tasks(); ++t) {
+    if (assignment.GroupSize(t) >= instance.min_group_size()) {
+      ++batch.completed_tasks;
+    }
+  }
+
+  ServiceMetrics metrics = sharded_.metrics();
+  metrics.admitted_tasks = num_admitted;
+  metrics.deferred_tasks = static_cast<int>(deferred.size());
+  metrics.queue_depth = static_cast<int>(deferred.size());
+  batch_metrics_.push_back(metrics);
+
+  return DispatchResult{std::move(instance), std::move(assignment),
+                        std::move(deferred), std::move(metrics), batch};
+}
+
+RunSummary DispatchService::Run(const EventStream& stream) {
+  CASC_CHECK(stream.HasDenseWorkerIds())
+      << "the dispatch service indexes global_coop by worker .id: the "
+         "stream's worker ids must be exactly a permutation of "
+         "0..num_workers-1";
+  CASC_CHECK_GE(global_coop_->num_workers(),
+                static_cast<int>(stream.num_workers()))
+      << "global_coop is smaller than the stream's worker population";
+  batch_metrics_.clear();
+
+  // Pool state carried across batches (Algorithm 1's "available" sets).
+  std::vector<Worker> idle_workers;
+  std::vector<Task> open_tasks;
+  std::vector<std::pair<double, Worker>> busy_workers;
+
+  RunSummary summary;
+  double now = stream.FirstEventTime();
+  const double end = stream.LastEventTime() + config_.batch_interval;
+  int round = 0;
+  double previous = -std::numeric_limits<double>::infinity();
+
+  while (now < end) {
+    for (Worker& worker : stream.WorkersArrivingIn(previous, now + 1e-12)) {
+      idle_workers.push_back(worker);
+    }
+    for (Task& task : stream.TasksArrivingIn(previous, now + 1e-12)) {
+      open_tasks.push_back(task);
+    }
+    for (auto it = busy_workers.begin(); it != busy_workers.end();) {
+      if (it->first <= now) {
+        idle_workers.push_back(it->second);
+        it = busy_workers.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    open_tasks.erase(
+        std::remove_if(open_tasks.begin(), open_tasks.end(),
+                       [&](const Task& task) { return task.deadline < now; }),
+        open_tasks.end());
+
+    if (!idle_workers.empty() && !open_tasks.empty()) {
+      DispatchResult result = RunBatch(idle_workers, open_tasks, now);
+      result.batch.round = round;
+
+      // Commit: groups reaching B start now; everyone else carries over,
+      // together with the admission queue's deferred overflow.
+      const Instance& instance = result.instance;
+      std::vector<bool> worker_started(
+          static_cast<size_t>(instance.num_workers()), false);
+      std::vector<bool> task_started(
+          static_cast<size_t>(instance.num_tasks()), false);
+      for (TaskIndex t = 0; t < instance.num_tasks(); ++t) {
+        if (result.assignment.GroupSize(t) < instance.min_group_size()) {
+          continue;
+        }
+        task_started[static_cast<size_t>(t)] = true;
+        for (const WorkerIndex w : result.assignment.GroupOf(t)) {
+          worker_started[static_cast<size_t>(w)] = true;
+        }
+      }
+      std::vector<Worker> still_idle;
+      for (int i = 0; i < instance.num_workers(); ++i) {
+        const Worker& worker = instance.workers()[static_cast<size_t>(i)];
+        if (worker_started[static_cast<size_t>(i)]) {
+          busy_workers.emplace_back(now + config_.task_duration, worker);
+        } else {
+          still_idle.push_back(worker);
+        }
+      }
+      idle_workers = std::move(still_idle);
+      std::vector<Task> still_open;
+      for (int j = 0; j < instance.num_tasks(); ++j) {
+        if (!task_started[static_cast<size_t>(j)]) {
+          still_open.push_back(instance.tasks()[static_cast<size_t>(j)]);
+        }
+      }
+      for (Task& task : result.deferred) still_open.push_back(task);
+      open_tasks = std::move(still_open);
+      batch_metrics_.back().queue_depth =
+          static_cast<int>(open_tasks.size());
+
+      summary.batches.push_back(result.batch);
+    }
+
+    previous = now + 1e-12;
+    now += config_.batch_interval;
+    ++round;
+  }
+  return summary;
+}
+
+}  // namespace casc

@@ -1,0 +1,161 @@
+#ifndef CASC_SERVICE_DISPATCH_SERVICE_H_
+#define CASC_SERVICE_DISPATCH_SERVICE_H_
+
+#include <string>
+#include <vector>
+
+#include "algo/assigner.h"
+#include "model/cooperation_matrix.h"
+#include "service/boundary_reconciler.h"
+#include "service/shard_executor.h"
+#include "service/shard_map.h"
+#include "sim/event_stream.h"
+#include "sim/metrics.h"
+
+namespace casc {
+
+/// Options of the sharded assignment path.
+struct ShardedOptions {
+  /// S: the world is split into S x S shards. S = 1 reproduces the
+  /// monolithic assigner bit-for-bit.
+  int shards_per_side = 4;
+
+  /// Threads for per-shard problem building and solving (1 = inline).
+  /// The output is independent of this value.
+  int num_threads = 1;
+
+  /// The partitioned area.
+  Rect world{0.0, 0.0, 1.0, 1.0};
+
+  /// Phase-2 knobs.
+  ReconcileOptions reconcile;
+};
+
+/// Observability of one dispatched batch: shard loads, boundary-worker
+/// counts, phase timings and admission-queue state.
+struct ServiceMetrics {
+  int num_shards = 0;
+  std::vector<int> shard_workers;    ///< phase-1 (home) workers per shard
+  std::vector<int> shard_tasks;      ///< tasks per shard
+  std::vector<double> shard_seconds; ///< per-shard solver wall time
+  int interior_workers = 0;
+  int boundary_workers = 0;
+  int inserted_boundary = 0;  ///< phase-2 marginal insertions
+  int seeded_boundary = 0;    ///< phase-2 under-B seedings
+  int polish_moves = 0;       ///< phase-2 best-response moves
+  double partition_seconds = 0.0;  ///< shard map + problem building
+  double phase1_seconds = 0.0;     ///< parallel per-shard assignment
+  double phase2_seconds = 0.0;     ///< boundary reconciliation
+  int admitted_tasks = 0;  ///< tasks admitted to this batch
+  int deferred_tasks = 0;  ///< overflow tasks pushed to the next batch
+  int queue_depth = 0;     ///< open tasks carried after the batch
+
+  /// Compact JSON object (machine-readable bench/monitoring output).
+  std::string ToJson() const;
+};
+
+/// The sharded dispatch engine as a drop-in Assigner (Algorithm 1 line
+/// 6): partitions the batch with a ShardMap, solves each shard's home
+/// workers in parallel (ShardExecutor; boundary workers restricted to
+/// home-shard tasks) and re-arbitrates the boundary workers
+/// deterministically (BoundaryReconciler).
+///
+/// Determinism contract: for a fixed instance and options, the produced
+/// assignment is identical regardless of num_threads (shard problems
+/// are solved independently and folded in shard order; phase 2 is
+/// serial in ascending worker order). With shards_per_side == 1 the
+/// result is bit-identical to running the factory's assigner directly.
+class ShardedAssigner : public Assigner {
+ public:
+  /// `factory` creates the per-shard solver (see AssignerFactory's
+  /// thread-safety and determinism requirements).
+  ShardedAssigner(ShardedOptions options, AssignerFactory factory);
+
+  std::string Name() const override;
+  Assignment Run(const Instance& instance) override;
+
+  /// Shard/phase observability of the most recent Run(). Admission
+  /// fields stay zero here — they belong to the DispatchService.
+  const ServiceMetrics& metrics() const { return metrics_; }
+
+  const ShardedOptions& options() const { return options_; }
+
+ private:
+  ShardedOptions options_;
+  AssignerFactory factory_;
+  ShardExecutor executor_;
+  BoundaryReconciler reconciler_;
+  ServiceMetrics metrics_;
+  std::string name_;
+};
+
+/// Per-batch configuration of the dispatch service.
+struct DispatchConfig {
+  ShardedOptions sharded;
+
+  /// Minimum group size B per batch instance.
+  int min_group_size = 3;
+
+  /// Wall-clock time between streaming batches.
+  double batch_interval = 1.0;
+
+  /// How long a started task occupies its workers (streaming mode).
+  double task_duration = 1.0;
+
+  /// Admission budget: at most this many open tasks enter one batch
+  /// (earliest deadline first; ties by task id). 0 = unlimited.
+  /// Overflow tasks stay queued and carry to the next batch until their
+  /// deadlines expire, mirroring RunStreaming's carry-over.
+  int max_tasks_per_batch = 0;
+};
+
+/// One solved batch.
+struct DispatchResult {
+  Instance instance;        ///< the admitted instance (valid pairs ready)
+  Assignment assignment;    ///< over `instance`
+  std::vector<Task> deferred;  ///< tasks the admission budget rejected
+  ServiceMetrics metrics;
+  BatchMetrics batch;
+};
+
+/// The top-level dispatch layer: owns the sharded engine and an
+/// admission queue, and turns the batch framework into a serving loop.
+/// Workers' `.id` fields index `global_coop` (0 <= id < num_workers);
+/// batch instances are built over zero-copy views of it.
+class DispatchService {
+ public:
+  /// `global_coop` must outlive the service.
+  DispatchService(DispatchConfig config,
+                  const CooperationMatrix* global_coop,
+                  AssignerFactory factory);
+
+  /// Admits (budget permitting), shards, assigns and reconciles one
+  /// batch at timestamp `now`. Deferred overflow tasks are returned to
+  /// the caller (the streaming loop re-queues them).
+  DispatchResult RunBatch(std::vector<Worker> workers,
+                          std::vector<Task> tasks, double now);
+
+  /// Streaming mode (Algorithm 1): drives batches over the stream's
+  /// arrivals with idle-worker/open-task carry-over, busy-worker
+  /// bookkeeping and the admission budget. Worker ids must be a
+  /// permutation of 0..num_workers-1 (EventStream::HasDenseWorkerIds).
+  RunSummary Run(const EventStream& stream);
+
+  /// Per-batch service metrics of the most recent Run()/RunBatch()
+  /// sequence (parallel to RunSummary::batches for Run()).
+  const std::vector<ServiceMetrics>& batch_metrics() const {
+    return batch_metrics_;
+  }
+
+  const DispatchConfig& config() const { return config_; }
+
+ private:
+  DispatchConfig config_;
+  const CooperationMatrix* global_coop_;
+  ShardedAssigner sharded_;
+  std::vector<ServiceMetrics> batch_metrics_;
+};
+
+}  // namespace casc
+
+#endif  // CASC_SERVICE_DISPATCH_SERVICE_H_

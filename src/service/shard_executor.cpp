@@ -1,0 +1,166 @@
+#include "service/shard_executor.h"
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+
+namespace casc {
+namespace {
+
+/// Builds shard `s`'s local instance. `task_shard`/`task_local` and
+/// `worker_shard`/`worker_local` map every global index to its shard and
+/// position within that shard's list (-1 when absent, e.g. boundary
+/// workers).
+ShardProblem BuildOne(const Instance& global, const ShardMap& map, int s,
+                      const std::vector<int>& task_shard,
+                      const std::vector<int>& task_local,
+                      const std::vector<int>& worker_shard,
+                      const std::vector<int>& worker_local) {
+  const std::vector<WorkerIndex>& global_workers = map.HomeWorkersOf(s);
+  const std::vector<TaskIndex>& global_tasks = map.TasksOf(s);
+
+  std::vector<Worker> workers;
+  workers.reserve(global_workers.size());
+  std::vector<int> coop_ids;
+  coop_ids.reserve(global_workers.size());
+  for (const WorkerIndex gw : global_workers) {
+    workers.push_back(global.workers()[static_cast<size_t>(gw)]);
+    coop_ids.push_back(gw);
+  }
+  std::vector<Task> tasks;
+  tasks.reserve(global_tasks.size());
+  for (const TaskIndex gt : global_tasks) {
+    tasks.push_back(global.tasks()[static_cast<size_t>(gt)]);
+  }
+
+  Instance local(std::move(workers), std::move(tasks),
+                 global.coop().View(std::move(coop_ids)), global.now(),
+                 global.min_group_size());
+
+  // Local valid pairs are the global lists filtered to this shard and
+  // remapped; ascending order is preserved because the per-shard lists
+  // are ascending in the global index. An interior worker's valid tasks
+  // all live in its shard by construction (the invariant phase 1 rests
+  // on — CHECKed); a boundary home worker keeps only its home-shard
+  // tasks here and is re-arbitrated across shards in phase 2.
+  std::vector<std::vector<TaskIndex>> valid_tasks(global_workers.size());
+  for (size_t lw = 0; lw < global_workers.size(); ++lw) {
+    const WorkerIndex gw = global_workers[lw];
+    const std::vector<TaskIndex>& global_valid = global.ValidTasks(gw);
+    const bool boundary = map.IsBoundary(gw);
+    valid_tasks[lw].reserve(global_valid.size());
+    for (const TaskIndex gt : global_valid) {
+      if (boundary) {
+        if (task_shard[static_cast<size_t>(gt)] != s) continue;
+      } else {
+        CASC_CHECK_EQ(task_shard[static_cast<size_t>(gt)], s)
+            << "interior worker " << gw << " has valid task " << gt
+            << " outside its shard — ShardMap classification is broken";
+      }
+      valid_tasks[lw].push_back(task_local[static_cast<size_t>(gt)]);
+    }
+  }
+  std::vector<std::vector<WorkerIndex>> candidates(global_tasks.size());
+  for (size_t lt = 0; lt < global_tasks.size(); ++lt) {
+    const TaskIndex gt = global_tasks[lt];
+    for (const WorkerIndex gw : global.Candidates(gt)) {
+      // Workers homed in other shards stay out; boundary workers among
+      // them are reconciled across shards in phase 2.
+      if (worker_shard[static_cast<size_t>(gw)] != s) continue;
+      candidates[lt].push_back(worker_local[static_cast<size_t>(gw)]);
+    }
+  }
+  local.AdoptValidPairs(std::move(valid_tasks), std::move(candidates));
+
+  return ShardProblem{std::move(local), global_workers, global_tasks};
+}
+
+}  // namespace
+
+ShardExecutor::ShardExecutor(int num_threads) : pool_(num_threads) {}
+
+std::vector<ShardProblem> ShardExecutor::BuildProblems(
+    const Instance& global, const ShardMap& map) {
+  CASC_CHECK(global.valid_pairs_ready())
+      << "compute the global valid pairs before sharding";
+  const int num_shards = map.num_shards();
+
+  // Global -> (shard, local position), one serial pass.
+  std::vector<int> task_shard(static_cast<size_t>(global.num_tasks()), -1);
+  std::vector<int> task_local(static_cast<size_t>(global.num_tasks()), -1);
+  std::vector<int> worker_shard(static_cast<size_t>(global.num_workers()),
+                                -1);
+  std::vector<int> worker_local(static_cast<size_t>(global.num_workers()),
+                                -1);
+  for (int s = 0; s < num_shards; ++s) {
+    const std::vector<TaskIndex>& tasks = map.TasksOf(s);
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      task_shard[static_cast<size_t>(tasks[i])] = s;
+      task_local[static_cast<size_t>(tasks[i])] = static_cast<int>(i);
+    }
+    const std::vector<WorkerIndex>& workers = map.HomeWorkersOf(s);
+    for (size_t i = 0; i < workers.size(); ++i) {
+      worker_shard[static_cast<size_t>(workers[i])] = s;
+      worker_local[static_cast<size_t>(workers[i])] = static_cast<int>(i);
+    }
+  }
+
+  std::vector<std::optional<ShardProblem>> built(
+      static_cast<size_t>(num_shards));
+  pool_.ParallelFor(num_shards, [&](int64_t s) {
+    built[static_cast<size_t>(s)] =
+        BuildOne(global, map, static_cast<int>(s), task_shard, task_local,
+                 worker_shard, worker_local);
+  });
+
+  std::vector<ShardProblem> problems;
+  problems.reserve(static_cast<size_t>(num_shards));
+  for (auto& problem : built) {
+    problems.push_back(std::move(*problem));
+  }
+  return problems;
+}
+
+Assignment ShardExecutor::Run(const Instance& global,
+                              const std::vector<ShardProblem>& problems,
+                              const AssignerFactory& factory,
+                              std::vector<double>* shard_seconds) {
+  CASC_CHECK(factory != nullptr);
+  const int num_shards = static_cast<int>(problems.size());
+  std::vector<std::optional<Assignment>> locals(
+      static_cast<size_t>(num_shards));
+  std::vector<double> seconds(static_cast<size_t>(num_shards), 0.0);
+
+  pool_.ParallelFor(num_shards, [&](int64_t s) {
+    const ShardProblem& problem = problems[static_cast<size_t>(s)];
+    if (problem.instance.num_workers() == 0 ||
+        problem.instance.num_tasks() == 0) {
+      return;  // nothing to assign; fold treats absent as empty
+    }
+    Stopwatch watch;
+    const std::unique_ptr<Assigner> solver = factory();
+    locals[static_cast<size_t>(s)] = solver->Run(problem.instance);
+    seconds[static_cast<size_t>(s)] = watch.ElapsedSeconds();
+  });
+
+  // Deterministic fold: ascending shard order, local insertion order.
+  // Shards are disjoint in both workers and tasks, so group insertion
+  // order within any task matches the local solver's order exactly.
+  Assignment assignment(global);
+  for (int s = 0; s < num_shards; ++s) {
+    if (!locals[static_cast<size_t>(s)].has_value()) continue;
+    const ShardProblem& problem = problems[static_cast<size_t>(s)];
+    const Assignment& local = *locals[static_cast<size_t>(s)];
+    for (const AssignedPair& pair : local.Pairs()) {
+      assignment.Assign(
+          problem.global_workers[static_cast<size_t>(pair.worker)],
+          problem.global_tasks[static_cast<size_t>(pair.task)]);
+    }
+  }
+  if (shard_seconds != nullptr) *shard_seconds = std::move(seconds);
+  return assignment;
+}
+
+}  // namespace casc

@@ -1,0 +1,70 @@
+#ifndef CASC_SERVICE_SHARD_EXECUTOR_H_
+#define CASC_SERVICE_SHARD_EXECUTOR_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "algo/assigner.h"
+#include "common/thread_pool.h"
+#include "model/assignment.h"
+#include "model/instance.h"
+#include "service/shard_map.h"
+
+namespace casc {
+
+/// Creates a fresh solver for one shard. Invoked concurrently from pool
+/// threads, so it must be thread-safe (a plain `make_unique<GtAssigner>`
+/// is). The produced assigners must be deterministic and single-threaded
+/// (GtOptions::num_threads == 1): nested pools are not allowed, and
+/// shard results must not depend on where they ran.
+using AssignerFactory = std::function<std::unique_ptr<Assigner>()>;
+
+/// One shard's self-contained CA-SC sub-instance plus the index maps
+/// back into the global instance. The local instance holds the shard's
+/// interior workers and tasks under local indices, a zero-copy
+/// CooperationMatrix view remapping local worker indices onto the global
+/// matrix, and valid-pair lists derived from the global lists (filter +
+/// remap — no per-shard R-tree rebuild).
+struct ShardProblem {
+  Instance instance;                        ///< local, valid pairs ready
+  std::vector<WorkerIndex> global_workers;  ///< local w -> global w
+  std::vector<TaskIndex> global_tasks;      ///< local t -> global t
+};
+
+/// Phase-1 engine of the sharded dispatch service: materializes the
+/// per-shard problems and runs an independent solver on every shard in
+/// parallel, folding the local assignments into one global assignment in
+/// ascending shard order. Because shards share no workers (interior
+/// only) and no tasks, the fold is conflict-free and the result is
+/// independent of thread count and scheduling.
+class ShardExecutor {
+ public:
+  /// A pool of `num_threads` (>= 1; 1 runs inline).
+  explicit ShardExecutor(int num_threads);
+
+  /// Builds one ShardProblem per shard of `map` (in parallel). Requires
+  /// `global.valid_pairs_ready()`; `map` must have been built from the
+  /// same worker/task vectors.
+  std::vector<ShardProblem> BuildProblems(const Instance& global,
+                                          const ShardMap& map);
+
+  /// Runs a factory-made assigner over every problem in parallel and
+  /// folds the local assignments into a global assignment (ascending
+  /// shard order; boundary workers stay idle for phase 2). Shards with
+  /// no workers or no tasks are skipped. A non-null `shard_seconds`
+  /// receives per-shard solver wall times.
+  Assignment Run(const Instance& global,
+                 const std::vector<ShardProblem>& problems,
+                 const AssignerFactory& factory,
+                 std::vector<double>* shard_seconds);
+
+  int num_threads() const { return pool_.num_threads(); }
+
+ private:
+  ThreadPool pool_;
+};
+
+}  // namespace casc
+
+#endif  // CASC_SERVICE_SHARD_EXECUTOR_H_

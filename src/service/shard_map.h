@@ -1,0 +1,123 @@
+#ifndef CASC_SERVICE_SHARD_MAP_H_
+#define CASC_SERVICE_SHARD_MAP_H_
+
+#include <string>
+#include <vector>
+
+#include "geo/rect.h"
+#include "model/task.h"
+#include "model/worker.h"
+
+namespace casc {
+
+/// Configuration of the spatial partition used by the dispatch service.
+struct ShardMapConfig {
+  /// The world is cut into shards_per_side x shards_per_side equal
+  /// rectangles (S = 1 degenerates to the monolithic path).
+  int shards_per_side = 4;
+
+  /// The area being partitioned. Locations outside it are clamped into
+  /// the border shards, mirroring GridIndex's convention.
+  Rect world{0.0, 0.0, 1.0, 1.0};
+};
+
+/// Per-shard load counters emitted for monitoring and bench output.
+struct ShardLoadStats {
+  std::vector<int> workers_per_shard;  ///< home workers per shard (phase 1)
+  std::vector<int> tasks_per_shard;
+  int interior_workers = 0;
+  int boundary_workers = 0;
+  int max_shard_workers = 0;
+  int max_shard_tasks = 0;
+};
+
+/// Partition of one batch's workers and tasks onto an SxS grid of shards.
+///
+/// Every task belongs to exactly one shard — the one containing its
+/// location. By the working-radius constraint of Definition 3, all of a
+/// worker's valid tasks lie inside its reach disk (center l_i, radius
+/// r_i), so a worker whose disk stays within one shard (an **interior**
+/// worker) can be assigned entirely inside it, while a worker reaching
+/// several (a **boundary** worker) needs cross-shard arbitration.
+/// Classification uses the disk's bounding-box cell range — slightly
+/// conservative (a disk grazing a corner counts as boundary), but the
+/// monotone interval argument makes "interior worker => every valid
+/// task in its shard" exact under floating point. Workers located
+/// outside the world rectangle are conservatively classified boundary.
+///
+/// Every worker also has a **home shard** — the one containing its
+/// (clamped) location. Phase 1 solves each shard over its home workers,
+/// with boundary members restricted to home-shard tasks; phase 2 then
+/// re-arbitrates the boundary workers across shards.
+///
+/// Indices are positions in the `workers`/`tasks` vectors handed to the
+/// constructor (i.e. global Instance indices). All per-shard lists are
+/// ascending, making downstream iteration deterministic.
+class ShardMap {
+ public:
+  ShardMap(const std::vector<Worker>& workers,
+           const std::vector<Task>& tasks, const ShardMapConfig& config);
+
+  int shards_per_side() const { return config_.shards_per_side; }
+  int num_shards() const {
+    return config_.shards_per_side * config_.shards_per_side;
+  }
+  const Rect& world() const { return config_.world; }
+
+  /// The rectangle of shard `s` (row-major: s = cy * S + cx).
+  Rect ShardRect(int shard) const;
+
+  /// The shard whose rectangle contains `p` (clamped into the border
+  /// shards for out-of-world points).
+  int ShardOfPoint(const Point& p) const;
+
+  /// Shards whose rectangles intersect the disk (center, radius), in
+  /// ascending shard order. Non-empty for centers inside the world.
+  std::vector<int> ShardsTouched(const Point& center, double radius) const;
+
+  /// Tasks located in shard `s`, ascending task index.
+  const std::vector<TaskIndex>& TasksOf(int shard) const;
+
+  /// Interior workers of shard `s`, ascending worker index.
+  const std::vector<WorkerIndex>& InteriorWorkersOf(int shard) const;
+
+  /// All workers whose home shard is `s` (interior workers of `s` plus
+  /// the boundary workers located in it), ascending worker index. The
+  /// per-shard lists partition the workers; phase 1 solves each shard
+  /// over exactly this list.
+  const std::vector<WorkerIndex>& HomeWorkersOf(int shard) const;
+
+  /// True when worker `w` was classified boundary.
+  bool IsBoundary(WorkerIndex w) const {
+    return is_boundary_[static_cast<size_t>(w)];
+  }
+
+  /// Boundary workers (reach disk touches several shards, or located
+  /// outside the world), ascending worker index — the deterministic
+  /// global order phase 2 processes them in.
+  const std::vector<WorkerIndex>& boundary_workers() const {
+    return boundary_workers_;
+  }
+
+  int num_interior_workers() const { return num_interior_workers_; }
+
+  /// Load counters for monitoring/benching.
+  ShardLoadStats LoadStats() const;
+
+ private:
+  int CellOf(double coord, double lo, double width) const;
+
+  ShardMapConfig config_;
+  double cell_width_;
+  double cell_height_;
+  std::vector<std::vector<TaskIndex>> shard_tasks_;
+  std::vector<std::vector<WorkerIndex>> interior_workers_;
+  std::vector<std::vector<WorkerIndex>> home_workers_;
+  std::vector<WorkerIndex> boundary_workers_;
+  std::vector<bool> is_boundary_;
+  int num_interior_workers_ = 0;
+};
+
+}  // namespace casc
+
+#endif  // CASC_SERVICE_SHARD_MAP_H_

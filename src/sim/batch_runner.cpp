@@ -70,6 +70,12 @@ RunSummary BatchRunner::RunStreaming(const EventStream& stream,
                                      const CooperationMatrix& global_coop,
                                      Assigner* assigner) const {
   CASC_CHECK(assigner != nullptr);
+  CASC_CHECK(stream.HasDenseWorkerIds())
+      << "RunStreaming indexes global_coop by worker .id: the stream's "
+         "worker ids must be exactly a permutation of 0..num_workers-1";
+  CASC_CHECK_GE(global_coop.num_workers(),
+                static_cast<int>(stream.num_workers()))
+      << "global_coop is smaller than the stream's worker population";
 
   // Pool state carried across batches.
   std::vector<Worker> idle_workers;
@@ -106,21 +112,15 @@ RunSummary BatchRunner::RunStreaming(const EventStream& stream,
         open_tasks.end());
 
     if (!idle_workers.empty() && !open_tasks.empty()) {
-      // Build the batch instance with a cooperation submatrix indexed by
-      // the batch-local worker positions.
-      CooperationMatrix coop(static_cast<int>(idle_workers.size()));
-      for (size_t i = 0; i < idle_workers.size(); ++i) {
-        for (size_t k = i + 1; k < idle_workers.size(); ++k) {
-          const int gi = static_cast<int>(idle_workers[i].id);
-          const int gk = static_cast<int>(idle_workers[k].id);
-          coop.SetQuality(static_cast<int>(i), static_cast<int>(k),
-                          global_coop.Quality(gi, gk));
-          coop.SetQuality(static_cast<int>(k), static_cast<int>(i),
-                          global_coop.Quality(gk, gi));
-        }
+      // Build the batch instance over a zero-copy view of the global
+      // matrix, remapped to the batch-local worker positions.
+      std::vector<int> ids;
+      ids.reserve(idle_workers.size());
+      for (const Worker& worker : idle_workers) {
+        ids.push_back(static_cast<int>(worker.id));
       }
-      Instance instance(idle_workers, open_tasks, std::move(coop), now,
-                        config_.min_group_size);
+      Instance instance(idle_workers, open_tasks, global_coop.View(ids),
+                        now, config_.min_group_size);
       instance.ComputeValidPairs();
 
       Assignment assignment(instance);

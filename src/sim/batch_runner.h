@@ -49,8 +49,9 @@ class BatchRunner {
   RunSummary RunRounds(InstanceSource* source, Assigner* assigner) const;
 
   /// Streaming mode over pre-generated arrivals. `global_coop` is indexed
-  /// by the workers' positions in `stream`'s worker vector (their .id
-  /// fields must be 0..num_workers-1).
+  /// by the workers' `.id` fields, which must be exactly a permutation of
+  /// 0..num_workers-1 (EventStream::HasDenseWorkerIds — enforced with a
+  /// CHECK, not just documented).
   RunSummary RunStreaming(const EventStream& stream,
                           const CooperationMatrix& global_coop,
                           Assigner* assigner) const;

@@ -41,6 +41,18 @@ std::vector<Task> EventStream::TasksArrivingIn(double from,
   return std::vector<Task>(lo, hi);
 }
 
+bool EventStream::HasDenseWorkerIds() const {
+  std::vector<bool> seen(workers_.size(), false);
+  for (const Worker& worker : workers_) {
+    if (worker.id < 0 || worker.id >= static_cast<int64_t>(workers_.size())) {
+      return false;
+    }
+    if (seen[static_cast<size_t>(worker.id)]) return false;
+    seen[static_cast<size_t>(worker.id)] = true;
+  }
+  return true;
+}
+
 double EventStream::FirstEventTime() const {
   double first = std::numeric_limits<double>::infinity();
   if (!workers_.empty()) first = std::min(first, workers_.front().arrival_time);

@@ -33,6 +33,12 @@ class EventStream {
   size_t num_workers() const { return workers_.size(); }
   size_t num_tasks() const { return tasks_.size(); }
 
+  /// True when the worker `.id` fields are exactly a permutation of
+  /// 0..num_workers()-1 — the indexing invariant consumers that look up
+  /// cooperation qualities in a global matrix by `.id` (RunStreaming,
+  /// the dispatch service) rely on. O(num_workers).
+  bool HasDenseWorkerIds() const;
+
  private:
   std::vector<Worker> workers_;  // sorted by arrival_time
   std::vector<Task> tasks_;      // sorted by create_time

@@ -2,8 +2,52 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <sstream>
 
 namespace casc {
+namespace {
+
+/// Shortest double rendering that round-trips (max_digits10).
+std::ostringstream MakeJsonStream() {
+  std::ostringstream out;
+  out.precision(std::numeric_limits<double>::max_digits10);
+  return out;
+}
+
+}  // namespace
+
+std::string ToJson(const BatchMetrics& metrics) {
+  std::ostringstream out = MakeJsonStream();
+  out << "{\"round\":" << metrics.round << ",\"now\":" << metrics.now
+      << ",\"num_workers\":" << metrics.num_workers
+      << ",\"num_tasks\":" << metrics.num_tasks
+      << ",\"valid_pairs\":" << metrics.valid_pairs
+      << ",\"score\":" << metrics.score
+      << ",\"upper_bound\":" << metrics.upper_bound
+      << ",\"seconds\":" << metrics.seconds
+      << ",\"assigned_workers\":" << metrics.assigned_workers
+      << ",\"completed_tasks\":" << metrics.completed_tasks
+      << ",\"gt_rounds\":" << metrics.gt_rounds << "}";
+  return out.str();
+}
+
+std::string ToJson(const RunSummary& summary) {
+  std::ostringstream out = MakeJsonStream();
+  out << "{\"total_score\":" << summary.TotalScore()
+      << ",\"total_upper_bound\":" << summary.TotalUpperBound()
+      << ",\"avg_batch_seconds\":" << summary.AvgBatchSeconds()
+      << ",\"max_batch_seconds\":" << summary.MaxBatchSeconds()
+      << ",\"total_assigned_workers\":" << summary.TotalAssignedWorkers()
+      << ",\"total_completed_tasks\":" << summary.TotalCompletedTasks()
+      << ",\"batches\":[";
+  for (size_t i = 0; i < summary.batches.size(); ++i) {
+    if (i > 0) out << ",";
+    out << ToJson(summary.batches[i]);
+  }
+  out << "]}";
+  return out.str();
+}
 
 double RunSummary::TotalScore() const {
   double total = 0.0;

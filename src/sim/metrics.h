@@ -43,6 +43,14 @@ struct RunSummary {
   int64_t TotalCompletedTasks() const;
 };
 
+/// Renders one batch as a compact JSON object (round-trippable doubles).
+std::string ToJson(const BatchMetrics& metrics);
+
+/// Renders a run as a JSON object: the aggregate fields plus a "batches"
+/// array of per-batch objects — the machine-readable counterpart of the
+/// table prints, consumed by tools/run_bench.sh outputs.
+std::string ToJson(const RunSummary& summary);
+
 /// Mean of `values` (0 for empty input).
 double Mean(const std::vector<double>& values);
 

@@ -98,6 +98,80 @@ TEST(EventStreamTest, HalfOpenIntervals) {
   EXPECT_EQ(stream.WorkersArrivingIn(2.0, 3.0).size(), 1u);  // [2, 3)
 }
 
+TEST(EventStreamTest, EventExactlyAtToIsExcluded) {
+  // Both event kinds sitting exactly on the `to` boundary stay out of
+  // [from, to) and fall into the next window.
+  std::vector<Worker> workers = {Worker{0, {0, 0}, 1, 1, 5.0}};
+  std::vector<Task> tasks = {Task{0, {0, 0}, 5.0, 9.0, 3}};
+  const EventStream stream(std::move(workers), std::move(tasks));
+  EXPECT_TRUE(stream.WorkersArrivingIn(0.0, 5.0).empty());
+  EXPECT_TRUE(stream.TasksArrivingIn(0.0, 5.0).empty());
+  EXPECT_EQ(stream.WorkersArrivingIn(5.0, 6.0).size(), 1u);
+  EXPECT_EQ(stream.TasksArrivingIn(5.0, 6.0).size(), 1u);
+}
+
+TEST(EventStreamTest, FromEqualsToIsEmpty) {
+  std::vector<Worker> workers = {Worker{0, {0, 0}, 1, 1, 2.0}};
+  std::vector<Task> tasks = {Task{0, {0, 0}, 2.0, 9.0, 3}};
+  const EventStream stream(std::move(workers), std::move(tasks));
+  // [t, t) is empty even with an event exactly at t.
+  EXPECT_TRUE(stream.WorkersArrivingIn(2.0, 2.0).empty());
+  EXPECT_TRUE(stream.TasksArrivingIn(2.0, 2.0).empty());
+}
+
+TEST(EventStreamTest, EmptyStreamEdgeQueries) {
+  const EventStream stream({}, {});
+  EXPECT_TRUE(stream.WorkersArrivingIn(0.0, 0.0).empty());
+  EXPECT_TRUE(stream.TasksArrivingIn(-1.0, 1.0).empty());
+  EXPECT_TRUE(stream.HasDenseWorkerIds());  // vacuously dense
+}
+
+TEST(EventStreamTest, HasDenseWorkerIds) {
+  // A permutation of 0..n-1 (in scrambled arrival order) is dense.
+  std::vector<Worker> dense = {Worker{2, {0, 0}, 1, 1, 3.0},
+                               Worker{0, {0, 0}, 1, 1, 1.0},
+                               Worker{1, {0, 0}, 1, 1, 2.0}};
+  EXPECT_TRUE(EventStream(std::move(dense), {}).HasDenseWorkerIds());
+
+  std::vector<Worker> duplicate = {Worker{0, {0, 0}, 1, 1, 1.0},
+                                   Worker{0, {0, 0}, 1, 1, 2.0}};
+  EXPECT_FALSE(EventStream(std::move(duplicate), {}).HasDenseWorkerIds());
+
+  std::vector<Worker> gap = {Worker{0, {0, 0}, 1, 1, 1.0},
+                             Worker{2, {0, 0}, 1, 1, 2.0}};
+  EXPECT_FALSE(EventStream(std::move(gap), {}).HasDenseWorkerIds());
+
+  std::vector<Worker> negative = {Worker{-1, {0, 0}, 1, 1, 1.0}};
+  EXPECT_FALSE(EventStream(std::move(negative), {}).HasDenseWorkerIds());
+}
+
+TEST(MetricsTest, BatchToJsonContainsFields) {
+  BatchMetrics batch;
+  batch.round = 3;
+  batch.now = 1.5;
+  batch.num_workers = 10;
+  batch.num_tasks = 4;
+  batch.score = 2.25;
+  const std::string json = ToJson(batch);
+  EXPECT_NE(json.find("\"round\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"num_workers\":10"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"score\":2.25"), std::string::npos) << json;
+}
+
+TEST(MetricsTest, SummaryToJsonHasAggregatesAndBatches) {
+  RunSummary summary;
+  BatchMetrics batch;
+  batch.score = 1.0;
+  summary.batches = {batch, batch};
+  const std::string json = ToJson(summary);
+  EXPECT_NE(json.find("\"total_score\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"batches\":["), std::string::npos) << json;
+  // Two batch objects inside the array.
+  const size_t first = json.find("\"round\":0");
+  ASSERT_NE(first, std::string::npos) << json;
+  EXPECT_NE(json.find("\"round\":0", first + 1), std::string::npos) << json;
+}
+
 // ---------------------------------------------------------------------------
 // BatchRunner: round mode
 // ---------------------------------------------------------------------------

@@ -1,28 +1,53 @@
 #!/usr/bin/env bash
-# Records the perf trajectory of the assignment engine: builds and runs
-# the delta-evaluation micro-benchmarks and writes google-benchmark JSON
-# (scratch vs. delta vs. parallel numbers side by side) to the repo root.
+# Records the perf trajectory of the assignment engine:
+#   PR1  delta-evaluation micro-benchmarks (google-benchmark JSON:
+#        scratch vs. delta vs. parallel side by side)
+#   PR2  sharded dispatch (monolithic GT vs sharded GT at S in
+#        {1,2,4,8}: score retention and speedup on 10-50K instances)
 #
-# Usage: tools/run_bench.sh [OUT_JSON]
-#   OUT_JSON    output file (default BENCH_PR1.json)
+# Usage: tools/run_bench.sh [pr1|pr2|all] [OUT_JSON]
+#   pr1|pr2|all  which suite to run (default all)
+#   OUT_JSON     output override for a single suite
 # Env:
-#   BUILD_DIR   cmake build directory (default build)
-#   BENCH_ARGS  extra args for the benchmark binary (e.g. a filter)
+#   BUILD_DIR    cmake build directory (default build)
+#   BENCH_ARGS   extra args for the selected benchmark binary
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR1.json}"
+SUITE="${1:-all}"
 BUILD_DIR="${BUILD_DIR:-build}"
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
-cmake --build "$BUILD_DIR" -j --target bench_micro_best_response >/dev/null
 
-"$BUILD_DIR/bench/bench_micro_best_response" \
-  --benchmark_out="$OUT" \
-  --benchmark_out_format=json \
-  --benchmark_repetitions=3 \
-  --benchmark_report_aggregates_only=true \
-  ${BENCH_ARGS:-}
+run_pr1() {
+  local out="${1:-BENCH_PR1.json}"
+  cmake --build "$BUILD_DIR" -j --target bench_micro_best_response >/dev/null
+  "$BUILD_DIR/bench/bench_micro_best_response" \
+    --benchmark_out="$out" \
+    --benchmark_out_format=json \
+    --benchmark_repetitions=3 \
+    --benchmark_report_aggregates_only=true \
+    ${BENCH_ARGS:-}
+  echo "wrote $out"
+}
 
-echo "wrote $OUT"
+run_pr2() {
+  local out="${1:-BENCH_PR2.json}"
+  cmake --build "$BUILD_DIR" -j --target bench_sharded_dispatch >/dev/null
+  "$BUILD_DIR/bench/bench_sharded_dispatch" --json="$out" ${BENCH_ARGS:-}
+  echo "wrote $out"
+}
+
+case "$SUITE" in
+  pr1) run_pr1 "${2:-}" ;;
+  pr2) run_pr2 "${2:-}" ;;
+  all)
+    run_pr1
+    run_pr2
+    ;;
+  *)
+    echo "usage: tools/run_bench.sh [pr1|pr2|all] [OUT_JSON]" >&2
+    exit 1
+    ;;
+esac
