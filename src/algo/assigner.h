@@ -7,7 +7,9 @@
 #include <vector>
 
 #include "model/assignment.h"
+#include "model/batch_workspace.h"
 #include "model/instance.h"
+#include "model/score_keeper.h"
 
 namespace casc {
 
@@ -52,8 +54,34 @@ class Assigner {
   /// Diagnostics of the most recent Run().
   const AssignerStats& stats() const { return stats_; }
 
+  /// Optional scratch pool. When set, Run() draws its assignments and
+  /// score keepers from the workspace instead of allocating fresh ones,
+  /// so streaming drivers reuse the slab/CSR capacity across batches.
+  /// The workspace must outlive the assigner's use of it; pass nullptr
+  /// to detach. Not owned.
+  void set_workspace(BatchWorkspace* workspace) { workspace_ = workspace; }
+  BatchWorkspace* workspace() const { return workspace_; }
+
  protected:
+  /// Empty assignment for `instance`, pooled when a workspace is set.
+  Assignment MakeAssignment(const Instance& instance) {
+    if (workspace_ != nullptr) return workspace_->AcquireAssignment(instance);
+    return Assignment(instance);
+  }
+
+  /// Keeper synced to `assignment`, pooled when a workspace is set.
+  ScoreKeeper MakeScoreKeeper(const Instance& instance,
+                              const Assignment& assignment) {
+    if (workspace_ != nullptr) {
+      ScoreKeeper keeper = workspace_->AcquireScoreKeeper(instance);
+      keeper.Sync(assignment);
+      return keeper;
+    }
+    return ScoreKeeper(instance, assignment);
+  }
+
   AssignerStats stats_;
+  BatchWorkspace* workspace_ = nullptr;
 };
 
 }  // namespace casc

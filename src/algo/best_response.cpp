@@ -90,7 +90,7 @@ double StrategyUtility(const Instance& instance, const ScoreKeeper& keeper,
     return keeper.LossIfLeft(w, t);
   }
 
-  const std::vector<WorkerIndex>& others = keeper.GroupOf(t);
+  const std::span<const WorkerIndex> others = keeper.GroupOf(t);
   const int capacity = instance.tasks()[static_cast<size_t>(t)].capacity;
   if (static_cast<int>(others.size()) < capacity) {
     return keeper.GainIfJoined(w, t);
@@ -99,7 +99,7 @@ double StrategyUtility(const Instance& instance, const ScoreKeeper& keeper,
   // Overfull: Equation 2 pays only the best a_t-subset of W_t ∪ {w}. The
   // pre-join score is already cached; only the joined group needs the
   // BestSubset fallback.
-  std::vector<WorkerIndex> group = others;
+  std::vector<WorkerIndex> group(others.begin(), others.end());
   group.push_back(w);
   const std::vector<WorkerIndex> best =
       BestSubset(instance.coop(), group, capacity);
@@ -159,7 +159,8 @@ MoveResult ApplyMove(const Instance& instance, Assignment* assignment,
   assignment->Assign(w, t);
   const int capacity = instance.tasks()[static_cast<size_t>(t)].capacity;
   if (assignment->GroupSize(t) > capacity) {
-    const std::vector<WorkerIndex> group = assignment->GroupOf(t);
+    const std::span<const WorkerIndex> overfull = assignment->GroupOf(t);
+    const std::vector<WorkerIndex> group(overfull.begin(), overfull.end());
     const std::vector<WorkerIndex> best =
         BestSubset(instance.coop(), group, capacity);
     for (const WorkerIndex member : group) {
@@ -176,16 +177,48 @@ MoveResult ApplyMove(const Instance& instance, Assignment* assignment,
 
 MoveResult ApplyMove(const Instance& instance, Assignment* assignment,
                      ScoreKeeper* keeper, WorkerIndex w, TaskIndex t) {
-  const MoveResult result = ApplyMove(instance, assignment, w, t);
-  if (keeper == nullptr) return result;
+  if (keeper == nullptr) return ApplyMove(instance, assignment, w, t);
+  CASC_CHECK(assignment != nullptr);
+  MoveResult result;
+  result.from = assignment->TaskOf(w);
   if (result.from == t) return result;  // Assign(w, TaskOf(w)) is a no-op
-  if (result.from != kNoTask) keeper->Remove(w, result.from);
-  if (t != kNoTask && result.crowded_out != w) {
-    if (result.crowded_out != kNoWorker) {
-      keeper->Remove(result.crowded_out, t);
-    }
-    keeper->Add(w, t);
+
+  // Keeper updates interleave with the assignment mutations: each
+  // Remove/Add must scan the group state the mirrored-keeper design saw,
+  // so the eviction delta is computed before the newcomer joins and the
+  // join delta after the evictee left.
+  if (result.from != kNoTask) {
+    keeper->Remove(w, result.from);
+    assignment->Unassign(w);
   }
+  if (t == kNoTask) return result;
+  CASC_CHECK(instance.IsValidPair(w, t))
+      << "ApplyMove: pair (" << w << ", " << t << ") is not valid";
+
+  const int capacity = instance.tasks()[static_cast<size_t>(t)].capacity;
+  if (assignment->GroupSize(t) >= capacity) {
+    // Joining would overfill: Equation 2 pays only the best a_t-subset of
+    // W_t ∪ {w}; the member left out is crowded out (possibly w itself).
+    const std::span<const WorkerIndex> current = assignment->GroupOf(t);
+    std::vector<WorkerIndex> group(current.begin(), current.end());
+    group.push_back(w);
+    const std::vector<WorkerIndex> best =
+        BestSubset(instance.coop(), group, capacity);
+    WorkerIndex evicted = kNoWorker;
+    for (const WorkerIndex member : group) {
+      if (std::find(best.begin(), best.end(), member) == best.end()) {
+        evicted = member;
+        break;
+      }
+    }
+    CASC_CHECK_NE(evicted, kNoWorker);
+    result.crowded_out = evicted;
+    if (evicted == w) return result;  // w stays out; the group is unchanged
+    keeper->Remove(evicted, t);
+    assignment->Unassign(evicted);
+  }
+  keeper->Add(w, t);
+  assignment->Assign(w, t);
   return result;
 }
 

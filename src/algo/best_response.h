@@ -7,9 +7,6 @@
 
 namespace casc {
 
-/// Sentinel for "no worker" (e.g. no one was crowded out).
-inline constexpr WorkerIndex kNoWorker = -1;
-
 /// The game-theoretic strategy evaluation shared by the GT assigner and
 /// the Nash-equilibrium property checks in the test suite (Section V-B).
 ///

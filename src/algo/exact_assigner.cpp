@@ -127,7 +127,7 @@ Assignment ExactAssigner::Run(const Instance& instance) {
 
   Search(&state, 0);
 
-  Assignment assignment(instance);
+  Assignment assignment = MakeAssignment(instance);
   for (WorkerIndex w = 0; w < instance.num_workers(); ++w) {
     const TaskIndex t = state.best_choice[static_cast<size_t>(w)];
     if (t != kNoTask) assignment.Assign(w, t);

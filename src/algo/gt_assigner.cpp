@@ -192,14 +192,16 @@ Assignment GtAssigner::Run(const Instance& instance) {
   stats_ = AssignerStats{};
 
   // Algorithm 3, line 1: initialize the joint strategy.
-  Assignment assignment(instance);
+  Assignment assignment;
   switch (options_.init) {
     case GtInit::kTpg: {
       TpgAssigner tpg;
+      tpg.set_workspace(workspace());
       assignment = tpg.Run(instance);
       break;
     }
     case GtInit::kRandom: {
+      assignment = MakeAssignment(instance);
       // The generic best-response seed of Section V-A: each worker picks
       // a uniformly random valid task; overfull tasks immediately shed
       // their best-subset losers so the state stays feasible.
@@ -214,13 +216,13 @@ Assignment GtAssigner::Run(const Instance& instance) {
       break;
     }
     case GtInit::kEmpty:
+      assignment = MakeAssignment(instance);
       break;
   }
 
   // The keeper delta-evaluates every utility from here on; it is kept in
   // sync with `assignment` through keeper-aware ApplyMove.
-  ScoreKeeper keeper(instance);
-  keeper.Sync(assignment);
+  ScoreKeeper keeper = MakeScoreKeeper(instance, assignment);
   stats_.init_score = keeper.TotalScore();
 
   std::unique_ptr<ThreadPool> pool;
@@ -287,6 +289,7 @@ Assignment GtAssigner::Run(const Instance& instance) {
 
   stats_.converged = reached_equilibrium;
   stats_.final_score = keeper.TotalScore();
+  if (workspace() != nullptr) workspace()->Recycle(std::move(keeper));
   return assignment;
 }
 

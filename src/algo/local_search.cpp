@@ -24,9 +24,40 @@ std::string LocalSearchAssigner::Name() const {
   return base_->Name() + "+SWAP";
 }
 
-int64_t LocalSearchAssigner::ImprovementPass(const Instance& instance,
-                                             Assignment* assignment,
-                                             ScoreKeeper* keeper) {
+int64_t LocalSearchAssigner::ImprovementPass(
+    const Instance& instance, Assignment* assignment, ScoreKeeper* keeper,
+    std::vector<std::vector<WorkerIndex>>* mirror) {
+  const CooperationMatrix& coop = instance.coop();
+
+  // Trial mutations run on `mirror` + ApplyDelta, not on the assignment:
+  // the mirror replicates the legacy keeper's internal group store, whose
+  // member order drifts from the assignment's after rolled-back trials
+  // (rollback re-appends the worker at the end). Delta sums must
+  // accumulate in that drifted order to keep every later score
+  // bit-identical with the historical implementation.
+  const auto affinity = [&coop](const std::vector<WorkerIndex>& group,
+                                WorkerIndex w) {
+    double sum = 0.0;
+    for (const WorkerIndex member : group) {
+      sum += coop.Quality(member, w) + coop.Quality(w, member);
+    }
+    return sum;
+  };
+  const auto remove_from = [&](TaskIndex t, WorkerIndex w) {
+    std::vector<WorkerIndex>& group = (*mirror)[static_cast<size_t>(t)];
+    const auto it = std::find(group.begin(), group.end(), w);
+    CASC_CHECK(it != group.end());
+    group.erase(it);
+    keeper->ApplyDelta(t, -affinity(group, w),
+                       static_cast<int>(group.size()));
+  };
+  const auto add_to = [&](TaskIndex t, WorkerIndex w) {
+    std::vector<WorkerIndex>& group = (*mirror)[static_cast<size_t>(t)];
+    const double added = affinity(group, w);
+    group.push_back(w);
+    keeper->ApplyDelta(t, added, static_cast<int>(group.size()));
+  };
+
   int64_t swaps = 0;
   const int n = instance.num_tasks();
   for (TaskIndex t1 = 0; t1 < n; ++t1) {
@@ -35,8 +66,10 @@ int64_t LocalSearchAssigner::ImprovementPass(const Instance& instance,
       bool improved = true;
       while (improved) {
         improved = false;
-        const std::vector<WorkerIndex> group1 = assignment->GroupOf(t1);
-        const std::vector<WorkerIndex> group2 = assignment->GroupOf(t2);
+        const std::span<const WorkerIndex> span1 = assignment->GroupOf(t1);
+        const std::span<const WorkerIndex> span2 = assignment->GroupOf(t2);
+        const std::vector<WorkerIndex> group1(span1.begin(), span1.end());
+        const std::vector<WorkerIndex> group2(span2.begin(), span2.end());
         const double base_score =
             keeper->TaskScore(t1) + keeper->TaskScore(t2);
         for (const WorkerIndex w1 : group1) {
@@ -46,10 +79,10 @@ int64_t LocalSearchAssigner::ImprovementPass(const Instance& instance,
             // Trial-apply the exchange on the keeper: four O(group)
             // mutations instead of rebuilding and rescoring both groups
             // from scratch.
-            keeper->Remove(w1, t1);
-            keeper->Remove(w2, t2);
-            keeper->Add(w2, t1);
-            keeper->Add(w1, t2);
+            remove_from(t1, w1);
+            remove_from(t2, w2);
+            add_to(t1, w2);
+            add_to(t2, w1);
             const double swapped =
                 keeper->TaskScore(t1) + keeper->TaskScore(t2);
             if (swapped > base_score + kTolerance) {
@@ -59,10 +92,10 @@ int64_t LocalSearchAssigner::ImprovementPass(const Instance& instance,
               improved = true;
               break;
             }
-            keeper->Remove(w2, t1);
-            keeper->Remove(w1, t2);
-            keeper->Add(w1, t1);
-            keeper->Add(w2, t2);
+            remove_from(t1, w2);
+            remove_from(t2, w1);
+            add_to(t1, w1);
+            add_to(t2, w2);
           }
           if (improved) break;
         }
@@ -73,17 +106,25 @@ int64_t LocalSearchAssigner::ImprovementPass(const Instance& instance,
 }
 
 Assignment LocalSearchAssigner::Run(const Instance& instance) {
+  base_->set_workspace(workspace());
   Assignment assignment = base_->Run(instance);
   stats_ = base_->stats();
   swaps_applied_ = 0;
-  ScoreKeeper keeper(instance);
-  keeper.Sync(assignment);
+  ScoreKeeper keeper = MakeScoreKeeper(instance, assignment);
+  std::vector<std::vector<WorkerIndex>> mirror(
+      static_cast<size_t>(instance.num_tasks()));
+  for (TaskIndex t = 0; t < instance.num_tasks(); ++t) {
+    const std::span<const WorkerIndex> group = assignment.GroupOf(t);
+    mirror[static_cast<size_t>(t)].assign(group.begin(), group.end());
+  }
   for (int pass = 0; pass < options_.max_passes; ++pass) {
-    const int64_t swaps = ImprovementPass(instance, &assignment, &keeper);
+    const int64_t swaps =
+        ImprovementPass(instance, &assignment, &keeper, &mirror);
     swaps_applied_ += swaps;
     if (swaps == 0) break;
   }
   stats_.final_score = TotalScore(instance, assignment);
+  if (workspace() != nullptr) workspace()->Recycle(std::move(keeper));
   return assignment;
 }
 

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "algo/assigner.h"
 #include "model/score_keeper.h"
@@ -38,11 +39,13 @@ class LocalSearchAssigner : public Assigner {
 
  private:
   /// One full pass; returns the number of swaps applied. Candidate
-  /// exchanges are delta-evaluated on `keeper` (mirroring *assignment)
-  /// via trial mutations — O(group) per candidate instead of rebuilding
-  /// both groups and rescoring from scratch.
+  /// exchanges are delta-evaluated via trial mutations on `mirror` (a
+  /// replica of the legacy keeper's group store) plus keeper ApplyDelta —
+  /// O(group) per candidate instead of rebuilding both groups and
+  /// rescoring from scratch.
   int64_t ImprovementPass(const Instance& instance, Assignment* assignment,
-                          ScoreKeeper* keeper);
+                          ScoreKeeper* keeper,
+                          std::vector<std::vector<WorkerIndex>>* mirror);
 
   std::unique_ptr<Assigner> base_;
   LocalSearchOptions options_;

@@ -45,7 +45,7 @@ Assignment MaxFlowAssigner::Run(const Instance& instance) {
 
   DinicMaxFlow(&network, source, sink);
 
-  Assignment assignment(instance);
+  Assignment assignment = MakeAssignment(instance);
   for (const PairEdge& pair : pair_edges) {
     if (network.Flow(pair.edge) > 0) {
       assignment.Assign(pair.worker, pair.task);

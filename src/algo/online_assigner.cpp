@@ -16,11 +16,11 @@ Assignment OnlineAssigner::Run(const Instance& instance) {
   CASC_CHECK(instance.valid_pairs_ready())
       << "ONLINE requires Instance::ComputeValidPairs()";
   stats_ = AssignerStats{};
-  Assignment assignment(instance);
+  Assignment assignment = MakeAssignment(instance);
   // Joining gains are delta-evaluated: the keeper grows with the
   // assignment, so each candidate task costs one affinity-row scan
   // instead of a rebuilt-group GroupScore pair.
-  ScoreKeeper keeper(instance);
+  ScoreKeeper keeper = MakeScoreKeeper(instance, assignment);
 
   // Arrival order; ties broken by worker index for determinism.
   std::vector<WorkerIndex> order(static_cast<size_t>(instance.num_workers()));
@@ -79,6 +79,7 @@ Assignment OnlineAssigner::Run(const Instance& instance) {
     }
   }
   stats_.final_score = TotalScore(instance, assignment);
+  if (workspace() != nullptr) workspace()->Recycle(std::move(keeper));
   return assignment;
 }
 

@@ -13,7 +13,7 @@ Assignment RandomAssigner::Run(const Instance& instance) {
   CASC_CHECK(instance.valid_pairs_ready())
       << "RAND requires Instance::ComputeValidPairs()";
   stats_ = AssignerStats{};
-  Assignment assignment(instance);
+  Assignment assignment = MakeAssignment(instance);
 
   std::vector<TaskIndex> order(static_cast<size_t>(instance.num_tasks()));
   for (TaskIndex t = 0; t < instance.num_tasks(); ++t) {

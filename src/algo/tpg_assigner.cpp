@@ -89,7 +89,7 @@ Assignment TpgAssigner::Run(const Instance& instance) {
   CASC_CHECK(instance.valid_pairs_ready())
       << "TPG requires Instance::ComputeValidPairs()";
   stats_ = AssignerStats{};
-  Assignment assignment(instance);
+  Assignment assignment = MakeAssignment(instance);
   const int num_tasks = instance.num_tasks();
   const int min_group = instance.min_group_size();
 

@@ -6,9 +6,15 @@
 
 namespace casc {
 
-Assignment::Assignment(const Instance& instance)
-    : task_of_(static_cast<size_t>(instance.num_workers()), kNoTask),
-      groups_(static_cast<size_t>(instance.num_tasks())) {}
+Assignment::Assignment(const Instance& instance) { Reset(instance); }
+
+void Assignment::Reset(const Instance& instance) {
+  task_of_.assign(static_cast<size_t>(instance.num_workers()), kNoTask);
+  // One slack slot per task lets GT transiently overfill a group while
+  // the crowding rule picks the best-subset loser.
+  groups_.Reset(instance.task_capacities(), /*slack=*/1);
+  num_assigned_ = 0;
+}
 
 void Assignment::Assign(WorkerIndex w, TaskIndex t) {
   CASC_CHECK_GE(w, 0);
@@ -18,7 +24,7 @@ void Assignment::Assign(WorkerIndex w, TaskIndex t) {
   if (task_of_[static_cast<size_t>(w)] == t) return;
   Unassign(w);
   task_of_[static_cast<size_t>(w)] = t;
-  groups_[static_cast<size_t>(t)].push_back(w);
+  groups_.PushBack(t, w);
   ++num_assigned_;
 }
 
@@ -27,10 +33,7 @@ void Assignment::Unassign(WorkerIndex w) {
   CASC_CHECK_LT(w, num_workers());
   const TaskIndex t = task_of_[static_cast<size_t>(w)];
   if (t == kNoTask) return;
-  auto& group = groups_[static_cast<size_t>(t)];
-  const auto it = std::find(group.begin(), group.end(), w);
-  CASC_CHECK(it != group.end());
-  group.erase(it);
+  groups_.Erase(t, w);
   task_of_[static_cast<size_t>(w)] = kNoTask;
   --num_assigned_;
 }
@@ -41,24 +44,28 @@ TaskIndex Assignment::TaskOf(WorkerIndex w) const {
   return task_of_[static_cast<size_t>(w)];
 }
 
-const std::vector<WorkerIndex>& Assignment::GroupOf(TaskIndex t) const {
+std::span<const WorkerIndex> Assignment::GroupOf(TaskIndex t) const {
   CASC_CHECK_GE(t, 0);
   CASC_CHECK_LT(t, num_tasks());
-  return groups_[static_cast<size_t>(t)];
+  return groups_.Group(t);
 }
 
 int Assignment::GroupSize(TaskIndex t) const {
-  return static_cast<int>(GroupOf(t).size());
+  CASC_CHECK_GE(t, 0);
+  CASC_CHECK_LT(t, num_tasks());
+  return groups_.size(t);
+}
+
+void Assignment::AppendPairs(std::vector<AssignedPair>* out) const {
+  CASC_CHECK(out != nullptr);
+  out->reserve(out->size() + static_cast<size_t>(num_assigned_));
+  ForEachPair(
+      [out](WorkerIndex w, TaskIndex t) { out->push_back({w, t}); });
 }
 
 std::vector<AssignedPair> Assignment::Pairs() const {
   std::vector<AssignedPair> out;
-  out.reserve(static_cast<size_t>(num_assigned_));
-  for (TaskIndex t = 0; t < num_tasks(); ++t) {
-    for (const WorkerIndex w : groups_[static_cast<size_t>(t)]) {
-      out.push_back(AssignedPair{w, t});
-    }
-  }
+  AppendPairs(&out);
   return out;
 }
 
@@ -71,7 +78,7 @@ Status Assignment::Validate(const Instance& instance) const {
   // up, no duplicates.
   int counted = 0;
   for (TaskIndex t = 0; t < num_tasks(); ++t) {
-    const auto& group = groups_[static_cast<size_t>(t)];
+    const std::span<const WorkerIndex> group = groups_.Group(t);
     for (const WorkerIndex w : group) {
       if (w < 0 || w >= num_workers()) {
         return Status::Internal("group member out of range");
@@ -81,7 +88,7 @@ Status Assignment::Validate(const Instance& instance) const {
       }
       ++counted;
     }
-    std::vector<WorkerIndex> sorted = group;
+    std::vector<WorkerIndex> sorted(group.begin(), group.end());
     std::sort(sorted.begin(), sorted.end());
     if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
       return Status::Internal("duplicate worker in a task group");

@@ -1,9 +1,11 @@
 #ifndef CASC_MODEL_ASSIGNMENT_H_
 #define CASC_MODEL_ASSIGNMENT_H_
 
+#include <span>
 #include <vector>
 
 #include "common/status.h"
+#include "model/group_store.h"
 #include "model/instance.h"
 
 namespace casc {
@@ -21,14 +23,28 @@ struct AssignedPair {
 /// A (partial) assignment A: each worker serves at most one task per batch;
 /// each task holds a group of workers. Mutations are O(group size).
 ///
+/// Groups live in a slab-backed GroupStore (one fixed slab per task,
+/// capacity a_j + 1 slots) so assigning and unassigning never allocate;
+/// the extra slot covers GT's transient overfill while it decides whom to
+/// crowd out. Group insertion order is preserved by every mutation — the
+/// deterministic floating-point contract sums pair qualities in group
+/// order.
+///
 /// The class does not enforce validity or capacity on mutation — the
-/// assigners use it as scratch state (GT temporarily overfills a task by
-/// one while deciding whom to crowd out). `Validate()` checks the full
-/// CA-SC constraints of Definition 4 for finished assignments.
+/// assigners use it as scratch state. `Validate()` checks the full CA-SC
+/// constraints of Definition 4 for finished assignments.
 class Assignment {
  public:
+  /// Creates an empty, zero-shape assignment; Reset() before use (the
+  /// pooling hook used by BatchWorkspace).
+  Assignment() = default;
+
   /// Creates an empty assignment shaped for `instance`.
   explicit Assignment(const Instance& instance);
+
+  /// Reshapes for `instance` and empties every group, reusing the backing
+  /// arrays' capacity.
+  void Reset(const Instance& instance);
 
   /// Assigns worker `w` to task `t`, detaching it from any previous task.
   void Assign(WorkerIndex w, TaskIndex t);
@@ -39,11 +55,28 @@ class Assignment {
   /// Task currently served by `w`, or kNoTask.
   TaskIndex TaskOf(WorkerIndex w) const;
 
-  /// Workers currently assigned to `t`, in insertion order.
-  const std::vector<WorkerIndex>& GroupOf(TaskIndex t) const;
+  /// Workers currently assigned to `t`, in insertion order. The span is
+  /// invalidated by Reset() and by mutations of task `t`'s group (other
+  /// groups' mutations leave it intact).
+  std::span<const WorkerIndex> GroupOf(TaskIndex t) const;
 
   /// Number of workers assigned to `t`.
   int GroupSize(TaskIndex t) const;
+
+  /// Visits every (worker, task) pair ordered by task then by position in
+  /// the group — allocation-free iteration for the hot metrics paths.
+  template <typename Fn>
+  void ForEachPair(Fn&& fn) const {
+    for (TaskIndex t = 0; t < num_tasks(); ++t) {
+      for (const WorkerIndex w : groups_.Group(t)) {
+        fn(w, t);
+      }
+    }
+  }
+
+  /// Appends all pairs to `out` in ForEachPair order (out-param twin of
+  /// Pairs() for callers that reuse a buffer).
+  void AppendPairs(std::vector<AssignedPair>* out) const;
 
   /// All pairs, ordered by task then by position in the group.
   std::vector<AssignedPair> Pairs() const;
@@ -57,11 +90,11 @@ class Assignment {
   Status Validate(const Instance& instance) const;
 
   int num_workers() const { return static_cast<int>(task_of_.size()); }
-  int num_tasks() const { return static_cast<int>(groups_.size()); }
+  int num_tasks() const { return groups_.num_groups(); }
 
  private:
-  std::vector<TaskIndex> task_of_;               // per worker
-  std::vector<std::vector<WorkerIndex>> groups_;  // per task
+  std::vector<TaskIndex> task_of_;  // per worker
+  GroupStore groups_;               // per task
   int num_assigned_ = 0;
 };
 

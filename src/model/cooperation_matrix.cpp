@@ -98,7 +98,7 @@ void CooperationMatrix::SetSymmetric(int i, int k, double value) {
   SetQuality(k, i, value);
 }
 
-double CooperationMatrix::PairSum(const std::vector<int>& group) const {
+double CooperationMatrix::PairSum(std::span<const int> group) const {
   double total = 0.0;
   for (size_t a = 0; a < group.size(); ++a) {
     for (size_t b = a + 1; b < group.size(); ++b) {
@@ -108,7 +108,8 @@ double CooperationMatrix::PairSum(const std::vector<int>& group) const {
   return total;
 }
 
-double CooperationMatrix::RowSum(int i, const std::vector<int>& group) const {
+double CooperationMatrix::RowSum(int i,
+                                std::span<const int> group) const {
   double total = 0.0;
   for (const int k : group) {
     if (k != i) total += Quality(i, k);

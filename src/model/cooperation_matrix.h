@@ -3,8 +3,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <memory>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -59,11 +61,23 @@ class CooperationMatrix {
 
   /// Sum over ordered pairs of distinct workers in `group`:
   /// sum_i sum_{k != i} q_i(w_k) — the numerator of Equation 2.
-  double PairSum(const std::vector<int>& group) const;
+  double PairSum(std::span<const int> group) const;
+  double PairSum(const std::vector<int>& group) const {
+    return PairSum(std::span<const int>(group));
+  }
+  double PairSum(std::initializer_list<int> group) const {
+    return PairSum(std::span<const int>(group.begin(), group.size()));
+  }
 
   /// Sum of q_i(w_k) for a fixed i over all k in `group` (skipping i):
   /// worker i's raw affinity to the group.
-  double RowSum(int i, const std::vector<int>& group) const;
+  double RowSum(int i, std::span<const int> group) const;
+  double RowSum(int i, const std::vector<int>& group) const {
+    return RowSum(i, std::span<const int>(group));
+  }
+  double RowSum(int i, std::initializer_list<int> group) const {
+    return RowSum(i, std::span<const int>(group.begin(), group.size()));
+  }
 
   /// Returns a read-only view restricted (and remapped) to `ids`:
   /// the result has num_workers() == ids.size() and

@@ -1,10 +1,28 @@
 #include "model/instance.h"
 
+#include <atomic>
+
 #include "common/check.h"
 #include "geo/reachability.h"
+#include "model/batch_workspace.h"
+#include "spatial/grid_index.h"
+#include "spatial/linear_scan.h"
 #include "spatial/rtree.h"
 
 namespace casc {
+namespace {
+
+std::atomic<SpatialBackend> g_default_backend{SpatialBackend::kRTree};
+
+}  // namespace
+
+void SetDefaultSpatialBackend(SpatialBackend backend) {
+  g_default_backend.store(backend, std::memory_order_relaxed);
+}
+
+SpatialBackend DefaultSpatialBackend() {
+  return g_default_backend.load(std::memory_order_relaxed);
+}
 
 Instance::Instance(std::vector<Worker> workers, std::vector<Task> tasks,
                    CooperationMatrix coop, double now, int min_group_size)
@@ -16,9 +34,27 @@ Instance::Instance(std::vector<Worker> workers, std::vector<Task> tasks,
   CASC_CHECK_EQ(coop_.num_workers(), static_cast<int>(workers_.size()));
   CASC_CHECK_GE(min_group_size_, 2)
       << "Equation 2 divides by min(|W_j|, a_j) - 1";
+  worker_locations_.reserve(workers_.size());
+  worker_speeds_.reserve(workers_.size());
+  worker_radii_.reserve(workers_.size());
+  worker_arrivals_.reserve(workers_.size());
+  for (const Worker& worker : workers_) {
+    worker_locations_.push_back(worker.location);
+    worker_speeds_.push_back(worker.speed);
+    worker_radii_.push_back(worker.radius);
+    worker_arrivals_.push_back(worker.arrival_time);
+  }
+  task_locations_.reserve(tasks_.size());
+  task_create_times_.reserve(tasks_.size());
+  task_deadlines_.reserve(tasks_.size());
+  task_capacities_.reserve(tasks_.size());
   for (const Task& task : tasks_) {
     CASC_CHECK_GE(task.capacity, min_group_size_)
         << "task capacity a_j below the minimum group size B";
+    task_locations_.push_back(task.location);
+    task_create_times_.push_back(task.create_time);
+    task_deadlines_.push_back(task.deadline);
+    task_capacities_.push_back(task.capacity);
   }
 }
 
@@ -27,48 +63,94 @@ bool Instance::IsValidPair(WorkerIndex w, TaskIndex t) const {
   CASC_CHECK_LT(w, num_workers());
   CASC_CHECK_GE(t, 0);
   CASC_CHECK_LT(t, num_tasks());
-  const Worker& worker = workers_[static_cast<size_t>(w)];
-  const Task& task = tasks_[static_cast<size_t>(t)];
-  if (worker.arrival_time > now_ || task.create_time > now_) return false;
-  if (!InWorkingArea(worker.location, worker.radius, task.location)) {
+  const size_t wi = static_cast<size_t>(w);
+  const size_t ti = static_cast<size_t>(t);
+  if (worker_arrivals_[wi] > now_ || task_create_times_[ti] > now_) {
     return false;
   }
-  return CanArriveByDeadline(worker.location, worker.speed, task.location,
-                             now_, task.deadline);
+  if (!InWorkingArea(worker_locations_[wi], worker_radii_[wi],
+                     task_locations_[ti])) {
+    return false;
+  }
+  return CanArriveByDeadline(worker_locations_[wi], worker_speeds_[wi],
+                             task_locations_[ti], now_, task_deadlines_[ti]);
 }
 
 void Instance::ComputeValidPairs() {
+  ComputeValidPairs(DefaultSpatialBackend(), nullptr);
+}
+
+void Instance::ComputeValidPairs(SpatialBackend backend,
+                                 BatchWorkspace* workspace) {
   if (valid_pairs_ready_) return;
-  valid_tasks_.assign(workers_.size(), {});
-  candidates_.assign(tasks_.size(), {});
+
+  if (workspace != nullptr) {
+    pairs_ = workspace->AcquireValidPairIndex();
+  }
+  pairs_.BeginBuild(num_workers(), num_tasks());
 
   // Index task locations once, then answer one working-area circle query
   // per worker (Algorithm 1 lines 4-5).
-  RTree task_index;
-  std::vector<SpatialItem> items;
+  RTree rtree;
+  GridIndex grid;
+  LinearScan linear;
+  SpatialIndex* task_index = nullptr;
+  switch (backend) {
+    case SpatialBackend::kRTree:
+      task_index = &rtree;
+      break;
+    case SpatialBackend::kGridIndex:
+      task_index = &grid;
+      break;
+    case SpatialBackend::kLinearScan:
+      task_index = &linear;
+      break;
+  }
+  CASC_CHECK(task_index != nullptr);
+
+  std::vector<SpatialItem> local_items;
+  std::vector<SpatialItem>& items =
+      workspace != nullptr ? workspace->spatial_items() : local_items;
+  items.clear();
   items.reserve(tasks_.size());
   for (size_t t = 0; t < tasks_.size(); ++t) {
-    items.push_back(SpatialItem{static_cast<int64_t>(t), tasks_[t].location});
+    items.push_back(
+        SpatialItem{static_cast<int64_t>(t), task_locations_[t]});
   }
-  task_index.Build(items);
+  task_index->Build(items);
 
   for (int w = 0; w < num_workers(); ++w) {
-    const Worker& worker = workers_[static_cast<size_t>(w)];
-    if (worker.arrival_time > now_) continue;
+    const size_t wi = static_cast<size_t>(w);
+    if (worker_arrivals_[wi] > now_) {
+      pairs_.FinishWorker();
+      continue;
+    }
     const std::vector<int64_t> in_range =
-        task_index.CircleQuery(worker.location, worker.radius);
+        task_index->CircleQuery(worker_locations_[wi], worker_radii_[wi]);
     for (const int64_t raw_t : in_range) {
       const TaskIndex t = static_cast<TaskIndex>(raw_t);
-      const Task& task = tasks_[static_cast<size_t>(t)];
-      if (task.create_time > now_) continue;
-      if (!CanArriveByDeadline(worker.location, worker.speed, task.location,
-                               now_, task.deadline)) {
+      const size_t ti = static_cast<size_t>(t);
+      if (task_create_times_[ti] > now_) continue;
+      if (!CanArriveByDeadline(worker_locations_[wi], worker_speeds_[wi],
+                               task_locations_[ti], now_,
+                               task_deadlines_[ti])) {
         continue;
       }
-      valid_tasks_[static_cast<size_t>(w)].push_back(t);
-      candidates_[static_cast<size_t>(t)].push_back(w);
+      pairs_.AppendValidTask(t);
     }
+    pairs_.FinishWorker();
   }
+  pairs_.FinishBuild();
+  valid_pairs_ready_ = true;
+}
+
+void Instance::AdoptValidPairs(ValidPairIndex index) {
+  CASC_CHECK(!valid_pairs_ready_)
+      << "valid pairs already computed; AdoptValidPairs would discard them";
+  CASC_CHECK(index.ready());
+  CASC_CHECK_EQ(index.num_workers(), num_workers());
+  CASC_CHECK_EQ(index.num_tasks(), num_tasks());
+  pairs_ = std::move(index);
   valid_pairs_ready_ = true;
 }
 
@@ -79,30 +161,48 @@ void Instance::AdoptValidPairs(
       << "valid pairs already computed; AdoptValidPairs would discard them";
   CASC_CHECK_EQ(static_cast<int>(valid_tasks.size()), num_workers());
   CASC_CHECK_EQ(static_cast<int>(candidates.size()), num_tasks());
-  valid_tasks_ = std::move(valid_tasks);
-  candidates_ = std::move(candidates);
+  pairs_.BeginBuild(num_workers(), num_tasks());
+  for (const std::vector<TaskIndex>& row : valid_tasks) {
+    for (const TaskIndex t : row) pairs_.AppendValidTask(t);
+    pairs_.FinishWorker();
+  }
+  pairs_.FinishBuild();
+  // The derived candidate lists must agree with what the caller supplied
+  // (the documented mutual-consistency promise).
+  for (TaskIndex t = 0; t < num_tasks(); ++t) {
+    const auto derived = pairs_.Candidates(t);
+    const auto& given = candidates[static_cast<size_t>(t)];
+    CASC_CHECK_EQ(derived.size(), given.size())
+        << "AdoptValidPairs: inconsistent candidate list for task " << t;
+    for (size_t i = 0; i < given.size(); ++i) {
+      CASC_CHECK_EQ(derived[i], given[i])
+          << "AdoptValidPairs: inconsistent candidate list for task " << t;
+    }
+  }
   valid_pairs_ready_ = true;
 }
 
-const std::vector<TaskIndex>& Instance::ValidTasks(WorkerIndex w) const {
-  CASC_CHECK(valid_pairs_ready_) << "call ComputeValidPairs() first";
-  CASC_CHECK_GE(w, 0);
-  CASC_CHECK_LT(w, num_workers());
-  return valid_tasks_[static_cast<size_t>(w)];
+ValidPairIndex Instance::ReleaseValidPairs() {
+  CASC_CHECK(valid_pairs_ready_) << "no valid pairs to release";
+  valid_pairs_ready_ = false;
+  ValidPairIndex out = std::move(pairs_);
+  pairs_ = ValidPairIndex{};
+  return out;
 }
 
-const std::vector<WorkerIndex>& Instance::Candidates(TaskIndex t) const {
+std::span<const TaskIndex> Instance::ValidTasks(WorkerIndex w) const {
   CASC_CHECK(valid_pairs_ready_) << "call ComputeValidPairs() first";
-  CASC_CHECK_GE(t, 0);
-  CASC_CHECK_LT(t, num_tasks());
-  return candidates_[static_cast<size_t>(t)];
+  return pairs_.ValidTasks(w);
+}
+
+std::span<const WorkerIndex> Instance::Candidates(TaskIndex t) const {
+  CASC_CHECK(valid_pairs_ready_) << "call ComputeValidPairs() first";
+  return pairs_.Candidates(t);
 }
 
 size_t Instance::NumValidPairs() const {
   CASC_CHECK(valid_pairs_ready_) << "call ComputeValidPairs() first";
-  size_t total = 0;
-  for (const auto& tasks : valid_tasks_) total += tasks.size();
-  return total;
+  return pairs_.NumValidPairs();
 }
 
 }  // namespace casc

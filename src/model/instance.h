@@ -1,13 +1,33 @@
 #ifndef CASC_MODEL_INSTANCE_H_
 #define CASC_MODEL_INSTANCE_H_
 
+#include <span>
 #include <vector>
 
+#include "geo/point.h"
 #include "model/cooperation_matrix.h"
 #include "model/task.h"
+#include "model/valid_pair_index.h"
 #include "model/worker.h"
 
 namespace casc {
+
+class BatchWorkspace;
+
+/// Spatial index backend used by ComputeValidPairs() for the
+/// working-area range queries. All backends produce identical valid-pair
+/// sets (CircleQuery returns ascending ids for every implementation);
+/// they differ only in build/query cost.
+enum class SpatialBackend {
+  kRTree,       ///< bulk-loaded R-tree (default; best at batch scale)
+  kGridIndex,   ///< uniform grid (best under uniform task density)
+  kLinearScan,  ///< O(n) reference scan (baseline / tiny batches)
+};
+
+/// Process-wide default backend for ComputeValidPairs() callers that do
+/// not pass one explicitly (the single selection flag of the data plane).
+void SetDefaultSpatialBackend(SpatialBackend backend);
+SpatialBackend DefaultSpatialBackend();
 
 /// One batch of the CA-SC problem (Definition 4): the available workers
 /// W(phi), available tasks T(phi), their pairwise cooperation qualities,
@@ -16,6 +36,8 @@ namespace casc {
 /// After ComputeValidPairs() the instance also exposes the valid
 /// worker-and-task pairs of Definition 3 in both directions:
 /// `ValidTasks(w)` (the set T_i of Algorithm 1) and `Candidates(t)`.
+/// The pairs live in a flat CSR ValidPairIndex; shard views adopt a
+/// pre-remapped index zero-copy (AdoptValidPairs).
 ///
 /// Validity of (w_i, t_j) at timestamp `now`:
 ///   1) both are present: phi_i <= now and phi_j <= now;
@@ -41,37 +63,67 @@ class Instance {
   int num_workers() const { return static_cast<int>(workers_.size()); }
   int num_tasks() const { return static_cast<int>(tasks_.size()); }
 
+  /// SoA views of the hot per-entity fields, contiguous for the
+  /// reachability and delta-evaluation inner loops.
+  std::span<const Point> worker_locations() const {
+    return worker_locations_;
+  }
+  std::span<const double> worker_speeds() const { return worker_speeds_; }
+  std::span<const double> worker_radii() const { return worker_radii_; }
+  std::span<const double> worker_arrivals() const {
+    return worker_arrivals_;
+  }
+  std::span<const Point> task_locations() const { return task_locations_; }
+  std::span<const double> task_create_times() const {
+    return task_create_times_;
+  }
+  std::span<const double> task_deadlines() const { return task_deadlines_; }
+  std::span<const int> task_capacities() const { return task_capacities_; }
+
   /// Direct geometric/temporal validity check for one pair (Definition 3).
   bool IsValidPair(WorkerIndex w, TaskIndex t) const;
 
-  /// Computes the valid-pair lists for every worker and task. Uses an
-  /// R-tree over task locations for the working-area range queries, as in
-  /// Algorithm 1 lines 4-5. Idempotent.
+  /// Computes the valid-pair lists for every worker and task with the
+  /// process default backend (Algorithm 1 lines 4-5). Idempotent.
   void ComputeValidPairs();
 
-  /// Installs precomputed valid-pair lists instead of running
+  /// Same, with an explicit spatial backend and an optional workspace
+  /// whose pooled CSR index and scratch buffers are reused (steady-state
+  /// streaming batches then allocate nothing for the pair lists).
+  void ComputeValidPairs(SpatialBackend backend,
+                         BatchWorkspace* workspace = nullptr);
+
+  /// Installs a precomputed CSR index instead of running
   /// ComputeValidPairs(). The dispatch service uses this to derive a
   /// shard's lists from the already-computed global lists (a filter +
-  /// remap) rather than re-querying the R-tree per shard. The caller
-  /// promises the lists equal what ComputeValidPairs() would produce:
-  /// per-worker tasks and per-task workers, each in ascending index
-  /// order, mutually consistent. Sizes must match the instance; may not
-  /// be called after valid pairs are ready.
+  /// remap) rather than re-querying the spatial index per shard. The
+  /// caller promises the index equals what ComputeValidPairs() would
+  /// produce: per-worker tasks and per-task workers, each in ascending
+  /// index order, mutually consistent. Shape must match the instance;
+  /// may not be called after valid pairs are ready.
+  void AdoptValidPairs(ValidPairIndex index);
+
+  /// Nested-vector compatibility overload (converts into the CSR form).
   void AdoptValidPairs(std::vector<std::vector<TaskIndex>> valid_tasks,
                        std::vector<std::vector<WorkerIndex>> candidates);
 
+  /// Moves the CSR index out (for recycling into a BatchWorkspace once
+  /// the batch is committed). The instance reverts to the
+  /// pairs-not-ready state.
+  ValidPairIndex ReleaseValidPairs();
+
   /// Valid tasks T_i for worker `w`, ascending task index.
   /// Requires ComputeValidPairs() to have run.
-  const std::vector<TaskIndex>& ValidTasks(WorkerIndex w) const;
+  std::span<const TaskIndex> ValidTasks(WorkerIndex w) const;
 
   /// Candidate workers for task `t`, ascending worker index.
   /// Requires ComputeValidPairs() to have run.
-  const std::vector<WorkerIndex>& Candidates(TaskIndex t) const;
+  std::span<const WorkerIndex> Candidates(TaskIndex t) const;
 
   /// True once ComputeValidPairs() has run.
   bool valid_pairs_ready() const { return valid_pairs_ready_; }
 
-  /// Total number of valid worker-and-task pairs.
+  /// Total number of valid worker-and-task pairs, O(1).
   size_t NumValidPairs() const;
 
  private:
@@ -81,9 +133,18 @@ class Instance {
   double now_;
   int min_group_size_;
 
+  // SoA mirrors of the hot fields, filled by the constructor.
+  std::vector<Point> worker_locations_;
+  std::vector<double> worker_speeds_;
+  std::vector<double> worker_radii_;
+  std::vector<double> worker_arrivals_;
+  std::vector<Point> task_locations_;
+  std::vector<double> task_create_times_;
+  std::vector<double> task_deadlines_;
+  std::vector<int> task_capacities_;
+
   bool valid_pairs_ready_ = false;
-  std::vector<std::vector<TaskIndex>> valid_tasks_;   // per worker
-  std::vector<std::vector<WorkerIndex>> candidates_;  // per task
+  ValidPairIndex pairs_;
 };
 
 }  // namespace casc

@@ -164,12 +164,11 @@ Result<Instance> LoadInstanceFromFile(const std::string& path) {
 
 Status SaveAssignment(const Assignment& assignment, std::ostream* out) {
   if (out == nullptr) return Status::InvalidArgument("null stream");
-  const auto pairs = assignment.Pairs();
   *out << "casc-assignment v1\n";
-  *out << "pairs " << pairs.size() << "\n";
-  for (const AssignedPair& pair : pairs) {
-    *out << pair.worker << " " << pair.task << "\n";
-  }
+  *out << "pairs " << assignment.NumAssigned() << "\n";
+  assignment.ForEachPair([out](WorkerIndex w, TaskIndex t) {
+    *out << w << " " << t << "\n";
+  });
   *out << "end\n";
   if (!out->good()) return Status::Internal("stream write failed");
   return Status::Ok();

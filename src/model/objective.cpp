@@ -22,7 +22,7 @@ int64_t BinomialCapped(int n, int k, int64_t limit) {
 
 /// Enumerates all k-subsets, tracking the best PairSum.
 void EnumerateSubsets(const CooperationMatrix& coop,
-                      const std::vector<WorkerIndex>& group, int k,
+                      std::span<const WorkerIndex> group, int k,
                       size_t start, std::vector<WorkerIndex>* current,
                       double current_sum, double* best_sum,
                       std::vector<WorkerIndex>* best) {
@@ -51,11 +51,13 @@ void EnumerateSubsets(const CooperationMatrix& coop,
 }  // namespace
 
 std::vector<WorkerIndex> BestSubset(const CooperationMatrix& coop,
-                                    const std::vector<WorkerIndex>& group,
+                                    std::span<const WorkerIndex> group,
                                     int k) {
   CASC_CHECK_GE(k, 0);
   CASC_CHECK_LE(k, static_cast<int>(group.size()));
-  if (k == static_cast<int>(group.size())) return group;
+  if (k == static_cast<int>(group.size())) {
+    return std::vector<WorkerIndex>(group.begin(), group.end());
+  }
   if (k == 0) return {};
 
   constexpr int64_t kEnumerationLimit = 20000;
@@ -72,7 +74,7 @@ std::vector<WorkerIndex> BestSubset(const CooperationMatrix& coop,
   // member's affinity is computed once up front (O(g^2)) and decremented
   // when a member is dropped, so every drop costs O(g) instead of the
   // naive O(g^2) rescan.
-  std::vector<WorkerIndex> remaining = group;
+  std::vector<WorkerIndex> remaining(group.begin(), group.end());
   std::vector<double> affinity(remaining.size(), 0.0);
   for (size_t i = 0; i < remaining.size(); ++i) {
     for (size_t j = 0; j < remaining.size(); ++j) {
@@ -102,7 +104,7 @@ std::vector<WorkerIndex> BestSubset(const CooperationMatrix& coop,
 }
 
 double GroupScore(const Instance& instance, TaskIndex t,
-                  const std::vector<WorkerIndex>& group) {
+                  std::span<const WorkerIndex> group) {
   CASC_CHECK_GE(t, 0);
   CASC_CHECK_LT(t, instance.num_tasks());
   const int size = static_cast<int>(group.size());
@@ -118,8 +120,7 @@ double GroupScore(const Instance& instance, TaskIndex t,
 }
 
 double MarginalOfMember(const Instance& instance, TaskIndex t,
-                        const std::vector<WorkerIndex>& group,
-                        WorkerIndex w) {
+                        std::span<const WorkerIndex> group, WorkerIndex w) {
   CASC_CHECK(std::find(group.begin(), group.end(), w) != group.end())
       << "MarginalOfMember: worker " << w << " not in group";
   std::vector<WorkerIndex> without;
@@ -131,10 +132,10 @@ double MarginalOfMember(const Instance& instance, TaskIndex t,
 }
 
 double GainOfJoining(const Instance& instance, TaskIndex t,
-                     const std::vector<WorkerIndex>& group, WorkerIndex w) {
+                     std::span<const WorkerIndex> group, WorkerIndex w) {
   CASC_CHECK(std::find(group.begin(), group.end(), w) == group.end())
       << "GainOfJoining: worker " << w << " already in group";
-  std::vector<WorkerIndex> with = group;
+  std::vector<WorkerIndex> with(group.begin(), group.end());
   with.push_back(w);
   return GroupScore(instance, t, with) - GroupScore(instance, t, group);
 }

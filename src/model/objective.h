@@ -1,6 +1,8 @@
 #ifndef CASC_MODEL_OBJECTIVE_H_
 #define CASC_MODEL_OBJECTIVE_H_
 
+#include <initializer_list>
+#include <span>
 #include <vector>
 
 #include "model/assignment.h"
@@ -11,6 +13,8 @@ namespace casc {
 /// Implements the CA-SC objective: Equation 2 (cooperation quality revenue
 /// of one task), Equation 3 (total revenue), and Equation 4 (the marginal
 /// quality increase ΔQ used by both TPG and the game-theoretic utility).
+/// Group parameters are read-only spans, so callers pass Assignment /
+/// GroupStore groups without copying (std::vector converts implicitly).
 
 /// Selects the subset of `group` of size `k` with the maximum PairSum.
 /// Exact by enumeration when the number of k-subsets is small (<= ~20k
@@ -21,28 +25,55 @@ namespace casc {
 /// k-induced-subgraph problem the paper cites [2].
 /// Requires 0 <= k <= |group|.
 std::vector<WorkerIndex> BestSubset(const CooperationMatrix& coop,
-                                    const std::vector<WorkerIndex>& group,
+                                    std::span<const WorkerIndex> group,
                                     int k);
 
 /// Equation 2: the cooperation quality revenue Q(W_j) of assigning `group`
 /// to task `t`. Returns 0 when |group| < B; when |group| > a_j only the
 /// best a_j-subset counts (BestSubset above).
 double GroupScore(const Instance& instance, TaskIndex t,
-                  const std::vector<WorkerIndex>& group);
+                  std::span<const WorkerIndex> group);
 
 /// Equation 4: ΔQ(w, t) = Q(W_j) - Q(W_j \ {w}) where `group` already
 /// contains `w`. This is also the game-theoretic utility U_i (Equation 5).
 double MarginalOfMember(const Instance& instance, TaskIndex t,
-                        const std::vector<WorkerIndex>& group,
-                        WorkerIndex w);
+                        std::span<const WorkerIndex> group, WorkerIndex w);
 
 /// Gain of adding `w` (not in `group`) to task `t`:
 /// Q(group + w) - Q(group).
 double GainOfJoining(const Instance& instance, TaskIndex t,
-                     const std::vector<WorkerIndex>& group, WorkerIndex w);
+                     std::span<const WorkerIndex> group, WorkerIndex w);
 
 /// Equation 3: total cooperation quality revenue of `assignment`.
 double TotalScore(const Instance& instance, const Assignment& assignment);
+
+/// Braced-list conveniences (tests and small examples): `GroupScore(i, t,
+/// {0, 1, 2})` — initializer lists do not convert to std::span.
+inline double GroupScore(const Instance& instance, TaskIndex t,
+                         std::initializer_list<WorkerIndex> group) {
+  return GroupScore(
+      instance, t, std::span<const WorkerIndex>(group.begin(), group.size()));
+}
+inline double MarginalOfMember(const Instance& instance, TaskIndex t,
+                               std::initializer_list<WorkerIndex> group,
+                               WorkerIndex w) {
+  return MarginalOfMember(
+      instance, t, std::span<const WorkerIndex>(group.begin(), group.size()),
+      w);
+}
+inline double GainOfJoining(const Instance& instance, TaskIndex t,
+                            std::initializer_list<WorkerIndex> group,
+                            WorkerIndex w) {
+  return GainOfJoining(
+      instance, t, std::span<const WorkerIndex>(group.begin(), group.size()),
+      w);
+}
+inline std::vector<WorkerIndex> BestSubset(
+    const CooperationMatrix& coop, std::initializer_list<WorkerIndex> group,
+    int k) {
+  return BestSubset(
+      coop, std::span<const WorkerIndex>(group.begin(), group.size()), k);
+}
 
 }  // namespace casc
 

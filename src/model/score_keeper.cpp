@@ -1,27 +1,36 @@
 #include "model/score_keeper.h"
 
-#include <algorithm>
-
 #include "common/check.h"
 
 namespace casc {
 
-ScoreKeeper::ScoreKeeper(const Instance& instance)
-    : instance_(&instance),
-      groups_(static_cast<size_t>(instance.num_tasks())),
-      pair_sums_(static_cast<size_t>(instance.num_tasks()), 0.0),
-      scores_(static_cast<size_t>(instance.num_tasks()), 0.0) {}
+ScoreKeeper::ScoreKeeper(const Instance& instance) { Rebind(instance); }
+
+ScoreKeeper::ScoreKeeper(const Instance& instance,
+                         const Assignment& assignment) {
+  Rebind(instance);
+  Sync(assignment);
+}
+
+void ScoreKeeper::Rebind(const Instance& instance) {
+  instance_ = &instance;
+  assignment_ = nullptr;
+  pair_sums_.assign(static_cast<size_t>(instance.num_tasks()), 0.0);
+  scores_.assign(static_cast<size_t>(instance.num_tasks()), 0.0);
+  total_ = 0.0;
+}
 
 void ScoreKeeper::Sync(const Assignment& assignment) {
+  CASC_CHECK(instance_ != nullptr) << "Rebind() before Sync()";
   CASC_CHECK_EQ(assignment.num_tasks(), instance_->num_tasks());
+  assignment_ = &assignment;
   total_ = 0.0;
   for (TaskIndex t = 0; t < instance_->num_tasks(); ++t) {
-    groups_[static_cast<size_t>(t)] = assignment.GroupOf(t);
-    pair_sums_[static_cast<size_t>(t)] =
-        instance_->coop().PairSum(groups_[static_cast<size_t>(t)]);
+    const std::span<const WorkerIndex> group = assignment.GroupOf(t);
+    pair_sums_[static_cast<size_t>(t)] = instance_->coop().PairSum(group);
     scores_[static_cast<size_t>(t)] = GroupScoreFromSum(
         t, pair_sums_[static_cast<size_t>(t)],
-        static_cast<int>(groups_[static_cast<size_t>(t)].size()));
+        static_cast<int>(group.size()));
     total_ += scores_[static_cast<size_t>(t)];
   }
 }
@@ -37,39 +46,38 @@ double ScoreKeeper::GroupScoreFromSum(TaskIndex t, double pair_sum,
 }
 
 void ScoreKeeper::Add(WorkerIndex w, TaskIndex t) {
-  auto& group = groups_[static_cast<size_t>(t)];
-  CASC_CHECK(std::find(group.begin(), group.end(), w) == group.end())
-      << "worker " << w << " already on task " << t;
+  CASC_CHECK(assignment_ != nullptr) << "Sync() before mutating";
+  const std::span<const WorkerIndex> group = assignment_->GroupOf(t);
   double added = 0.0;
+  int others = 0;
   for (const WorkerIndex member : group) {
+    if (member == w) continue;
     added += instance_->coop().Quality(member, w) +
              instance_->coop().Quality(w, member);
+    ++others;
   }
-  group.push_back(w);
   pair_sums_[static_cast<size_t>(t)] += added;
   total_ -= scores_[static_cast<size_t>(t)];
   scores_[static_cast<size_t>(t)] =
-      GroupScoreFromSum(t, pair_sums_[static_cast<size_t>(t)],
-                        static_cast<int>(group.size()));
+      GroupScoreFromSum(t, pair_sums_[static_cast<size_t>(t)], others + 1);
   total_ += scores_[static_cast<size_t>(t)];
 }
 
 void ScoreKeeper::Remove(WorkerIndex w, TaskIndex t) {
-  auto& group = groups_[static_cast<size_t>(t)];
-  const auto it = std::find(group.begin(), group.end(), w);
-  CASC_CHECK(it != group.end())
-      << "worker " << w << " not on task " << t;
-  group.erase(it);
+  CASC_CHECK(assignment_ != nullptr) << "Sync() before mutating";
+  const std::span<const WorkerIndex> group = assignment_->GroupOf(t);
   double removed = 0.0;
+  int others = 0;
   for (const WorkerIndex member : group) {
+    if (member == w) continue;
     removed += instance_->coop().Quality(member, w) +
                instance_->coop().Quality(w, member);
+    ++others;
   }
   pair_sums_[static_cast<size_t>(t)] -= removed;
   total_ -= scores_[static_cast<size_t>(t)];
   scores_[static_cast<size_t>(t)] =
-      GroupScoreFromSum(t, pair_sums_[static_cast<size_t>(t)],
-                        static_cast<int>(group.size()));
+      GroupScoreFromSum(t, pair_sums_[static_cast<size_t>(t)], others);
   total_ += scores_[static_cast<size_t>(t)];
 }
 
@@ -79,10 +87,11 @@ double ScoreKeeper::TaskScore(TaskIndex t) const {
   return scores_[static_cast<size_t>(t)];
 }
 
-const std::vector<WorkerIndex>& ScoreKeeper::GroupOf(TaskIndex t) const {
+std::span<const WorkerIndex> ScoreKeeper::GroupOf(TaskIndex t) const {
   CASC_CHECK_GE(t, 0);
   CASC_CHECK_LT(t, instance_->num_tasks());
-  return groups_[static_cast<size_t>(t)];
+  if (assignment_ == nullptr) return {};
+  return assignment_->GroupOf(t);
 }
 
 double ScoreKeeper::ScoreIfAdded(WorkerIndex w, TaskIndex t) const {
@@ -94,31 +103,58 @@ double ScoreKeeper::ScoreIfRemoved(WorkerIndex w, TaskIndex t) const {
 }
 
 double ScoreKeeper::GainIfJoined(WorkerIndex w, TaskIndex t) const {
-  const auto& group = groups_[static_cast<size_t>(t)];
+  const std::span<const WorkerIndex> group = GroupOf(t);
   double added = 0.0;
+  int others = 0;
   for (const WorkerIndex member : group) {
+    if (member == w) continue;
     added += instance_->coop().Quality(member, w) +
              instance_->coop().Quality(w, member);
+    ++others;
   }
-  const double new_score =
-      GroupScoreFromSum(t, pair_sums_[static_cast<size_t>(t)] + added,
-                        static_cast<int>(group.size()) + 1);
+  const double new_score = GroupScoreFromSum(
+      t, pair_sums_[static_cast<size_t>(t)] + added, others + 1);
   return new_score - scores_[static_cast<size_t>(t)];
 }
 
 double ScoreKeeper::LossIfLeft(WorkerIndex w, TaskIndex t) const {
-  const auto& group = groups_[static_cast<size_t>(t)];
-  CASC_CHECK(std::find(group.begin(), group.end(), w) != group.end());
+  const std::span<const WorkerIndex> group = GroupOf(t);
   double removed = 0.0;
+  int others = 0;
+  bool present = false;
   for (const WorkerIndex member : group) {
-    if (member == w) continue;
+    if (member == w) {
+      present = true;
+      continue;
+    }
     removed += instance_->coop().Quality(member, w) +
                instance_->coop().Quality(w, member);
+    ++others;
   }
-  const double new_score =
-      GroupScoreFromSum(t, pair_sums_[static_cast<size_t>(t)] - removed,
-                        static_cast<int>(group.size()) - 1);
+  CASC_CHECK(present) << "worker " << w << " not on task " << t;
+  const double new_score = GroupScoreFromSum(
+      t, pair_sums_[static_cast<size_t>(t)] - removed, others);
   return scores_[static_cast<size_t>(t)] - new_score;
+}
+
+double ScoreKeeper::AffinityTo(TaskIndex t, WorkerIndex w,
+                               WorkerIndex skip) const {
+  const std::span<const WorkerIndex> group = GroupOf(t);
+  double total = 0.0;
+  for (const WorkerIndex member : group) {
+    if (member == skip || member == w) continue;
+    total += instance_->coop().Quality(member, w) +
+             instance_->coop().Quality(w, member);
+  }
+  return total;
+}
+
+void ScoreKeeper::ApplyDelta(TaskIndex t, double delta, int new_size) {
+  pair_sums_[static_cast<size_t>(t)] += delta;
+  total_ -= scores_[static_cast<size_t>(t)];
+  scores_[static_cast<size_t>(t)] =
+      GroupScoreFromSum(t, pair_sums_[static_cast<size_t>(t)], new_size);
+  total_ += scores_[static_cast<size_t>(t)];
 }
 
 }  // namespace casc

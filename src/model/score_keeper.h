@@ -1,6 +1,7 @@
 #ifndef CASC_MODEL_SCORE_KEEPER_H_
 #define CASC_MODEL_SCORE_KEEPER_H_
 
+#include <span>
 #include <vector>
 
 #include "model/assignment.h"
@@ -16,24 +17,43 @@ namespace casc {
 /// serves the current total in O(1), which is what a long best-response
 /// or local-search loop wants.
 ///
-/// The keeper mirrors (does not own) an Assignment: callers apply the
-/// same mutations to both, or use the convenience Sync() to rebuild from
-/// an assignment. Group sizes above the task capacity are not supported
-/// (the crowding rule must be applied by the caller first, as ApplyMove
+/// The keeper shares the Assignment's group representation instead of
+/// mirroring it: Sync() attaches it to an assignment, GroupOf() reads
+/// the assignment's groups directly, and only the cached pair sums and
+/// scores live here. Add/Remove are present-aware — they work whether
+/// the matching Assign/Unassign has already been applied or not (a
+/// worker's self-affinity is zero, so the delta is identical either
+/// way). Group sizes above the task capacity are not supported (the
+/// crowding rule must be applied by the caller first, as ApplyMove
 /// does) — scores follow the B <= |W| <= a_j branch of Equation 2.
 class ScoreKeeper {
  public:
-  /// Creates a keeper for `instance` with all groups empty.
+  /// Creates an unbound keeper; Rebind()/Sync() before use (the pooling
+  /// hook used by BatchWorkspace).
+  ScoreKeeper() = default;
+
+  /// Creates a detached keeper for `instance` with zero sums. Attach to
+  /// an assignment with Sync() before mutating.
   explicit ScoreKeeper(const Instance& instance);
 
-  /// Rebuilds all sums from `assignment` (O(total group sizes squared)).
+  /// Creates a keeper attached to `assignment` with sums rebuilt from
+  /// its current groups. Both must outlive the keeper.
+  ScoreKeeper(const Instance& instance, const Assignment& assignment);
+
+  /// Rebinds to `instance` with zero sums, detached from any assignment
+  /// (reuses the backing arrays' capacity).
+  void Rebind(const Instance& instance);
+
+  /// Attaches to `assignment` and rebuilds all sums from its groups
+  /// (O(total group sizes squared)).
   void Sync(const Assignment& assignment);
 
-  /// Registers worker `w` joining task `t`'s group.
-  /// Requires w not already in the group and the group below capacity.
+  /// Registers worker `w` joining task `t`'s group. Callable just before
+  /// or just after the matching Assignment::Assign.
   void Add(WorkerIndex w, TaskIndex t);
 
-  /// Registers worker `w` leaving task `t`'s group. Requires membership.
+  /// Registers worker `w` leaving task `t`'s group. Callable just before
+  /// or just after the matching Assignment::Unassign.
   void Remove(WorkerIndex w, TaskIndex t);
 
   /// Current Q(W_t) (Equation 2).
@@ -42,8 +62,9 @@ class ScoreKeeper {
   /// Current Q(T) (Equation 3), O(1).
   double TotalScore() const { return total_; }
 
-  /// Current members of task `t`, in insertion order.
-  const std::vector<WorkerIndex>& GroupOf(TaskIndex t) const;
+  /// Current members of task `t` in insertion order — forwarded from the
+  /// attached assignment (empty when detached).
+  std::span<const WorkerIndex> GroupOf(TaskIndex t) const;
 
   /// What TotalScore() would become if `w` joined `t` (no mutation).
   double ScoreIfAdded(WorkerIndex w, TaskIndex t) const;
@@ -63,11 +84,26 @@ class ScoreKeeper {
   /// Requires membership.
   double LossIfLeft(WorkerIndex w, TaskIndex t) const;
 
+  /// Two-way affinity of `w` to t's current members, scanned in group
+  /// order and skipping `skip` (w itself always contributes zero): the
+  /// pair-sum delta of one membership change. Building block for
+  /// ApplyDelta trial moves.
+  double AffinityTo(TaskIndex t, WorkerIndex w,
+                    WorkerIndex skip = kNoWorker) const;
+
+  /// Low-level hook for trial moves (local search): shifts t's cached
+  /// pair sum by `delta` and re-derives the Equation-2 score with
+  /// `new_size` members, exactly mirroring one Add/Remove update of the
+  /// cached sums without consulting group membership. Callers own the
+  /// consistency of the delta/size bookkeeping and must return the sums
+  /// to a membership-consistent state before any other keeper use.
+  void ApplyDelta(TaskIndex t, double delta, int new_size);
+
  private:
   double GroupScoreFromSum(TaskIndex t, double pair_sum, int size) const;
 
-  const Instance* instance_;
-  std::vector<std::vector<WorkerIndex>> groups_;
+  const Instance* instance_ = nullptr;
+  const Assignment* assignment_ = nullptr;
   std::vector<double> pair_sums_;  // ordered-pair sum per task
   std::vector<double> scores_;     // Equation-2 value per task
   double total_ = 0.0;

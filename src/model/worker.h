@@ -17,6 +17,9 @@ using TaskIndex = int;
 /// Sentinel for "worker is idle / not assigned to any task".
 inline constexpr TaskIndex kNoTask = -1;
 
+/// Sentinel for "no worker" (e.g. no one was crowded out).
+inline constexpr WorkerIndex kNoWorker = -1;
+
 /// A cooperation-aware moving worker (Definition 1).
 ///
 /// A worker appears in the system at `arrival_time` (phi_i) at `location`

@@ -118,7 +118,8 @@ ReconcileStats BoundaryReconciler::Reconcile(
       // Grow to exactly B by max two-way affinity (ties to the lowest
       // worker index — `pool` is ascending). B <= a_j always, so the
       // capacity constraint cannot be hit here.
-      std::vector<WorkerIndex> members = keeper.GroupOf(t);
+      const std::span<const WorkerIndex> current = keeper.GroupOf(t);
+      std::vector<WorkerIndex> members(current.begin(), current.end());
       std::vector<WorkerIndex> chosen;
       while (static_cast<int>(members.size()) < global.min_group_size()) {
         WorkerIndex best = kNoWorker;

@@ -82,7 +82,7 @@ Assignment ShardedAssigner::Run(const Instance& instance) {
   map_config.shards_per_side = options_.shards_per_side;
   map_config.world = options_.world;
   const ShardMap map(instance.workers(), instance.tasks(), map_config);
-  const std::vector<ShardProblem> problems =
+  std::vector<ShardProblem> problems =
       executor_.BuildProblems(instance, map);
   metrics_.partition_seconds = watch.ElapsedSeconds();
 
@@ -94,8 +94,8 @@ Assignment ShardedAssigner::Run(const Instance& instance) {
   metrics_.boundary_workers = load.boundary_workers;
 
   watch.Restart();
-  Assignment assignment =
-      executor_.Run(instance, problems, factory_, &metrics_.shard_seconds);
+  Assignment assignment = executor_.Run(instance, problems, factory_,
+                                        &metrics_.shard_seconds, workspace());
   metrics_.phase1_seconds = watch.ElapsedSeconds();
 
   watch.Restart();
@@ -108,6 +108,7 @@ Assignment ShardedAssigner::Run(const Instance& instance) {
 
   stats_.moves = reconcile.polish_moves;
   stats_.final_score = TotalScore(instance, assignment);
+  executor_.RecycleProblems(&problems);
   return assignment;
 }
 
@@ -120,6 +121,7 @@ DispatchService::DispatchService(DispatchConfig config,
   CASC_CHECK(global_coop_ != nullptr);
   CASC_CHECK_GE(config_.max_tasks_per_batch, 0);
   CASC_CHECK_GT(config_.batch_interval, 0.0);
+  sharded_.set_workspace(&workspace_);
 }
 
 DispatchResult DispatchService::RunBatch(std::vector<Worker> workers,
@@ -153,7 +155,7 @@ DispatchResult DispatchService::RunBatch(std::vector<Worker> workers,
   Instance instance(std::move(workers), std::move(tasks),
                     global_coop_->View(std::move(ids)), now,
                     config_.min_group_size);
-  instance.ComputeValidPairs();
+  instance.ComputeValidPairs(DefaultSpatialBackend(), &workspace_);
 
   BatchMetrics batch;
   batch.now = now;
@@ -264,6 +266,12 @@ RunSummary DispatchService::Run(const EventStream& stream) {
           static_cast<int>(open_tasks.size());
 
       summary.batches.push_back(result.batch);
+
+      // The committed batch is finished with its scratch state: return
+      // the CSR pair index and the assignment's slabs to the pool so the
+      // next batch allocates nothing in steady state.
+      workspace_.Recycle(result.instance.ReleaseValidPairs());
+      workspace_.Recycle(std::move(result.assignment));
     }
 
     previous = now + 1e-12;

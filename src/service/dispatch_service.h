@@ -153,6 +153,9 @@ class DispatchService {
   DispatchConfig config_;
   const CooperationMatrix* global_coop_;
   ShardedAssigner sharded_;
+  /// Recycles CSR pair indexes, assignments and keepers across the
+  /// streaming batches (zero steady-state heap growth in the hot plane).
+  BatchWorkspace workspace_;
   std::vector<ServiceMetrics> batch_metrics_;
 };
 

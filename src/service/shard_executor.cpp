@@ -5,19 +5,19 @@
 
 #include "common/check.h"
 #include "common/stopwatch.h"
+#include "model/valid_pair_index.h"
 
 namespace casc {
 namespace {
 
-/// Builds shard `s`'s local instance. `task_shard`/`task_local` and
-/// `worker_shard`/`worker_local` map every global index to its shard and
-/// position within that shard's list (-1 when absent, e.g. boundary
-/// workers).
+/// Builds shard `s`'s local instance. `task_shard`/`task_local` map every
+/// global task index to its shard and position within that shard's list
+/// (-1 when absent). `workspace` recycles the CSR pair index across
+/// batches.
 ShardProblem BuildOne(const Instance& global, const ShardMap& map, int s,
                       const std::vector<int>& task_shard,
                       const std::vector<int>& task_local,
-                      const std::vector<int>& worker_shard,
-                      const std::vector<int>& worker_local) {
+                      BatchWorkspace* workspace) {
   const std::vector<WorkerIndex>& global_workers = map.HomeWorkersOf(s);
   const std::vector<TaskIndex>& global_tasks = map.TasksOf(s);
 
@@ -40,18 +40,22 @@ ShardProblem BuildOne(const Instance& global, const ShardMap& map, int s,
                  global.min_group_size());
 
   // Local valid pairs are the global lists filtered to this shard and
-  // remapped; ascending order is preserved because the per-shard lists
-  // are ascending in the global index. An interior worker's valid tasks
-  // all live in its shard by construction (the invariant phase 1 rests
-  // on — CHECKed); a boundary home worker keeps only its home-shard
-  // tasks here and is re-arbitrated across shards in phase 2.
-  std::vector<std::vector<TaskIndex>> valid_tasks(global_workers.size());
+  // remapped, written straight into a (recycled) CSR index; ascending
+  // order is preserved because the per-shard lists are ascending in the
+  // global index. An interior worker's valid tasks all live in its shard
+  // by construction (the invariant phase 1 rests on — CHECKed); a
+  // boundary home worker keeps only its home-shard tasks here and is
+  // re-arbitrated across shards in phase 2. The task-major candidate
+  // lists fall out of FinishBuild's counting pass — identical to the old
+  // per-task filter of global.Candidates because HomeWorkersOf is
+  // ascending in the global worker index.
+  ValidPairIndex csr = workspace->AcquireValidPairIndex();
+  csr.BeginBuild(static_cast<int>(global_workers.size()),
+                 static_cast<int>(global_tasks.size()));
   for (size_t lw = 0; lw < global_workers.size(); ++lw) {
     const WorkerIndex gw = global_workers[lw];
-    const std::vector<TaskIndex>& global_valid = global.ValidTasks(gw);
     const bool boundary = map.IsBoundary(gw);
-    valid_tasks[lw].reserve(global_valid.size());
-    for (const TaskIndex gt : global_valid) {
+    for (const TaskIndex gt : global.ValidTasks(gw)) {
       if (boundary) {
         if (task_shard[static_cast<size_t>(gt)] != s) continue;
       } else {
@@ -59,20 +63,12 @@ ShardProblem BuildOne(const Instance& global, const ShardMap& map, int s,
             << "interior worker " << gw << " has valid task " << gt
             << " outside its shard — ShardMap classification is broken";
       }
-      valid_tasks[lw].push_back(task_local[static_cast<size_t>(gt)]);
+      csr.AppendValidTask(task_local[static_cast<size_t>(gt)]);
     }
+    csr.FinishWorker();
   }
-  std::vector<std::vector<WorkerIndex>> candidates(global_tasks.size());
-  for (size_t lt = 0; lt < global_tasks.size(); ++lt) {
-    const TaskIndex gt = global_tasks[lt];
-    for (const WorkerIndex gw : global.Candidates(gt)) {
-      // Workers homed in other shards stay out; boundary workers among
-      // them are reconciled across shards in phase 2.
-      if (worker_shard[static_cast<size_t>(gw)] != s) continue;
-      candidates[lt].push_back(worker_local[static_cast<size_t>(gw)]);
-    }
-  }
-  local.AdoptValidPairs(std::move(valid_tasks), std::move(candidates));
+  csr.FinishBuild();
+  local.AdoptValidPairs(std::move(csr));
 
   return ShardProblem{std::move(local), global_workers, global_tasks};
 }
@@ -81,29 +77,29 @@ ShardProblem BuildOne(const Instance& global, const ShardMap& map, int s,
 
 ShardExecutor::ShardExecutor(int num_threads) : pool_(num_threads) {}
 
+void ShardExecutor::EnsureWorkspaces(int count) {
+  while (static_cast<int>(workspaces_.size()) < count) {
+    workspaces_.push_back(std::make_unique<BatchWorkspace>());
+  }
+}
+
 std::vector<ShardProblem> ShardExecutor::BuildProblems(
     const Instance& global, const ShardMap& map) {
   CASC_CHECK(global.valid_pairs_ready())
       << "compute the global valid pairs before sharding";
   const int num_shards = map.num_shards();
+  EnsureWorkspaces(num_shards);
 
-  // Global -> (shard, local position), one serial pass.
+  // Global task -> (shard, local position), one serial pass. Worker-side
+  // maps are no longer needed: the CSR FinishBuild pass derives each
+  // task's candidate list from the worker-major lists.
   std::vector<int> task_shard(static_cast<size_t>(global.num_tasks()), -1);
   std::vector<int> task_local(static_cast<size_t>(global.num_tasks()), -1);
-  std::vector<int> worker_shard(static_cast<size_t>(global.num_workers()),
-                                -1);
-  std::vector<int> worker_local(static_cast<size_t>(global.num_workers()),
-                                -1);
   for (int s = 0; s < num_shards; ++s) {
     const std::vector<TaskIndex>& tasks = map.TasksOf(s);
     for (size_t i = 0; i < tasks.size(); ++i) {
       task_shard[static_cast<size_t>(tasks[i])] = s;
       task_local[static_cast<size_t>(tasks[i])] = static_cast<int>(i);
-    }
-    const std::vector<WorkerIndex>& workers = map.HomeWorkersOf(s);
-    for (size_t i = 0; i < workers.size(); ++i) {
-      worker_shard[static_cast<size_t>(workers[i])] = s;
-      worker_local[static_cast<size_t>(workers[i])] = static_cast<int>(i);
     }
   }
 
@@ -112,7 +108,7 @@ std::vector<ShardProblem> ShardExecutor::BuildProblems(
   pool_.ParallelFor(num_shards, [&](int64_t s) {
     built[static_cast<size_t>(s)] =
         BuildOne(global, map, static_cast<int>(s), task_shard, task_local,
-                 worker_shard, worker_local);
+                 workspaces_[static_cast<size_t>(s)].get());
   });
 
   std::vector<ShardProblem> problems;
@@ -123,12 +119,24 @@ std::vector<ShardProblem> ShardExecutor::BuildProblems(
   return problems;
 }
 
+void ShardExecutor::RecycleProblems(std::vector<ShardProblem>* problems) {
+  CASC_CHECK(problems != nullptr);
+  EnsureWorkspaces(static_cast<int>(problems->size()));
+  for (size_t s = 0; s < problems->size(); ++s) {
+    Instance& instance = (*problems)[s].instance;
+    if (!instance.valid_pairs_ready()) continue;
+    workspaces_[s]->Recycle(instance.ReleaseValidPairs());
+  }
+}
+
 Assignment ShardExecutor::Run(const Instance& global,
                               const std::vector<ShardProblem>& problems,
                               const AssignerFactory& factory,
-                              std::vector<double>* shard_seconds) {
+                              std::vector<double>* shard_seconds,
+                              BatchWorkspace* global_workspace) {
   CASC_CHECK(factory != nullptr);
   const int num_shards = static_cast<int>(problems.size());
+  EnsureWorkspaces(num_shards);
   std::vector<std::optional<Assignment>> locals(
       static_cast<size_t>(num_shards));
   std::vector<double> seconds(static_cast<size_t>(num_shards), 0.0);
@@ -141,6 +149,7 @@ Assignment ShardExecutor::Run(const Instance& global,
     }
     Stopwatch watch;
     const std::unique_ptr<Assigner> solver = factory();
+    solver->set_workspace(workspaces_[static_cast<size_t>(s)].get());
     locals[static_cast<size_t>(s)] = solver->Run(problem.instance);
     seconds[static_cast<size_t>(s)] = watch.ElapsedSeconds();
   });
@@ -148,16 +157,18 @@ Assignment ShardExecutor::Run(const Instance& global,
   // Deterministic fold: ascending shard order, local insertion order.
   // Shards are disjoint in both workers and tasks, so group insertion
   // order within any task matches the local solver's order exactly.
-  Assignment assignment(global);
+  Assignment assignment = global_workspace != nullptr
+                              ? global_workspace->AcquireAssignment(global)
+                              : Assignment(global);
   for (int s = 0; s < num_shards; ++s) {
     if (!locals[static_cast<size_t>(s)].has_value()) continue;
     const ShardProblem& problem = problems[static_cast<size_t>(s)];
-    const Assignment& local = *locals[static_cast<size_t>(s)];
-    for (const AssignedPair& pair : local.Pairs()) {
-      assignment.Assign(
-          problem.global_workers[static_cast<size_t>(pair.worker)],
-          problem.global_tasks[static_cast<size_t>(pair.task)]);
-    }
+    Assignment& local = *locals[static_cast<size_t>(s)];
+    local.ForEachPair([&](WorkerIndex lw, TaskIndex lt) {
+      assignment.Assign(problem.global_workers[static_cast<size_t>(lw)],
+                        problem.global_tasks[static_cast<size_t>(lt)]);
+    });
+    workspaces_[static_cast<size_t>(s)]->Recycle(std::move(local));
   }
   if (shard_seconds != nullptr) *shard_seconds = std::move(seconds);
   return assignment;

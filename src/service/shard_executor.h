@@ -8,6 +8,7 @@
 #include "algo/assigner.h"
 #include "common/thread_pool.h"
 #include "model/assignment.h"
+#include "model/batch_workspace.h"
 #include "model/instance.h"
 #include "service/shard_map.h"
 
@@ -53,16 +54,30 @@ class ShardExecutor {
   /// folds the local assignments into a global assignment (ascending
   /// shard order; boundary workers stay idle for phase 2). Shards with
   /// no workers or no tasks are skipped. A non-null `shard_seconds`
-  /// receives per-shard solver wall times.
+  /// receives per-shard solver wall times. The solvers draw their
+  /// scratch state from this executor's per-shard workspaces; a non-null
+  /// `global_workspace` additionally pools the folded global assignment.
   Assignment Run(const Instance& global,
                  const std::vector<ShardProblem>& problems,
                  const AssignerFactory& factory,
-                 std::vector<double>* shard_seconds);
+                 std::vector<double>* shard_seconds,
+                 BatchWorkspace* global_workspace = nullptr);
+
+  /// Returns the problems' CSR pair indexes to the per-shard workspaces
+  /// so the next batch's BuildProblems reuses their capacity. The
+  /// problems' instances are left without valid pairs; drop them after.
+  void RecycleProblems(std::vector<ShardProblem>* problems);
 
   int num_threads() const { return pool_.num_threads(); }
 
  private:
+  /// Grows workspaces_ to `count` slots (serial; call before the pool).
+  void EnsureWorkspaces(int count);
+
   ThreadPool pool_;
+  /// One workspace per shard slot: ParallelFor bodies touch only their
+  /// own slot, so no locking is needed.
+  std::vector<std::unique_ptr<BatchWorkspace>> workspaces_;
 };
 
 }  // namespace casc

@@ -56,6 +56,10 @@ RunSummary BatchRunner::RunRounds(InstanceSource* source,
                                   Assigner* assigner) const {
   CASC_CHECK(source != nullptr);
   CASC_CHECK(assigner != nullptr);
+  // One workspace spans the rounds: the assigner reuses its assignment
+  // slabs and keeper arrays from round to round.
+  BatchWorkspace workspace;
+  assigner->set_workspace(&workspace);
   RunSummary summary;
   for (int round = 0; round < config_.rounds; ++round) {
     const double now = round * config_.batch_interval;
@@ -63,6 +67,7 @@ RunSummary BatchRunner::RunRounds(InstanceSource* source,
     summary.batches.push_back(MeasureBatch(
         instance, assigner, config_.compute_upper_bound, round, now));
   }
+  assigner->set_workspace(nullptr);
   return summary;
 }
 
@@ -82,6 +87,11 @@ RunSummary BatchRunner::RunStreaming(const EventStream& stream,
   std::vector<Task> open_tasks;
   // Workers currently busy: (release time, worker).
   std::vector<std::pair<double, Worker>> busy_workers;
+  // Scratch pooled across the stream: CSR pair indexes, assignment slabs
+  // and keeper arrays are recycled batch to batch, so the steady state
+  // performs no hot-plane heap allocation.
+  BatchWorkspace workspace;
+  assigner->set_workspace(&workspace);
 
   RunSummary summary;
   double now = stream.FirstEventTime();
@@ -121,9 +131,9 @@ RunSummary BatchRunner::RunStreaming(const EventStream& stream,
       }
       Instance instance(idle_workers, open_tasks, global_coop.View(ids),
                         now, config_.min_group_size);
-      instance.ComputeValidPairs();
+      instance.ComputeValidPairs(DefaultSpatialBackend(), &workspace);
 
-      Assignment assignment(instance);
+      Assignment assignment;
       BatchMetrics metrics =
           MeasureBatch(instance, assigner, config_.compute_upper_bound,
                        round, now, &assignment);
@@ -156,12 +166,18 @@ RunSummary BatchRunner::RunStreaming(const EventStream& stream,
         if (!task_started[j]) still_open.push_back(open_tasks[j]);
       }
       open_tasks = std::move(still_open);
+
+      // The batch is committed: return its CSR index and slabs for the
+      // next batch to reuse.
+      workspace.Recycle(instance.ReleaseValidPairs());
+      workspace.Recycle(std::move(assignment));
     }
 
     previous = now + 1e-12;
     now += config_.batch_interval;
     ++round;
   }
+  assigner->set_workspace(nullptr);
   return summary;
 }
 

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -108,7 +109,9 @@ TEST_P(ValidPairsTest, IndexMatchesBruteForce) {
     for (TaskIndex t = 0; t < instance.num_tasks(); ++t) {
       if (instance.IsValidPair(w, t)) expected.push_back(t);
     }
-    EXPECT_EQ(instance.ValidTasks(w), expected) << "worker " << w;
+    const std::span<const TaskIndex> valid = instance.ValidTasks(w);
+    EXPECT_EQ(std::vector<TaskIndex>(valid.begin(), valid.end()), expected)
+        << "worker " << w;
     total += expected.size();
   }
   EXPECT_EQ(instance.NumValidPairs(), total);
@@ -119,7 +122,11 @@ TEST_P(ValidPairsTest, IndexMatchesBruteForce) {
     for (WorkerIndex w = 0; w < instance.num_workers(); ++w) {
       if (instance.IsValidPair(w, t)) expected.push_back(w);
     }
-    EXPECT_EQ(instance.Candidates(t), expected) << "task " << t;
+    const std::span<const WorkerIndex> candidates = instance.Candidates(t);
+    EXPECT_EQ(
+        std::vector<WorkerIndex>(candidates.begin(), candidates.end()),
+        expected)
+        << "task " << t;
   }
 }
 

@@ -11,7 +11,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -97,7 +99,7 @@ class DeltaSeedTest : public ::testing::TestWithParam<uint64_t> {};
 TEST_P(DeltaSeedTest, StrategyUtilityMatchesScratchUnderChurn) {
   const Instance instance = RandomInstance(50, 15, GetParam());
   Assignment assignment(instance);
-  ScoreKeeper keeper(instance);
+  ScoreKeeper keeper(instance, assignment);
   Rng rng(GetParam() ^ 0xDE17A);
 
   int overfull_checked = 0;
@@ -142,7 +144,7 @@ TEST_P(DeltaSeedTest, StrategyUtilityMatchesScratchUnderChurn) {
 TEST_P(DeltaSeedTest, BestResponseMatchesScratch) {
   const Instance instance = RandomInstance(60, 20, GetParam() ^ 0xB57);
   Assignment assignment(instance);
-  ScoreKeeper keeper(instance);
+  ScoreKeeper keeper(instance, assignment);
   Rng rng(GetParam() ^ 0xF00);
 
   for (int step = 0; step < 300; ++step) {
@@ -167,7 +169,7 @@ TEST_P(DeltaSeedTest, BestResponseMatchesScratch) {
 TEST_P(DeltaSeedTest, TrackedApplyMoveKeepsKeeperAnExactMirror) {
   const Instance instance = RandomInstance(50, 15, GetParam() ^ 0x3A7);
   Assignment assignment(instance);
-  ScoreKeeper keeper(instance);
+  ScoreKeeper keeper(instance, assignment);
   Rng rng(GetParam() ^ 0x919);
 
   for (int step = 0; step < 400; ++step) {
@@ -182,7 +184,11 @@ TEST_P(DeltaSeedTest, TrackedApplyMoveKeepsKeeperAnExactMirror) {
     }
   }
   for (TaskIndex t = 0; t < instance.num_tasks(); ++t) {
-    EXPECT_EQ(keeper.GroupOf(t), assignment.GroupOf(t)) << "task " << t;
+    const std::span<const WorkerIndex> keeper_group = keeper.GroupOf(t);
+    const std::span<const WorkerIndex> assigned_group = assignment.GroupOf(t);
+    EXPECT_TRUE(std::equal(keeper_group.begin(), keeper_group.end(),
+                           assigned_group.begin(), assigned_group.end()))
+        << "task " << t;
     EXPECT_NEAR(keeper.TaskScore(t),
                 GroupScore(instance, t, assignment.GroupOf(t)), 1e-9)
         << "task " << t;

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <span>
 #include <vector>
 
 #include "algo/tpg_assigner.h"
@@ -35,13 +36,18 @@ TEST(ScoreKeeperTest, EmptyKeeperScoresZero) {
 
 TEST(ScoreKeeperTest, AddRemoveMatchesGroupScore) {
   const Instance instance = RandomInstance(12, 3, 2);
-  ScoreKeeper keeper(instance);
+  Assignment mirror(instance);
+  ScoreKeeper keeper(instance, mirror);
   keeper.Add(0, 0);
+  mirror.Assign(0, 0);
   keeper.Add(1, 0);
+  mirror.Assign(1, 0);
   keeper.Add(2, 0);
+  mirror.Assign(2, 0);
   EXPECT_NEAR(keeper.TaskScore(0), GroupScore(instance, 0, {0, 1, 2}),
               1e-12);
   keeper.Remove(1, 0);
+  mirror.Unassign(1);
   EXPECT_NEAR(keeper.TaskScore(0), GroupScore(instance, 0, {0, 2}), 1e-12);
   EXPECT_NEAR(keeper.TotalScore(), keeper.TaskScore(0), 1e-12);
 }
@@ -61,27 +67,36 @@ TEST(ScoreKeeperTest, SyncMatchesTotalScore) {
 
 TEST(ScoreKeeperTest, WhatIfQueriesDoNotMutate) {
   const Instance instance = RandomInstance(12, 3, 4);
-  ScoreKeeper keeper(instance);
+  Assignment mirror(instance);
+  ScoreKeeper keeper(instance, mirror);
   keeper.Add(0, 0);
+  mirror.Assign(0, 0);
   keeper.Add(1, 0);
+  mirror.Assign(1, 0);
   const double before = keeper.TotalScore();
 
   const double if_added = keeper.ScoreIfAdded(2, 0);
   EXPECT_DOUBLE_EQ(keeper.TotalScore(), before);
   keeper.Add(2, 0);
+  mirror.Assign(2, 0);
   EXPECT_NEAR(keeper.TotalScore(), if_added, 1e-12);
 
   const double if_removed = keeper.ScoreIfRemoved(1, 0);
   keeper.Remove(1, 0);
+  mirror.Unassign(1);
   EXPECT_NEAR(keeper.TotalScore(), if_removed, 1e-12);
 }
 
 TEST(ScoreKeeperTest, MarginalsMatchScratchObjective) {
   const Instance instance = RandomInstance(12, 3, 5);
-  ScoreKeeper keeper(instance);
+  Assignment mirror(instance);
+  ScoreKeeper keeper(instance, mirror);
   keeper.Add(0, 0);
+  mirror.Assign(0, 0);
   keeper.Add(1, 0);
+  mirror.Assign(1, 0);
   keeper.Add(2, 0);
+  mirror.Assign(2, 0);
 
   const std::vector<WorkerIndex> group = {0, 1, 2};
   EXPECT_NEAR(keeper.GainIfJoined(3, 0),
@@ -100,8 +115,8 @@ class ScoreKeeperMarginalFuzzTest
 
 TEST_P(ScoreKeeperMarginalFuzzTest, MarginalsTrackScratchUnderChurn) {
   const Instance instance = RandomInstance(30, 10, GetParam() ^ 0xA11);
-  ScoreKeeper keeper(instance);
   Assignment mirror(instance);
+  ScoreKeeper keeper(instance, mirror);
   Rng rng(GetParam() ^ 0x717);
 
   for (int step = 0; step < 250; ++step) {
@@ -124,7 +139,7 @@ TEST_P(ScoreKeeperMarginalFuzzTest, MarginalsTrackScratchUnderChurn) {
     // Probe a random join and a random leave against scratch rebuilds.
     const TaskIndex probe_task = static_cast<TaskIndex>(
         rng.UniformInt(static_cast<uint64_t>(instance.num_tasks())));
-    const std::vector<WorkerIndex>& group = mirror.GroupOf(probe_task);
+    const std::span<const WorkerIndex> group = mirror.GroupOf(probe_task);
     const WorkerIndex joiner = static_cast<WorkerIndex>(
         rng.UniformInt(static_cast<uint64_t>(instance.num_workers())));
     if (mirror.TaskOf(joiner) != probe_task &&
@@ -153,8 +168,8 @@ class ScoreKeeperFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(ScoreKeeperFuzzTest, RandomMutationSequencesTrackRecompute) {
   const Instance instance = RandomInstance(30, 10, GetParam());
-  ScoreKeeper keeper(instance);
   Assignment mirror(instance);
+  ScoreKeeper keeper(instance, mirror);
   Rng rng(GetParam() ^ 0x5C0);
 
   for (int step = 0; step < 400; ++step) {

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Checks (or, with --fix, applies) clang-format over the C++ sources.
+# Skips gracefully when clang-format is not installed so the script is
+# safe to call from environments without the toolchain; CI installs
+# clang-format explicitly, so the check is enforced there.
+#
+# Usage: tools/check_format.sh [--fix]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "clang-format not found; skipping format check" >&2
+  exit 0
+fi
+
+MODE="${1:-check}"
+
+mapfile -t files < <(git ls-files '*.cpp' '*.h')
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "no C++ sources to format"
+  exit 0
+fi
+
+if [[ "$MODE" == "--fix" ]]; then
+  clang-format -i "${files[@]}"
+  echo "formatted ${#files[@]} files"
+  exit 0
+fi
+
+failed=0
+for f in "${files[@]}"; do
+  if ! clang-format --dry-run -Werror "$f" >/dev/null 2>&1; then
+    echo "needs formatting: $f"
+    failed=1
+  fi
+done
+if [[ $failed -ne 0 ]]; then
+  echo "run tools/check_format.sh --fix" >&2
+  exit 1
+fi
+echo "all ${#files[@]} files formatted"

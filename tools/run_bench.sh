@@ -4,8 +4,12 @@
 #        scratch vs. delta vs. parallel side by side)
 #   PR2  sharded dispatch (monolithic GT vs sharded GT at S in
 #        {1,2,4,8}: score retention and speedup on 10-50K instances)
+#   PR3  flat data plane (CSR pair index vs nested vectors, slab group
+#        churn, ForEachPair vs Pairs(), steady-state streaming with a
+#        warm BatchWorkspace -- the binary aborts if a steady-state
+#        batch grows any pooled backing array)
 #
-# Usage: tools/run_bench.sh [pr1|pr2|all] [OUT_JSON]
+# Usage: tools/run_bench.sh [pr1|pr2|pr3|all] [OUT_JSON]
 #   pr1|pr2|all  which suite to run (default all)
 #   OUT_JSON     output override for a single suite
 # Env:
@@ -39,15 +43,29 @@ run_pr2() {
   echo "wrote $out"
 }
 
+run_pr3() {
+  local out="${1:-BENCH_PR3.json}"
+  cmake --build "$BUILD_DIR" -j --target bench_micro_data_plane >/dev/null
+  "$BUILD_DIR/bench/bench_micro_data_plane" \
+    --benchmark_out="$out" \
+    --benchmark_out_format=json \
+    --benchmark_repetitions=3 \
+    --benchmark_report_aggregates_only=true \
+    ${BENCH_ARGS:-}
+  echo "wrote $out"
+}
+
 case "$SUITE" in
   pr1) run_pr1 "${2:-}" ;;
   pr2) run_pr2 "${2:-}" ;;
+  pr3) run_pr3 "${2:-}" ;;
   all)
     run_pr1
     run_pr2
+    run_pr3
     ;;
   *)
-    echo "usage: tools/run_bench.sh [pr1|pr2|all] [OUT_JSON]" >&2
+    echo "usage: tools/run_bench.sh [pr1|pr2|pr3|all] [OUT_JSON]" >&2
     exit 1
     ;;
 esac
