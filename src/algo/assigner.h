@@ -24,6 +24,12 @@ struct AssignerStats {
   int64_t best_response_evals = 0;
   /// Best-response evaluations skipped by the LUB optimization.
   int64_t best_response_skips = 0;
+  /// Candidate tasks (or swap trials) whose exact marginal was computed
+  /// by the bound-screened inner loops.
+  int64_t prune_candidates_evaluated = 0;
+  /// Candidate tasks (or swap trials) skipped because their upper bound
+  /// could not beat the incumbent — work the pruning screen saved.
+  int64_t prune_candidates_skipped = 0;
   /// Objective value of the initialization (TPG score for GT).
   double init_score = 0.0;
   /// Objective value of the returned assignment.
@@ -69,11 +75,15 @@ class Assigner {
     return Assignment(instance);
   }
 
-  /// Keeper synced to `assignment`, pooled when a workspace is set.
+  /// Keeper synced to `assignment`, pooled when a workspace is set. The
+  /// workspace also contributes its CoopTile (built or cache-hit here),
+  /// routing the keeper's marginals through the SIMD kernels; without a
+  /// workspace the keeper runs the bit-identical tile-less path.
   ScoreKeeper MakeScoreKeeper(const Instance& instance,
                               const Assignment& assignment) {
     if (workspace_ != nullptr) {
       ScoreKeeper keeper = workspace_->AcquireScoreKeeper(instance);
+      keeper.AttachTile(workspace_->PrepareCoopTile(instance));
       keeper.Sync(assignment);
       return keeper;
     }

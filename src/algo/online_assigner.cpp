@@ -4,6 +4,7 @@
 #include <numeric>
 #include <vector>
 
+#include "algo/best_response.h"
 #include "common/check.h"
 #include "model/objective.h"
 #include "model/score_keeper.h"
@@ -33,6 +34,7 @@ Assignment OnlineAssigner::Run(const Instance& instance) {
                                 .arrival_time;
                    });
 
+  const bool prune = options_.use_pruning && !PruningDisabledByEnv();
   for (const WorkerIndex w : order) {
     TaskIndex best_task = kNoTask;
     double best_gain = 0.0;
@@ -42,7 +44,17 @@ Assignment OnlineAssigner::Run(const Instance& instance) {
       const int capacity =
           instance.tasks()[static_cast<size_t>(t)].capacity;
       if (static_cast<int>(group.size()) >= capacity) continue;
+      if (prune) {
+        // The accept rule is a strict >, so a bound at or below the
+        // incumbent proves the exact gain cannot win — skipping is
+        // neutral even on exact ties.
+        if (keeper.JoinBound(w, t) <= best_gain) {
+          ++stats_.prune_candidates_skipped;
+          continue;
+        }
+      }
       const double gain = keeper.GainIfJoined(w, t);
+      ++stats_.prune_candidates_evaluated;
       if (gain > best_gain) {
         best_gain = gain;
         best_task = t;

@@ -1,0 +1,90 @@
+#include "kernel/coop_tile.h"
+
+#include <cmath>
+#include <new>
+
+#include "common/check.h"
+#include "kernel/affinity_kernels.h"
+#include "model/cooperation_matrix.h"
+
+namespace casc {
+namespace {
+
+constexpr std::align_val_t kAlign{64};
+
+/// Grows `*buffer` (64-byte aligned, uninitialized) to at least `needed`
+/// elements, reusing the old block when it is already big enough.
+template <typename T>
+void EnsureCapacity(T** buffer, int64_t* capacity, int64_t needed) {
+  if (*capacity >= needed) return;
+  if (*buffer != nullptr) {
+    ::operator delete[](*buffer, kAlign);
+  }
+  *buffer = static_cast<T*>(
+      ::operator new[](static_cast<size_t>(needed) * sizeof(T), kAlign));
+  *capacity = needed;
+}
+
+template <typename T>
+void Release(T** buffer, int64_t* capacity) {
+  if (*buffer != nullptr) {
+    ::operator delete[](*buffer, kAlign);
+    *buffer = nullptr;
+  }
+  *capacity = 0;
+}
+
+}  // namespace
+
+CoopTile::~CoopTile() {
+  Release(&pair_, &pair_capacity_);
+  Release(&bound_, &bound_capacity_);
+  Release(&prm_ticks_, &ticks_capacity_);
+}
+
+bool CoopTile::BuildFrom(const CooperationMatrix& coop, int max_workers) {
+  const int m = coop.num_workers();
+  if (m <= 0 || m > max_workers) {
+    Clear();
+    return false;
+  }
+  const int64_t stride = (static_cast<int64_t>(m) + 7) & ~int64_t{7};
+  EnsureCapacity(&pair_, &pair_capacity_, stride * m);
+  EnsureCapacity(&bound_, &bound_capacity_, stride * m);
+  EnsureCapacity(&prm_ticks_, &ticks_capacity_, m);
+  num_workers_ = m;
+  stride_ = stride;
+  source_identity_ = coop.IdentityHash();
+
+  const double* cells = coop.DenseCellsOrNull();
+  for (int i = 0; i < m; ++i) {
+    double* pair_row = pair_ + i * stride;
+    float* bound_row = bound_ + i * stride;
+    if (cells != nullptr) {
+      const double* fwd = cells + static_cast<int64_t>(i) * m;
+      for (int k = 0; k < m; ++k) {
+        // q_i(w_k) + q_k(w_i); the dense diagonal is stored as 0.
+        pair_row[k] = fwd[k] + cells[static_cast<int64_t>(k) * m + i];
+      }
+    } else {
+      for (int k = 0; k < m; ++k) {
+        pair_row[k] = coop.Quality(i, k) + coop.Quality(k, i);
+      }
+    }
+    pair_row[i] = 0.0;
+    for (int64_t k = m; k < stride; ++k) pair_row[k] = 0.0;
+    for (int64_t k = 0; k < stride; ++k) {
+      bound_row[k] = FloatUp(pair_row[k]);
+    }
+    // Affinities are in [0, 2] and rowmax * 2^32 is exactly
+    // representable in double (24-bit significand scaled by a power of
+    // two), so the ceil — and therefore the tick count — is exact.
+    const double rowmax =
+        static_cast<double>(RowMaxFloat(bound_row, m));
+    prm_ticks_[i] = static_cast<int64_t>(std::ceil(rowmax * 4294967296.0));
+    CASC_DCHECK(prm_ticks_[i] >= 0);
+  }
+  return true;
+}
+
+}  // namespace casc

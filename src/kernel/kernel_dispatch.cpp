@@ -1,0 +1,91 @@
+#include "kernel/kernel_dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace casc {
+namespace {
+
+#if defined(__x86_64__) && !defined(CASC_DISABLE_SIMD)
+constexpr bool kSimdBuild = true;
+bool CpuHasAvx2Fma() {
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+}
+#else
+constexpr bool kSimdBuild = false;
+bool CpuHasAvx2Fma() { return false; }
+#endif
+
+KernelBackend Detect() {
+  if (const char* forced = std::getenv("CASC_KERNEL")) {
+    if (std::strcmp(forced, "scalar") == 0) return KernelBackend::kScalar;
+    if (std::strcmp(forced, "sse2") == 0 &&
+        KernelBackendAvailable(KernelBackend::kSse2)) {
+      return KernelBackend::kSse2;
+    }
+    if (std::strcmp(forced, "avx2") == 0 &&
+        KernelBackendAvailable(KernelBackend::kAvx2)) {
+      return KernelBackend::kAvx2;
+    }
+    // Unknown or unavailable request: fall through to auto-detection
+    // rather than aborting a production service over an env typo.
+  }
+  if (KernelBackendAvailable(KernelBackend::kAvx2)) {
+    return KernelBackend::kAvx2;
+  }
+  if (KernelBackendAvailable(KernelBackend::kSse2)) {
+    return KernelBackend::kSse2;
+  }
+  return KernelBackend::kScalar;
+}
+
+/// -1 = not resolved yet; otherwise the KernelBackend value. Relaxed
+/// ordering is enough: every value ever stored is valid to dispatch on.
+std::atomic<int> g_backend{-1};
+
+}  // namespace
+
+const char* KernelBackendName(KernelBackend backend) {
+  switch (backend) {
+    case KernelBackend::kScalar:
+      return "scalar";
+    case KernelBackend::kSse2:
+      return "sse2";
+    case KernelBackend::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool KernelBackendAvailable(KernelBackend backend) {
+  switch (backend) {
+    case KernelBackend::kScalar:
+      return true;
+    case KernelBackend::kSse2:
+      return kSimdBuild;
+    case KernelBackend::kAvx2:
+      return kSimdBuild && CpuHasAvx2Fma();
+  }
+  return false;
+}
+
+KernelBackend ActiveKernelBackend() {
+  int backend = g_backend.load(std::memory_order_relaxed);
+  if (backend < 0) {
+    backend = static_cast<int>(Detect());
+    g_backend.store(backend, std::memory_order_relaxed);
+  }
+  return static_cast<KernelBackend>(backend);
+}
+
+void SetKernelBackend(KernelBackend backend) {
+  CASC_CHECK(KernelBackendAvailable(backend))
+      << "kernel backend " << KernelBackendName(backend)
+      << " is not available on this build/CPU";
+  g_backend.store(static_cast<int>(backend), std::memory_order_relaxed);
+}
+
+}  // namespace casc

@@ -1,0 +1,38 @@
+#ifndef CASC_KERNEL_KERNEL_DISPATCH_H_
+#define CASC_KERNEL_KERNEL_DISPATCH_H_
+
+namespace casc {
+
+/// The instruction-set backend the affinity kernels execute with. Every
+/// backend implements the same canonical reduction order (4 double lanes,
+/// combined as (l0+l2)+(l1+l3)), so switching backends never changes a
+/// single bit of any kernel result — only its speed. This is what lets
+/// the runtime pick the widest available ISA without perturbing the
+/// solvers' trajectories (verified by kernel_test's differential suite).
+enum class KernelBackend {
+  kScalar,  ///< portable C++ (also the CASC_DISABLE_SIMD build's only one)
+  kSse2,    ///< 128-bit SSE2 (baseline on every x86-64)
+  kAvx2,    ///< 256-bit AVX2 gathers (requires avx2+fma at runtime)
+};
+
+/// Name for logs and bench JSON ("scalar", "sse2", "avx2").
+const char* KernelBackendName(KernelBackend backend);
+
+/// True when `backend` can run on this build and CPU. kScalar is always
+/// available; SSE2/AVX2 require an x86-64 build without CASC_DISABLE_SIMD
+/// and (for AVX2) runtime cpuid support for avx2+fma.
+bool KernelBackendAvailable(KernelBackend backend);
+
+/// The backend the kernels currently dispatch to. Resolved once on first
+/// use: the widest available ISA, overridable with the CASC_KERNEL
+/// environment variable (scalar|sse2|avx2).
+KernelBackend ActiveKernelBackend();
+
+/// Forces a specific backend (tests and the micro-bench sweep backends
+/// this way). Requires KernelBackendAvailable(backend). Safe to switch at
+/// any time because all backends are bit-identical.
+void SetKernelBackend(KernelBackend backend);
+
+}  // namespace casc
+
+#endif  // CASC_KERNEL_KERNEL_DISPATCH_H_

@@ -1,9 +1,11 @@
 #ifndef CASC_MODEL_BATCH_WORKSPACE_H_
 #define CASC_MODEL_BATCH_WORKSPACE_H_
 
+#include <cstdlib>
 #include <utility>
 #include <vector>
 
+#include "kernel/coop_tile.h"
 #include "model/assignment.h"
 #include "model/score_keeper.h"
 #include "model/valid_pair_index.h"
@@ -68,11 +70,47 @@ class BatchWorkspace {
   /// Scratch buffer for spatial-index bulk loads (ComputeValidPairs).
   std::vector<SpatialItem>& spatial_items() { return spatial_items_; }
 
+  /// The workspace's CoopTile for `instance`'s cooperation matrix, or
+  /// nullptr when tiling is gated off (matrix larger than the
+  /// CASC_TILE_MAX_WORKERS ceiling, default 2048 — a dense tile at
+  /// city scale would dwarf the problem itself). The tile is cached by
+  /// CooperationMatrix::IdentityHash, so a steady-state stream whose
+  /// batches view the same matrix rebuilds nothing. The pointer stays
+  /// valid until the next PrepareCoopTile call with a *different*
+  /// matrix; keepers drawn from this workspace within one batch all see
+  /// the same tile.
+  const CoopTile* PrepareCoopTile(const Instance& instance) {
+    const CooperationMatrix& coop = instance.coop();
+    if (coop.num_workers() > TileMaxWorkers()) {
+      tile_.Clear();
+      return nullptr;
+    }
+    const uint64_t identity = coop.IdentityHash();
+    if (tile_.built() && tile_.source_identity() == identity) {
+      return &tile_;
+    }
+    if (!tile_.BuildFrom(coop, TileMaxWorkers())) return nullptr;
+    return &tile_;
+  }
+
  private:
+  /// Tile worker-count ceiling: CASC_TILE_MAX_WORKERS (0 disables
+  /// tiling), default 2048. Read once per process.
+  static int TileMaxWorkers() {
+    static const int kMax = [] {
+      if (const char* env = std::getenv("CASC_TILE_MAX_WORKERS")) {
+        return std::atoi(env);
+      }
+      return 2048;
+    }();
+    return kMax;
+  }
+
   std::vector<ValidPairIndex> pair_indexes_;
   std::vector<Assignment> assignments_;
   std::vector<ScoreKeeper> keepers_;
   std::vector<SpatialItem> spatial_items_;
+  CoopTile tile_;
 };
 
 }  // namespace casc

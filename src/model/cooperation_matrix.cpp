@@ -1,6 +1,7 @@
 #include "model/cooperation_matrix.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/check.h"
 
@@ -24,10 +25,19 @@ double HashQuality(uint64_t seed, int i, int k) {
   return static_cast<double>(h >> 11) * 0x1.0p-53;
 }
 
+/// Process-unique generation id for dense cell content. Every dense
+/// allocation *and* every mutation draws a fresh one, so (id, remap)
+/// pins a matrix's content even if the allocator recycles addresses.
+uint64_t NextCellsId() {
+  static std::atomic<uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
 }  // namespace
 
 CooperationMatrix::CooperationMatrix(int num_workers, double initial)
     : num_workers_(num_workers), stride_(num_workers) {
+  cells_id_ = NextCellsId();
   CASC_CHECK_GE(num_workers, 0);
   CASC_CHECK_GE(initial, 0.0);
   CASC_CHECK_LE(initial, 1.0);
@@ -90,6 +100,7 @@ void CooperationMatrix::SetQuality(int i, int k, double value) {
   CASC_CHECK_GE(value, 0.0);
   CASC_CHECK_LE(value, 1.0);
   DetachIfShared();
+  cells_id_ = NextCellsId();
   (*cells_)[CellIndex(i, k)] = value;
 }
 
@@ -99,6 +110,16 @@ void CooperationMatrix::SetSymmetric(int i, int k, double value) {
 }
 
 double CooperationMatrix::PairSum(std::span<const int> group) const {
+#ifndef NDEBUG
+  // Precondition (see the header): ids are distinct. O(g^2) like the sum
+  // itself, but only in debug builds.
+  for (size_t a = 0; a < group.size(); ++a) {
+    for (size_t b = a + 1; b < group.size(); ++b) {
+      CASC_CHECK_NE(group[a], group[b])
+          << "PairSum group contains a duplicated worker id";
+    }
+  }
+#endif
   double total = 0.0;
   for (size_t a = 0; a < group.size(); ++a) {
     for (size_t b = a + 1; b < group.size(); ++b) {
@@ -117,12 +138,24 @@ double CooperationMatrix::RowSum(int i,
   return total;
 }
 
+uint64_t CooperationMatrix::IdentityHash() const {
+  uint64_t h = Mix64(0xCA5Cu ^ static_cast<uint64_t>(num_workers_));
+  h = Mix64(h ^ cells_id_);
+  h = Mix64(h ^ seed_);
+  if (procedural_) h = Mix64(h ^ 0xA11CEull);
+  for (const int id : remap_) {
+    h = Mix64(h ^ static_cast<uint64_t>(id));
+  }
+  return h;
+}
+
 CooperationMatrix CooperationMatrix::View(std::vector<int> ids) const {
   CooperationMatrix view;
   view.num_workers_ = static_cast<int>(ids.size());
   view.stride_ = stride_;
   view.procedural_ = procedural_;
   view.seed_ = seed_;
+  view.cells_id_ = cells_id_;
   view.cells_ = cells_;
   for (int& id : ids) {
     CASC_CHECK_GE(id, 0);

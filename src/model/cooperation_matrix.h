@@ -61,6 +61,11 @@ class CooperationMatrix {
 
   /// Sum over ordered pairs of distinct workers in `group`:
   /// sum_i sum_{k != i} q_i(w_k) — the numerator of Equation 2.
+  ///
+  /// `group` must contain *distinct* worker ids. A duplicated id would
+  /// add its self-pair affinity here but not in the kernel path (whose
+  /// symmetric tile has a zero diagonal), silently diverging the two;
+  /// debug builds CHECK the precondition, release builds assume it.
   double PairSum(std::span<const int> group) const;
   double PairSum(const std::vector<int>& group) const {
     return PairSum(std::span<const int>(group));
@@ -92,6 +97,24 @@ class CooperationMatrix {
   /// True for matrices produced by Procedural().
   bool is_procedural() const { return procedural_; }
 
+  /// Directly addressable cell block when this matrix is dense with no
+  /// remap (row stride == num_workers()), else nullptr. Fast path for
+  /// CoopTile construction; views and procedural matrices go through
+  /// Quality().
+  const double* DenseCellsOrNull() const {
+    return (!procedural_ && remap_.empty() && cells_) ? cells_->data()
+                                                      : nullptr;
+  }
+
+  /// Identity of this matrix's *content*: two matrices with equal hashes
+  /// expose equal Quality() tables (modulo astronomically unlikely
+  /// collisions). Dense backings carry a process-unique generation id
+  /// refreshed on every mutation, so recycled allocations at the same
+  /// address can never alias. O(num_workers) for views (the remap is
+  /// folded in), O(1) otherwise. BatchWorkspace keys its cached CoopTile
+  /// on this.
+  uint64_t IdentityHash() const;
+
  private:
   std::size_t CellIndex(int i, int k) const;
   int BackingIndex(int i) const;
@@ -102,6 +125,7 @@ class CooperationMatrix {
   int stride_ = 0;       ///< backing matrix size (row stride)
   bool procedural_ = false;
   uint64_t seed_ = 0;
+  uint64_t cells_id_ = 0;  ///< dense-content generation (0 = procedural)
   std::shared_ptr<std::vector<double>> cells_;  ///< null when procedural
   std::vector<int> remap_;  ///< logical -> backing; empty = identity
 };

@@ -1,6 +1,7 @@
 #ifndef CASC_MODEL_SCORE_KEEPER_H_
 #define CASC_MODEL_SCORE_KEEPER_H_
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -8,6 +9,8 @@
 #include "model/instance.h"
 
 namespace casc {
+
+class CoopTile;
 
 /// Incrementally maintained Equation-3 objective.
 ///
@@ -26,6 +29,13 @@ namespace casc {
 /// way). Group sizes above the task capacity are not supported (the
 /// crowding rule must be applied by the caller first, as ApplyMove
 /// does) — scores follow the B <= |W| <= a_j branch of Equation 2.
+///
+/// Affinity sums are accumulated in the canonical 4-lane order of
+/// src/kernel/affinity_kernels.h whether or not a CoopTile is attached
+/// (AttachTile): the tile routes them through the runtime-dispatched
+/// SIMD kernels over its exact double pair plane, the tile-less path
+/// replicates the same order over CooperationMatrix::Quality — so
+/// attaching a tile changes speed, never a single result bit.
 class ScoreKeeper {
  public:
   /// Creates an unbound keeper; Rebind()/Sync() before use (the pooling
@@ -41,8 +51,15 @@ class ScoreKeeper {
   ScoreKeeper(const Instance& instance, const Assignment& assignment);
 
   /// Rebinds to `instance` with zero sums, detached from any assignment
-  /// (reuses the backing arrays' capacity).
+  /// and tile (reuses the backing arrays' capacity).
   void Rebind(const Instance& instance);
+
+  /// Routes affinity sums through `tile` (built over this instance's
+  /// cooperation matrix; nullptr detaches). Call between Rebind() and
+  /// Sync(); the tile must outlive the keeper's use of it. Purely a
+  /// fast path — results are bit-identical with and without a tile.
+  void AttachTile(const CoopTile* tile);
+  const CoopTile* tile() const { return tile_; }
 
   /// Attaches to `assignment` and rebuilds all sums from its groups
   /// (O(total group sizes squared)).
@@ -58,6 +75,10 @@ class ScoreKeeper {
 
   /// Current Q(W_t) (Equation 2).
   double TaskScore(TaskIndex t) const;
+
+  /// Current ordered-pair affinity sum of task `t`'s group — the
+  /// numerator of Equation 2 (pruning bounds build on it).
+  double TaskPairSum(TaskIndex t) const;
 
   /// Current Q(T) (Equation 3), O(1).
   double TotalScore() const { return total_; }
@@ -79,6 +100,27 @@ class ScoreKeeper {
   /// (over-capacity evaluation is the caller's BestSubset fallback).
   double GainIfJoined(WorkerIndex w, TaskIndex t) const;
 
+  /// Batched GainIfJoined over many candidate tasks of one worker:
+  /// out[i] = GainIfJoined(w, tasks[i]), bit-identical to the one-task
+  /// calls but gathered through one RowSumMany kernel dispatch when a
+  /// tile is attached. Same preconditions per task.
+  void GainsIfJoined(WorkerIndex w, std::span<const TaskIndex> tasks,
+                     double* out) const;
+
+  /// O(1) upper bound on GainIfJoined(w, t), derived from the group's
+  /// bound-tick accumulator and w's per-pair row maximum (see
+  /// WorkerTicks): the candidate-pruning screen of the best-response
+  /// scan. Never below the exact gain; equal to 0 when joining cannot
+  /// produce a scoring group. Same preconditions as GainIfJoined.
+  double JoinBound(WorkerIndex w, TaskIndex t) const;
+
+  /// Upper bound on any single pair affinity s(w, m) = q_w(m) + q_m(w)
+  /// involving `w`, in 2^-32 fixed point: the tile's per-row float
+  /// maximum when attached, else the trivial 2.0 (qualities live in
+  /// [0, 1]). Integer ticks make the per-task accumulators exactly
+  /// reversible under Add/Remove.
+  int64_t WorkerTicks(WorkerIndex w) const;
+
   /// Marginal loss in TotalScore() if `w` left `t`:
   /// Q(W_t) - Q(W_t \ {w}). Same O(|W_t|) allocation-free shape.
   /// Requires membership.
@@ -97,15 +139,39 @@ class ScoreKeeper {
   /// cached sums without consulting group membership. Callers own the
   /// consistency of the delta/size bookkeeping and must return the sums
   /// to a membership-consistent state before any other keeper use.
+  /// Bound ticks are untouched: a trial + rollback nets to zero, and an
+  /// accepted local-search swap keeps each group's tick sum valid via
+  /// ShiftBoundTicks.
   void ApplyDelta(TaskIndex t, double delta, int new_size);
+
+  /// Shifts task `t`'s bound-tick accumulator by `delta` ticks. Local
+  /// search calls this on an accepted swap (departing worker's ticks
+  /// out, arriving worker's in) since the swap bypasses Add/Remove.
+  void ShiftBoundTicks(TaskIndex t, int64_t delta);
 
  private:
   double GroupScoreFromSum(TaskIndex t, double pair_sum, int size) const;
 
+  /// Canonical-lane two-way affinity of `w` to `group`, skipping
+  /// elements equal to `w` or `skip` (skipped elements do not advance
+  /// the lane index). `*others` receives the number of contributing
+  /// members. Kernel-dispatched over the tile when one is attached and
+  /// nothing needs skipping; bit-identical scalar order otherwise.
+  double AffinityOverGroup(std::span<const WorkerIndex> group,
+                           WorkerIndex w, WorkerIndex skip,
+                           int* others) const;
+
+  /// Canonical-lane ordered-pair sum of a distinct-id group.
+  double GroupPairSum(std::span<const WorkerIndex> group) const;
+
   const Instance* instance_ = nullptr;
   const Assignment* assignment_ = nullptr;
+  const CoopTile* tile_ = nullptr;
   std::vector<double> pair_sums_;  // ordered-pair sum per task
   std::vector<double> scores_;     // Equation-2 value per task
+  /// Sum of members' WorkerTicks per task (2^-32 fixed point): an exact
+  /// integer upper-bound accumulator feeding JoinBound.
+  std::vector<int64_t> bound_ticks_;
   double total_ = 0.0;
 };
 

@@ -53,7 +53,9 @@ std::string ServiceMetrics::ToJson() const {
       << ",\"phase2_seconds\":" << phase2_seconds
       << ",\"admitted_tasks\":" << admitted_tasks
       << ",\"deferred_tasks\":" << deferred_tasks
-      << ",\"queue_depth\":" << queue_depth << "}";
+      << ",\"queue_depth\":" << queue_depth
+      << ",\"prune_evals\":" << prune_evals
+      << ",\"prune_skips\":" << prune_skips << "}";
   return out.str();
 }
 
@@ -94,9 +96,17 @@ Assignment ShardedAssigner::Run(const Instance& instance) {
   metrics_.boundary_workers = load.boundary_workers;
 
   watch.Restart();
-  Assignment assignment = executor_.Run(instance, problems, factory_,
-                                        &metrics_.shard_seconds, workspace());
+  std::vector<AssignerStats> shard_stats;
+  Assignment assignment =
+      executor_.Run(instance, problems, factory_, &metrics_.shard_seconds,
+                    workspace(), &shard_stats);
   metrics_.phase1_seconds = watch.ElapsedSeconds();
+  for (const AssignerStats& stats : shard_stats) {
+    metrics_.prune_evals += stats.prune_candidates_evaluated;
+    metrics_.prune_skips += stats.prune_candidates_skipped;
+  }
+  stats_.prune_candidates_evaluated = metrics_.prune_evals;
+  stats_.prune_candidates_skipped = metrics_.prune_skips;
 
   watch.Restart();
   const ReconcileStats reconcile =

@@ -50,6 +50,13 @@ struct ServiceMetrics {
   int deferred_tasks = 0;  ///< overflow tasks pushed to the next batch
   int queue_depth = 0;     ///< open tasks carried after the batch
 
+  /// Candidate-pruning work across the phase-1 shard solvers: exact
+  /// marginal evaluations performed vs. skipped via upper bounds (see
+  /// AssignerStats::prune_candidates_*). Phase-2 polishing is not
+  /// included — the reconciler reports moves, not scan work.
+  int64_t prune_evals = 0;
+  int64_t prune_skips = 0;
+
   /// Compact JSON object (machine-readable bench/monitoring output).
   std::string ToJson() const;
 };

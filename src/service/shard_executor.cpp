@@ -133,13 +133,17 @@ Assignment ShardExecutor::Run(const Instance& global,
                               const std::vector<ShardProblem>& problems,
                               const AssignerFactory& factory,
                               std::vector<double>* shard_seconds,
-                              BatchWorkspace* global_workspace) {
+                              BatchWorkspace* global_workspace,
+                              std::vector<AssignerStats>* shard_stats) {
   CASC_CHECK(factory != nullptr);
   const int num_shards = static_cast<int>(problems.size());
   EnsureWorkspaces(num_shards);
   std::vector<std::optional<Assignment>> locals(
       static_cast<size_t>(num_shards));
   std::vector<double> seconds(static_cast<size_t>(num_shards), 0.0);
+  if (shard_stats != nullptr) {
+    shard_stats->assign(static_cast<size_t>(num_shards), AssignerStats{});
+  }
 
   pool_.ParallelFor(num_shards, [&](int64_t s) {
     const ShardProblem& problem = problems[static_cast<size_t>(s)];
@@ -152,6 +156,9 @@ Assignment ShardExecutor::Run(const Instance& global,
     solver->set_workspace(workspaces_[static_cast<size_t>(s)].get());
     locals[static_cast<size_t>(s)] = solver->Run(problem.instance);
     seconds[static_cast<size_t>(s)] = watch.ElapsedSeconds();
+    if (shard_stats != nullptr) {
+      (*shard_stats)[static_cast<size_t>(s)] = solver->stats();
+    }
   });
 
   // Deterministic fold: ascending shard order, local insertion order.

@@ -54,14 +54,17 @@ class ShardExecutor {
   /// folds the local assignments into a global assignment (ascending
   /// shard order; boundary workers stay idle for phase 2). Shards with
   /// no workers or no tasks are skipped. A non-null `shard_seconds`
-  /// receives per-shard solver wall times. The solvers draw their
-  /// scratch state from this executor's per-shard workspaces; a non-null
-  /// `global_workspace` additionally pools the folded global assignment.
+  /// receives per-shard solver wall times; a non-null `shard_stats`
+  /// receives each shard solver's AssignerStats (default-constructed for
+  /// skipped shards). The solvers draw their scratch state from this
+  /// executor's per-shard workspaces; a non-null `global_workspace`
+  /// additionally pools the folded global assignment.
   Assignment Run(const Instance& global,
                  const std::vector<ShardProblem>& problems,
                  const AssignerFactory& factory,
                  std::vector<double>* shard_seconds,
-                 BatchWorkspace* global_workspace = nullptr);
+                 BatchWorkspace* global_workspace = nullptr,
+                 std::vector<AssignerStats>* shard_stats = nullptr);
 
   /// Returns the problems' CSR pair indexes to the per-shard workspaces
   /// so the next batch's BuildProblems reuses their capacity. The

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/gt_assigner.h"
+#include "algo/local_search.h"
+#include "algo/online_assigner.h"
+#include "common/rng.h"
+#include "gen/synthetic.h"
+#include "model/batch_workspace.h"
+#include "model/objective.h"
+
+namespace casc {
+namespace {
+
+Instance RandomInstance(int workers, int tasks, uint64_t seed,
+                        int capacity = 4, int min_group = 3) {
+  Rng rng(seed);
+  SyntheticInstanceConfig config;
+  config.num_workers = workers;
+  config.num_tasks = tasks;
+  config.task.capacity = capacity;
+  config.min_group_size = min_group;
+  config.worker.radius_min = 0.25;
+  config.worker.radius_max = 0.50;
+  config.worker.speed_min = 0.05;
+  config.worker.speed_max = 0.15;
+  return GenerateSyntheticInstance(config, 0.0, &rng);
+}
+
+/// Runs the pruned and unpruned solver on `instance` and demands the
+/// exact same assignment and the exact same final score — the central
+/// claim of the bound-based pruning: it only skips work, never changes a
+/// result bit. Every other seed also exercises the BatchWorkspace path
+/// (tile-backed keepers + pooled scratch).
+void ExpectPruningNeutral(const Instance& instance, Assigner& pruned,
+                          Assigner& unpruned, bool use_workspace,
+                          const std::string& label) {
+  BatchWorkspace workspace_on;
+  BatchWorkspace workspace_off;
+  if (use_workspace) {
+    pruned.set_workspace(&workspace_on);
+    unpruned.set_workspace(&workspace_off);
+  }
+  const Assignment on = pruned.Run(instance);
+  const Assignment off = unpruned.Run(instance);
+  for (WorkerIndex w = 0; w < instance.num_workers(); ++w) {
+    ASSERT_EQ(on.TaskOf(w), off.TaskOf(w))
+        << label << ": worker " << w << " diverged";
+  }
+  // Exact equality, not near: the trajectories must be identical.
+  ASSERT_EQ(pruned.stats().final_score, unpruned.stats().final_score)
+      << label;
+  ASSERT_EQ(TotalScore(instance, on), TotalScore(instance, off)) << label;
+
+  // Work conservation: the pruned scan visits the same candidates, each
+  // either evaluated exactly or provably skipped; the unpruned scan
+  // evaluates them all.
+  const AssignerStats& stats_on = pruned.stats();
+  const AssignerStats& stats_off = unpruned.stats();
+  ASSERT_EQ(stats_off.prune_candidates_skipped, 0) << label;
+  ASSERT_EQ(
+      stats_on.prune_candidates_evaluated + stats_on.prune_candidates_skipped,
+      stats_off.prune_candidates_evaluated)
+      << label;
+}
+
+TEST(PruningFuzzTest, GtVariantsMatchUnprunedOn200Instances) {
+  int prunes_observed = 0;
+  for (uint64_t seed = 0; seed < 100; ++seed) {
+    const int workers = 40 + static_cast<int>(seed % 4) * 15;
+    const int tasks = 14 + static_cast<int>(seed % 5) * 4;
+    const Instance instance = RandomInstance(workers, tasks, seed + 1);
+
+    GtOptions options;
+    switch (seed % 4) {
+      case 0:  // plain GT from TPG
+        break;
+      case 1:  // both paper optimizations, shuffled order
+        options.use_tsi = true;
+        options.use_lub = true;
+        options.order = GtOrder::kShuffled;
+        options.order_seed = seed + 7;
+        break;
+      case 2:  // random init + LUB
+        options.init = GtInit::kRandom;
+        options.init_seed = seed + 3;
+        options.use_lub = true;
+        break;
+      case 3:  // speculative parallel rounds
+        options.num_threads = 2;
+        options.use_lub = true;
+        break;
+    }
+    GtOptions off_options = options;
+    options.use_pruning = true;
+    off_options.use_pruning = false;
+    GtAssigner pruned(options);
+    GtAssigner unpruned(off_options);
+    ExpectPruningNeutral(instance, pruned, unpruned, seed % 2 == 0,
+                         "gt seed=" + std::to_string(seed));
+    if (pruned.stats().prune_candidates_skipped > 0) ++prunes_observed;
+  }
+  // The fuzz must actually exercise the pruning branch, not vacuously
+  // pass with bounds that never fire.
+  EXPECT_GT(prunes_observed, 50);
+}
+
+TEST(PruningFuzzTest, GtSwapMatchesUnprunedOn50Instances) {
+  int prunes_observed = 0;
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    const int workers = 36 + static_cast<int>(seed % 3) * 12;
+    const int tasks = 12 + static_cast<int>(seed % 4) * 3;
+    const Instance instance = RandomInstance(workers, tasks, seed + 101);
+
+    GtOptions gt_on;
+    gt_on.use_pruning = true;
+    GtOptions gt_off = gt_on;
+    gt_off.use_pruning = false;
+    LocalSearchOptions ls_on;
+    ls_on.use_pruning = true;
+    LocalSearchOptions ls_off = ls_on;
+    ls_off.use_pruning = false;
+    LocalSearchAssigner pruned(std::make_unique<GtAssigner>(gt_on), ls_on);
+    LocalSearchAssigner unpruned(std::make_unique<GtAssigner>(gt_off),
+                                 ls_off);
+    ExpectPruningNeutral(instance, pruned, unpruned, seed % 2 == 0,
+                         "gt+swap seed=" + std::to_string(seed));
+    ASSERT_EQ(pruned.swaps_applied(), unpruned.swaps_applied());
+    if (pruned.stats().prune_candidates_skipped > 0) ++prunes_observed;
+  }
+  EXPECT_GT(prunes_observed, 25);
+}
+
+TEST(PruningFuzzTest, OnlineMatchesUnprunedOn50Instances) {
+  int prunes_observed = 0;
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    const int workers = 50 + static_cast<int>(seed % 5) * 10;
+    const int tasks = 16 + static_cast<int>(seed % 3) * 6;
+    const Instance instance = RandomInstance(workers, tasks, seed + 201);
+
+    OnlineOptions on;
+    on.use_pruning = true;
+    OnlineOptions off = on;
+    off.use_pruning = false;
+    OnlineAssigner pruned(on);
+    OnlineAssigner unpruned(off);
+    ExpectPruningNeutral(instance, pruned, unpruned, seed % 2 == 0,
+                         "online seed=" + std::to_string(seed));
+    if (pruned.stats().prune_candidates_skipped > 0) ++prunes_observed;
+  }
+  EXPECT_GT(prunes_observed, 25);
+}
+
+}  // namespace
+}  // namespace casc

@@ -8,8 +8,12 @@
 #        churn, ForEachPair vs Pairs(), steady-state streaming with a
 #        warm BatchWorkspace -- the binary aborts if a steady-state
 #        batch grows any pooled backing array)
+#   PR5  SIMD affinity kernels (RowSum/PairSum per backend vs the legacy
+#        CooperationMatrix path at group sizes 2-16) and bound-based
+#        candidate pruning (pruned vs unpruned GT wall time + prune-rate
+#        counters; the binary aborts if pruning changes the score)
 #
-# Usage: tools/run_bench.sh [pr1|pr2|pr3|all] [OUT_JSON]
+# Usage: tools/run_bench.sh [pr1|pr2|pr3|pr5|all] [OUT_JSON]
 #   pr1|pr2|all  which suite to run (default all)
 #   OUT_JSON     output override for a single suite
 # Env:
@@ -55,17 +59,26 @@ run_pr3() {
   echo "wrote $out"
 }
 
+run_pr5() {
+  local out="${1:-BENCH_PR5.json}"
+  cmake --build "$BUILD_DIR" -j --target bench_micro_kernels >/dev/null
+  "$BUILD_DIR/bench/bench_micro_kernels" --json="$out" ${BENCH_ARGS:-}
+  echo "wrote $out"
+}
+
 case "$SUITE" in
   pr1) run_pr1 "${2:-}" ;;
   pr2) run_pr2 "${2:-}" ;;
   pr3) run_pr3 "${2:-}" ;;
+  pr5) run_pr5 "${2:-}" ;;
   all)
     run_pr1
     run_pr2
     run_pr3
+    run_pr5
     ;;
   *)
-    echo "usage: tools/run_bench.sh [pr1|pr2|pr3|all] [OUT_JSON]" >&2
+    echo "usage: tools/run_bench.sh [pr1|pr2|pr3|pr5|all] [OUT_JSON]" >&2
     exit 1
     ;;
 esac
