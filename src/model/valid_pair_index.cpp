@@ -102,6 +102,13 @@ std::span<const WorkerIndex> ValidPairIndex::Candidates(TaskIndex t) const {
   return {worker_flat_.data() + begin, static_cast<size_t>(end - begin)};
 }
 
+bool ValidPairIndex::SameAs(const ValidPairIndex& other) const {
+  return ready_ && other.ready_ && task_offsets_ == other.task_offsets_ &&
+         task_flat_ == other.task_flat_ &&
+         worker_offsets_ == other.worker_offsets_ &&
+         worker_flat_ == other.worker_flat_;
+}
+
 void ValidPairIndex::Clear() {
   ready_ = false;
   building_ = false;

@@ -68,6 +68,12 @@ class ValidPairIndex {
   /// Total number of valid pairs, O(1).
   size_t NumValidPairs() const { return task_flat_.size(); }
 
+  /// True when both indexes are ready and hold byte-identical CSR arrays
+  /// (offsets and flats in both directions). The streaming plane's
+  /// differential audit (CASC_STREAM_AUDIT) compares its delta-maintained
+  /// index against a from-scratch rebuild with this.
+  bool SameAs(const ValidPairIndex& other) const;
+
   /// Returns to the not-ready state keeping all capacity (pooling hook).
   void Clear();
 

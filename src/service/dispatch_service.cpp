@@ -1,13 +1,17 @@
 #include "service/dispatch_service.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <limits>
 #include <sstream>
 #include <utility>
 
 #include "common/check.h"
+#include "common/histogram.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "model/objective.h"
+#include "sim/streaming_plane.h"
 
 namespace casc {
 namespace {
@@ -55,7 +59,21 @@ std::string ServiceMetrics::ToJson() const {
       << ",\"deferred_tasks\":" << deferred_tasks
       << ",\"queue_depth\":" << queue_depth
       << ",\"prune_evals\":" << prune_evals
-      << ",\"prune_skips\":" << prune_skips << "}";
+      << ",\"prune_skips\":" << prune_skips
+      << ",\"ingest_seconds\":" << ingest_seconds
+      << ",\"index_build_seconds\":" << index_build_seconds
+      << ",\"batch_seconds\":" << batch_seconds
+      << ",\"pipelined\":" << (pipelined ? 1 : 0) << "}";
+  return out.str();
+}
+
+std::string RunLatencyStats::ToJson() const {
+  std::ostringstream out;
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << "{\"batches\":" << batches << ",\"mean_seconds\":" << mean_seconds
+      << ",\"p50_seconds\":" << p50_seconds
+      << ",\"p99_seconds\":" << p99_seconds
+      << ",\"max_seconds\":" << max_seconds << "}";
   return out.str();
 }
 
@@ -131,7 +149,7 @@ DispatchService::DispatchService(DispatchConfig config,
   CASC_CHECK(global_coop_ != nullptr);
   CASC_CHECK_GE(config_.max_tasks_per_batch, 0);
   CASC_CHECK_GT(config_.batch_interval, 0.0);
-  sharded_.set_workspace(&workspace_);
+  sharded_.set_workspace(&solve_workspace_);
 }
 
 DispatchResult DispatchService::RunBatch(std::vector<Worker> workers,
@@ -165,7 +183,9 @@ DispatchResult DispatchService::RunBatch(std::vector<Worker> workers,
   Instance instance(std::move(workers), std::move(tasks),
                     global_coop_->View(std::move(ids)), now,
                     config_.min_group_size);
-  instance.ComputeValidPairs(DefaultSpatialBackend(), &workspace_);
+  Stopwatch build_watch;
+  instance.ComputeValidPairs(DefaultSpatialBackend(), &build_workspace_);
+  const double index_build_seconds = build_watch.ElapsedSeconds();
 
   BatchMetrics batch;
   batch.now = now;
@@ -183,10 +203,14 @@ DispatchResult DispatchService::RunBatch(std::vector<Worker> workers,
     }
   }
 
+  batch.index_build_seconds = index_build_seconds;
+
   ServiceMetrics metrics = sharded_.metrics();
   metrics.admitted_tasks = num_admitted;
   metrics.deferred_tasks = static_cast<int>(deferred.size());
   metrics.queue_depth = static_cast<int>(deferred.size());
+  metrics.index_build_seconds = index_build_seconds;
+  metrics.batch_seconds = index_build_seconds + batch.seconds;
   batch_metrics_.push_back(metrics);
 
   return DispatchResult{std::move(instance), std::move(assignment),
@@ -202,91 +226,174 @@ RunSummary DispatchService::Run(const EventStream& stream) {
                 static_cast<int>(stream.num_workers()))
       << "global_coop is smaller than the stream's worker population";
   batch_metrics_.clear();
+  run_latency_ = RunLatencyStats{};
 
-  // Pool state carried across batches (Algorithm 1's "available" sets).
-  std::vector<Worker> idle_workers;
-  std::vector<Task> open_tasks;
-  std::vector<std::pair<double, Worker>> busy_workers;
+  // Effective streaming-plane knobs: config anded with the process-wide
+  // kill switches, so either side can force the baseline path.
+  StreamingPlaneConfig plane_config = StreamingPlaneConfig::FromEnv();
+  plane_config.incremental &= config_.enable_incremental;
+  plane_config.audit |= config_.audit_streaming;
+  const bool pipeline = config_.enable_pipeline &&
+                        std::getenv("CASC_NO_PIPELINE") == nullptr;
+
+  // Cross-batch pools and delta-maintained valid-pair rows.
+  StreamingPlane plane(plane_config);
+  EventStream::Cursor cursor = stream.NewCursor();
+  // Two-slot pipeline: chunk 0 (the caller) solves batch N while chunk 1
+  // ingests batch N+1's arrivals into the plane. The solver only reads
+  // its Instance and the solve-side workspace; the ingest only mutates
+  // the plane, the cursor and the arrival buffers — no shared state, so
+  // the join makes Commit() deterministic.
+  ThreadPool pipeline_pool(pipeline ? 2 : 1);
+
+  std::vector<Worker> arrived_workers;
+  std::vector<Task> arrived_tasks;
+  std::vector<Worker> batch_workers;
+  std::vector<Task> batch_tasks;
 
   RunSummary summary;
   double now = stream.FirstEventTime();
   const double end = stream.LastEventTime() + config_.batch_interval;
   int round = 0;
-  double previous = -std::numeric_limits<double>::infinity();
+  double window_start = -std::numeric_limits<double>::infinity();
+  // Set when the previous iteration's overlap already ingested this
+  // batch's arrivals (and staged its pre-existing releases).
+  bool ingested_ahead = false;
+  double overlapped_ingest_seconds = 0.0;
 
   while (now < end) {
-    for (Worker& worker : stream.WorkersArrivingIn(previous, now + 1e-12)) {
-      idle_workers.push_back(worker);
+    double ingest_seconds = 0.0;
+    const bool was_overlapped = ingested_ahead;
+    if (!ingested_ahead) {
+      Stopwatch ingest_watch;
+      arrived_workers.clear();
+      arrived_tasks.clear();
+      cursor.NextBatch(window_start, now + 1e-12, &arrived_workers,
+                       &arrived_tasks);
+      window_start = now + 1e-12;
+      plane.Ingest(now, arrived_workers, arrived_tasks);
+      ingest_seconds = ingest_watch.ElapsedSeconds();
+    } else {
+      ingest_seconds = overlapped_ingest_seconds;
+      ingested_ahead = false;
     }
-    for (Task& task : stream.TasksArrivingIn(previous, now + 1e-12)) {
-      open_tasks.push_back(task);
-    }
-    for (auto it = busy_workers.begin(); it != busy_workers.end();) {
-      if (it->first <= now) {
-        idle_workers.push_back(it->second);
-        it = busy_workers.erase(it);
-      } else {
-        ++it;
-      }
-    }
-    open_tasks.erase(
-        std::remove_if(open_tasks.begin(), open_tasks.end(),
-                       [&](const Task& task) { return task.deadline < now; }),
-        open_tasks.end());
+    plane.StageReleases(now);
+    plane.FlushReleases();
+    plane.Expire(now);
 
-    if (!idle_workers.empty() && !open_tasks.empty()) {
-      DispatchResult result = RunBatch(idle_workers, open_tasks, now);
-      result.batch.round = round;
+    if (plane.HasWork()) {
+      plane.Admit(config_.max_tasks_per_batch);
+      plane.MaterializeWorkers(&batch_workers);
+      plane.MaterializeAdmittedTasks(&batch_tasks);
+      std::vector<int> ids;
+      ids.reserve(batch_workers.size());
+      for (const Worker& worker : batch_workers) {
+        CASC_CHECK_GE(worker.id, 0)
+            << "worker ids index the service's global cooperation matrix";
+        CASC_CHECK_LT(worker.id, global_coop_->num_workers())
+            << "worker id beyond the global cooperation matrix";
+        ids.push_back(static_cast<int>(worker.id));
+      }
+      Stopwatch build_watch;
+      Instance instance(batch_workers, batch_tasks,
+                        global_coop_->View(std::move(ids)), now,
+                        config_.min_group_size);
+      plane.BuildValidPairs(&instance, &build_workspace_);
+      const double index_build_seconds = build_watch.ElapsedSeconds();
+
+      const double next_now = now + config_.batch_interval;
+      const bool overlap = pipeline && next_now < end;
+      Assignment assignment;
+      double solve_seconds = 0.0;
+      if (overlap) {
+        pipeline_pool.ParallelFor(2, [&](int64_t chunk) {
+          if (chunk == 0) {
+            Stopwatch solve_watch;
+            assignment = sharded_.Run(instance);
+            solve_seconds = solve_watch.ElapsedSeconds();
+          } else {
+            Stopwatch overlap_watch;
+            arrived_workers.clear();
+            arrived_tasks.clear();
+            cursor.NextBatch(window_start, next_now + 1e-12,
+                             &arrived_workers, &arrived_tasks);
+            window_start = next_now + 1e-12;
+            plane.Ingest(next_now, arrived_workers, arrived_tasks);
+            plane.StageReleases(next_now);
+            overlapped_ingest_seconds = overlap_watch.ElapsedSeconds();
+          }
+        });
+        ingested_ahead = true;
+      } else {
+        Stopwatch solve_watch;
+        assignment = sharded_.Run(instance);
+        solve_seconds = solve_watch.ElapsedSeconds();
+      }
+
+      BatchMetrics batch;
+      batch.round = round;
+      batch.now = now;
+      batch.num_workers = instance.num_workers();
+      batch.num_tasks = instance.num_tasks();
+      batch.valid_pairs = static_cast<int64_t>(instance.NumValidPairs());
+      batch.seconds = solve_seconds;
+      batch.score = TotalScore(instance, assignment);
+      batch.assigned_workers = assignment.NumAssigned();
+      for (TaskIndex t = 0; t < instance.num_tasks(); ++t) {
+        if (assignment.GroupSize(t) >= instance.min_group_size()) {
+          ++batch.completed_tasks;
+        }
+      }
+      batch.ingest_seconds = ingest_seconds;
+      batch.index_build_seconds = index_build_seconds;
 
       // Commit: groups reaching B start now; everyone else carries over,
       // together with the admission queue's deferred overflow.
-      const Instance& instance = result.instance;
-      std::vector<bool> worker_started(
-          static_cast<size_t>(instance.num_workers()), false);
-      std::vector<bool> task_started(
-          static_cast<size_t>(instance.num_tasks()), false);
-      for (TaskIndex t = 0; t < instance.num_tasks(); ++t) {
-        if (result.assignment.GroupSize(t) < instance.min_group_size()) {
-          continue;
-        }
-        task_started[static_cast<size_t>(t)] = true;
-        for (const WorkerIndex w : result.assignment.GroupOf(t)) {
-          worker_started[static_cast<size_t>(w)] = true;
-        }
-      }
-      std::vector<Worker> still_idle;
-      for (int i = 0; i < instance.num_workers(); ++i) {
-        const Worker& worker = instance.workers()[static_cast<size_t>(i)];
-        if (worker_started[static_cast<size_t>(i)]) {
-          busy_workers.emplace_back(now + config_.task_duration, worker);
-        } else {
-          still_idle.push_back(worker);
-        }
-      }
-      idle_workers = std::move(still_idle);
-      std::vector<Task> still_open;
-      for (int j = 0; j < instance.num_tasks(); ++j) {
-        if (!task_started[static_cast<size_t>(j)]) {
-          still_open.push_back(instance.tasks()[static_cast<size_t>(j)]);
-        }
-      }
-      for (Task& task : result.deferred) still_open.push_back(task);
-      open_tasks = std::move(still_open);
-      batch_metrics_.back().queue_depth =
-          static_cast<int>(open_tasks.size());
+      plane.Commit(instance, assignment, now + config_.task_duration);
 
-      summary.batches.push_back(result.batch);
+      ServiceMetrics metrics = sharded_.metrics();
+      metrics.admitted_tasks = instance.num_tasks();
+      metrics.deferred_tasks = plane.num_deferred();
+      metrics.queue_depth = plane.queue_depth_after_commit();
+      metrics.ingest_seconds = ingest_seconds;
+      metrics.index_build_seconds = index_build_seconds;
+      metrics.pipelined = was_overlapped;
+      // Critical path: ingest counts only when it did not ride along a
+      // previous solve.
+      metrics.batch_seconds = (was_overlapped ? 0.0 : ingest_seconds) +
+                              index_build_seconds + solve_seconds;
+      batch_metrics_.push_back(metrics);
+      summary.batches.push_back(batch);
 
       // The committed batch is finished with its scratch state: return
-      // the CSR pair index and the assignment's slabs to the pool so the
-      // next batch allocates nothing in steady state.
-      workspace_.Recycle(result.instance.ReleaseValidPairs());
-      workspace_.Recycle(std::move(result.assignment));
+      // the CSR pair index and the assignment's slabs to the pools so
+      // the next batch allocates nothing in steady state.
+      build_workspace_.Recycle(instance.ReleaseValidPairs());
+      solve_workspace_.Recycle(std::move(assignment));
     }
 
-    previous = now + 1e-12;
     now += config_.batch_interval;
     ++round;
+  }
+
+  // Run-level latency distribution over the batches' critical paths.
+  if (!batch_metrics_.empty()) {
+    double worst = 0.0;
+    double total = 0.0;
+    for (const ServiceMetrics& metrics : batch_metrics_) {
+      worst = std::max(worst, metrics.batch_seconds);
+      total += metrics.batch_seconds;
+    }
+    Histogram histogram(0.0, std::max(worst * (1.0 + 1e-9), 1e-9), 1000);
+    for (const ServiceMetrics& metrics : batch_metrics_) {
+      histogram.Add(metrics.batch_seconds);
+    }
+    run_latency_.batches = static_cast<int64_t>(batch_metrics_.size());
+    run_latency_.mean_seconds =
+        total / static_cast<double>(batch_metrics_.size());
+    run_latency_.p50_seconds = histogram.Quantile(0.5);
+    run_latency_.p99_seconds = histogram.Quantile(0.99);
+    run_latency_.max_seconds = worst;
   }
   return summary;
 }

@@ -50,6 +50,17 @@ struct ServiceMetrics {
   int deferred_tasks = 0;  ///< overflow tasks pushed to the next batch
   int queue_depth = 0;     ///< open tasks carried after the batch
 
+  /// Streaming data-plane timings. `ingest_seconds` covers arrival
+  /// ingest plus incremental index maintenance (overlapped with the
+  /// previous solve when the pipeline is on — `pipelined` records where
+  /// it ran); `index_build_seconds` covers the valid-pair build;
+  /// `batch_seconds` is the batch's critical path (non-overlapped ingest
+  /// + build + solve), the quantity the run-level p50/p99 summarize.
+  double ingest_seconds = 0.0;
+  double index_build_seconds = 0.0;
+  double batch_seconds = 0.0;
+  bool pipelined = false;  ///< ingest ran overlapped with the prior solve
+
   /// Candidate-pruning work across the phase-1 shard solvers: exact
   /// marginal evaluations performed vs. skipped via upper bounds (see
   /// AssignerStats::prune_candidates_*). Phase-2 polishing is not
@@ -114,6 +125,39 @@ struct DispatchConfig {
   /// Overflow tasks stay queued and carry to the next batch until their
   /// deadlines expire, mirroring RunStreaming's carry-over.
   int max_tasks_per_batch = 0;
+
+  /// Delta-maintain the spatial index and valid-pair rows across the
+  /// streaming batches instead of rebuilding per batch. Anded with the
+  /// CASC_NO_INCREMENTAL kill switch at Run() time; either side can turn
+  /// it off. Never changes any output (differentially checked under
+  /// CASC_STREAM_AUDIT / audit_streaming).
+  bool enable_incremental = true;
+
+  /// Overlap batch N+1's ingest + incremental index maintenance with
+  /// batch N's solve on a two-slot pipeline. Anded with the
+  /// CASC_NO_PIPELINE kill switch at Run() time. The solved outputs are
+  /// bit-identical to the sequential loop (the solver never reads the
+  /// mutating cross-batch state; see StreamingPlane's pipelining
+  /// contract).
+  bool enable_pipeline = true;
+
+  /// Differentially check every incrementally-built valid-pair index
+  /// against a from-scratch build (or'ed with CASC_STREAM_AUDIT).
+  bool audit_streaming = false;
+};
+
+/// Run-level latency distribution of a streaming Run(): per-batch
+/// critical-path seconds (ServiceMetrics::batch_seconds) folded through
+/// a histogram, so the service reports tail latency, not just means.
+struct RunLatencyStats {
+  int64_t batches = 0;
+  double mean_seconds = 0.0;
+  double p50_seconds = 0.0;
+  double p99_seconds = 0.0;
+  double max_seconds = 0.0;
+
+  /// Compact JSON object (bench/monitoring output).
+  std::string ToJson() const;
 };
 
 /// One solved batch.
@@ -146,6 +190,13 @@ class DispatchService {
   /// arrivals with idle-worker/open-task carry-over, busy-worker
   /// bookkeeping and the admission budget. Worker ids must be a
   /// permutation of 0..num_workers-1 (EventStream::HasDenseWorkerIds).
+  ///
+  /// The cross-batch state lives in a StreamingPlane: incremental index
+  /// and valid-pair maintenance by default (enable_incremental /
+  /// CASC_NO_INCREMENTAL), and batch N+1's ingest overlapped with batch
+  /// N's solve (enable_pipeline / CASC_NO_PIPELINE). Assignments, scores
+  /// and carry-over are bit-identical across all four on/off
+  /// combinations and any thread count.
   RunSummary Run(const EventStream& stream);
 
   /// Per-batch service metrics of the most recent Run()/RunBatch()
@@ -154,16 +205,27 @@ class DispatchService {
     return batch_metrics_;
   }
 
+  /// Latency distribution of the most recent Run().
+  const RunLatencyStats& run_latency() const { return run_latency_; }
+
   const DispatchConfig& config() const { return config_; }
 
  private:
   DispatchConfig config_;
   const CooperationMatrix* global_coop_;
   ShardedAssigner sharded_;
-  /// Recycles CSR pair indexes, assignments and keepers across the
-  /// streaming batches (zero steady-state heap growth in the hot plane).
-  BatchWorkspace workspace_;
+  /// Double-buffered scratch: the build side pools the spatial scratch
+  /// and CSR pair indexes the streaming plane's valid-pair build draws
+  /// from; the solve side (attached to the sharded engine) pools
+  /// assignments, keepers and the CoopTile. The split keeps the two
+  /// pipeline stages free of shared pooled state — the overlapped ingest
+  /// never touches either workspace, and build N+1 can recycle into the
+  /// build side while solve N's outputs are still live on the solve
+  /// side.
+  BatchWorkspace build_workspace_;
+  BatchWorkspace solve_workspace_;
   std::vector<ServiceMetrics> batch_metrics_;
+  RunLatencyStats run_latency_;
 };
 
 }  // namespace casc

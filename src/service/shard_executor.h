@@ -39,6 +39,14 @@ struct ShardProblem {
 /// ascending shard order. Because shards share no workers (interior
 /// only) and no tasks, the fold is conflict-free and the result is
 /// independent of thread count and scheduling.
+///
+/// Workspace lifetime: the per-shard workspaces (and any
+/// `global_workspace` the caller passes) are touched only between entry
+/// to and return from BuildProblems()/Run()/RecycleProblems() — the
+/// executor keeps no borrowed pointers across calls. The pipelined
+/// dispatch loop relies on this: while one thread is inside Run() for
+/// batch N, another may mutate unrelated streaming state (and recycle
+/// into a *different* workspace) for batch N+1.
 class ShardExecutor {
  public:
   /// A pool of `num_threads` (>= 1; 1 runs inline).

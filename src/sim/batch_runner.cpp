@@ -9,6 +9,7 @@
 #include "common/check.h"
 #include "common/stopwatch.h"
 #include "model/objective.h"
+#include "sim/streaming_plane.h"
 
 namespace casc {
 namespace {
@@ -82,16 +83,20 @@ RunSummary BatchRunner::RunStreaming(const EventStream& stream,
                 static_cast<int>(stream.num_workers()))
       << "global_coop is smaller than the stream's worker population";
 
-  // Pool state carried across batches.
-  std::vector<Worker> idle_workers;
-  std::vector<Task> open_tasks;
-  // Workers currently busy: (release time, worker).
-  std::vector<std::pair<double, Worker>> busy_workers;
-  // Scratch pooled across the stream: CSR pair indexes, assignment slabs
-  // and keeper arrays are recycled batch to batch, so the steady state
-  // performs no hot-plane heap allocation.
+  // Cross-batch pool state and the delta-maintained valid-pair rows live
+  // in the plane (incremental by default; CASC_NO_INCREMENTAL falls back
+  // to the per-batch rebuild). Scratch pooled across the stream: CSR pair
+  // indexes, assignment slabs and keeper arrays are recycled batch to
+  // batch, so the steady state performs no hot-plane heap allocation.
+  StreamingPlane plane;
   BatchWorkspace workspace;
   assigner->set_workspace(&workspace);
+
+  EventStream::Cursor cursor = stream.NewCursor();
+  std::vector<Worker> arrived_workers;
+  std::vector<Task> arrived_tasks;
+  std::vector<Worker> batch_workers;
+  std::vector<Task> batch_tasks;
 
   RunSummary summary;
   double now = stream.FirstEventTime();
@@ -101,71 +106,47 @@ RunSummary BatchRunner::RunStreaming(const EventStream& stream,
 
   while (now < end) {
     // Algorithm 1, lines 2-3: collect available tasks and workers.
-    for (Worker& worker : stream.WorkersArrivingIn(previous, now + 1e-12)) {
-      idle_workers.push_back(worker);
-    }
-    for (Task& task : stream.TasksArrivingIn(previous, now + 1e-12)) {
-      open_tasks.push_back(task);
-    }
-    for (auto it = busy_workers.begin(); it != busy_workers.end();) {
-      if (it->first <= now) {
-        idle_workers.push_back(it->second);
-        it = busy_workers.erase(it);
-      } else {
-        ++it;
-      }
-    }
+    Stopwatch ingest_watch;
+    arrived_workers.clear();
+    arrived_tasks.clear();
+    cursor.NextBatch(previous, now + 1e-12, &arrived_workers,
+                     &arrived_tasks);
+    plane.Ingest(now, arrived_workers, arrived_tasks);
+    plane.StageReleases(now);
+    plane.FlushReleases();
     // Drop expired tasks (no worker can reach them in time any more).
-    open_tasks.erase(
-        std::remove_if(open_tasks.begin(), open_tasks.end(),
-                       [&](const Task& task) { return task.deadline < now; }),
-        open_tasks.end());
+    plane.Expire(now);
+    const double ingest_seconds = ingest_watch.ElapsedSeconds();
 
-    if (!idle_workers.empty() && !open_tasks.empty()) {
+    if (plane.HasWork()) {
       // Build the batch instance over a zero-copy view of the global
       // matrix, remapped to the batch-local worker positions.
+      plane.Admit(0);
+      plane.MaterializeWorkers(&batch_workers);
+      plane.MaterializeAdmittedTasks(&batch_tasks);
       std::vector<int> ids;
-      ids.reserve(idle_workers.size());
-      for (const Worker& worker : idle_workers) {
+      ids.reserve(batch_workers.size());
+      for (const Worker& worker : batch_workers) {
         ids.push_back(static_cast<int>(worker.id));
       }
-      Instance instance(idle_workers, open_tasks, global_coop.View(ids),
+      Stopwatch build_watch;
+      Instance instance(batch_workers, batch_tasks, global_coop.View(ids),
                         now, config_.min_group_size);
-      instance.ComputeValidPairs(DefaultSpatialBackend(), &workspace);
+      plane.BuildValidPairs(&instance, &workspace);
+      const double index_build_seconds = build_watch.ElapsedSeconds();
 
       Assignment assignment;
       BatchMetrics metrics =
           MeasureBatch(instance, assigner, config_.compute_upper_bound,
                        round, now, &assignment);
+      metrics.ingest_seconds = ingest_seconds;
+      metrics.index_build_seconds = index_build_seconds;
       summary.batches.push_back(metrics);
 
       // Commit: tasks reaching B start now and occupy their workers for
       // task_duration; everyone else carries over (Algorithm 1's
       // "available" definition for the next batch).
-      std::vector<bool> worker_started(idle_workers.size(), false);
-      std::vector<bool> task_started(open_tasks.size(), false);
-      for (TaskIndex t = 0; t < instance.num_tasks(); ++t) {
-        if (assignment.GroupSize(t) < instance.min_group_size()) continue;
-        task_started[static_cast<size_t>(t)] = true;
-        for (const WorkerIndex w : assignment.GroupOf(t)) {
-          worker_started[static_cast<size_t>(w)] = true;
-        }
-      }
-      std::vector<Worker> still_idle;
-      for (size_t i = 0; i < idle_workers.size(); ++i) {
-        if (worker_started[i]) {
-          busy_workers.emplace_back(now + config_.task_duration,
-                                    idle_workers[i]);
-        } else {
-          still_idle.push_back(idle_workers[i]);
-        }
-      }
-      idle_workers = std::move(still_idle);
-      std::vector<Task> still_open;
-      for (size_t j = 0; j < open_tasks.size(); ++j) {
-        if (!task_started[j]) still_open.push_back(open_tasks[j]);
-      }
-      open_tasks = std::move(still_open);
+      plane.Commit(instance, assignment, now + config_.task_duration);
 
       // The batch is committed: return its CSR index and slabs for the
       // next batch to reuse.

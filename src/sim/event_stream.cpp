@@ -4,7 +4,46 @@
 #include <cmath>
 #include <limits>
 
+#include "common/check.h"
+
 namespace casc {
+
+void EventStream::Cursor::NextBatch(double from, double to,
+                                    std::vector<Worker>* workers,
+                                    std::vector<Task>* tasks) {
+  CASC_CHECK_LE(from, to);
+  if (started_) {
+    CASC_CHECK_GE(from, emitted_to_)
+        << "cursor windows must be non-overlapping and ascending";
+  }
+  started_ = true;
+  emitted_to_ = to;
+  const std::vector<Worker>& all_workers = stream_->workers_;
+  while (worker_pos_ < all_workers.size() &&
+         all_workers[worker_pos_].arrival_time < from) {
+    ++worker_pos_;
+  }
+  while (worker_pos_ < all_workers.size() &&
+         all_workers[worker_pos_].arrival_time < to) {
+    if (workers != nullptr) workers->push_back(all_workers[worker_pos_]);
+    ++worker_pos_;
+  }
+  const std::vector<Task>& all_tasks = stream_->tasks_;
+  while (task_pos_ < all_tasks.size() &&
+         all_tasks[task_pos_].create_time < from) {
+    ++task_pos_;
+  }
+  while (task_pos_ < all_tasks.size() &&
+         all_tasks[task_pos_].create_time < to) {
+    if (tasks != nullptr) tasks->push_back(all_tasks[task_pos_]);
+    ++task_pos_;
+  }
+}
+
+bool EventStream::Cursor::Exhausted() const {
+  return worker_pos_ >= stream_->workers_.size() &&
+         task_pos_ >= stream_->tasks_.size();
+}
 
 EventStream::EventStream(std::vector<Worker> workers,
                          std::vector<Task> tasks)

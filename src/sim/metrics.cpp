@@ -28,7 +28,9 @@ std::string ToJson(const BatchMetrics& metrics) {
       << ",\"seconds\":" << metrics.seconds
       << ",\"assigned_workers\":" << metrics.assigned_workers
       << ",\"completed_tasks\":" << metrics.completed_tasks
-      << ",\"gt_rounds\":" << metrics.gt_rounds << "}";
+      << ",\"gt_rounds\":" << metrics.gt_rounds
+      << ",\"ingest_seconds\":" << metrics.ingest_seconds
+      << ",\"index_build_seconds\":" << metrics.index_build_seconds << "}";
   return out.str();
 }
 

@@ -20,6 +20,13 @@ struct BatchMetrics {
   int assigned_workers = 0;    ///< workers placed on tasks
   int completed_tasks = 0;     ///< tasks reaching >= B workers
   int gt_rounds = 0;           ///< best-response rounds (GT family)
+
+  /// Streaming-mode data-plane timings: pool/arrival ingest (including
+  /// incremental index maintenance) and valid-pair build for this batch.
+  /// In the pipelined dispatch service the ingest portion overlaps the
+  /// previous batch's solve, so it is reported but off the critical path.
+  double ingest_seconds = 0.0;
+  double index_build_seconds = 0.0;
 };
 
 /// Aggregate of a multi-batch run.

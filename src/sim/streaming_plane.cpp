@@ -1,0 +1,393 @@
+#include "sim/streaming_plane.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/check.h"
+#include "geo/reachability.h"
+#include "spatial/grid_index.h"
+#include "spatial/linear_scan.h"
+#include "spatial/rtree.h"
+
+namespace casc {
+namespace {
+
+/// Probe index over one ingest window's task arrivals: brute force for
+/// small deltas, a grid sized to the delta otherwise. Any backend would
+/// do (identical query results); this only tunes the constant.
+std::unique_ptr<SpatialIndex> MakeDeltaIndex(
+    const std::vector<SpatialItem>& items) {
+  if (items.size() < 64) {
+    auto linear = std::make_unique<LinearScan>();
+    linear->Build(items);
+    return linear;
+  }
+  const int cells = std::clamp(
+      static_cast<int>(std::sqrt(static_cast<double>(items.size()))), 8, 64);
+  auto grid = std::make_unique<GridIndex>(cells);
+  grid->Build(items);
+  return grid;
+}
+
+}  // namespace
+
+StreamingPlaneConfig StreamingPlaneConfig::FromEnv() {
+  StreamingPlaneConfig config;
+  config.backend = DefaultSpatialBackend();
+  // Read at call time (not cached) so tests can flip the switches
+  // between runs in one process.
+  config.incremental = std::getenv("CASC_NO_INCREMENTAL") == nullptr;
+  config.audit = std::getenv("CASC_STREAM_AUDIT") != nullptr;
+  return config;
+}
+
+StreamingPlane::StreamingPlane(StreamingPlaneConfig config)
+    : config_(config) {
+  CASC_CHECK_GT(config_.rtree_rebuild_fraction, 0.0);
+  if (config_.incremental) {
+    switch (config_.backend) {
+      case SpatialBackend::kRTree: {
+        auto rtree = std::make_unique<RTree>();
+        task_rtree_ = rtree.get();
+        task_index_ = std::move(rtree);
+        break;
+      }
+      case SpatialBackend::kGridIndex:
+        task_index_ = std::make_unique<GridIndex>();
+        break;
+      case SpatialBackend::kLinearScan:
+        task_index_ = std::make_unique<LinearScan>();
+        break;
+    }
+    CASC_CHECK(task_index_ != nullptr);
+  }
+}
+
+StreamingPlane::~StreamingPlane() = default;
+
+void StreamingPlane::SpliceRow(int32_t handle, const SpatialIndex& tasks,
+                               double now) {
+  const Worker& worker = worker_store_[static_cast<size_t>(handle)];
+  std::vector<int32_t>& row = rows_[static_cast<size_t>(handle)];
+  for (const int64_t task_handle :
+       tasks.CircleQuery(worker.location, worker.radius)) {
+    const int32_t slot = slot_of_handle_[static_cast<size_t>(task_handle)];
+    const Task& task = pool_tasks_[static_cast<size_t>(slot)];
+    // The circle query already established the working-area condition
+    // (time-invariant). A pair failing the deadline test now can never
+    // pass it later, so it is correct to never record it.
+    if (!CanArriveByDeadline(worker.location, worker.speed, task.location,
+                             now, task.deadline)) {
+      continue;
+    }
+    row.push_back(static_cast<int32_t>(task_handle));
+  }
+}
+
+void StreamingPlane::Ingest(double now, std::span<const Worker> workers,
+                            std::span<const Task> tasks) {
+  const size_t known_workers = worker_store_.size();
+
+  // Tasks first: new workers' rows below must see them.
+  for (const Task& task : tasks) {
+    const int32_t handle = static_cast<int32_t>(slot_of_handle_.size());
+    slot_of_handle_.push_back(static_cast<int32_t>(pool_tasks_.size()));
+    pool_task_handles_.push_back(handle);
+    pool_tasks_.push_back(task);
+    if (config_.incremental) {
+      task_index_->Insert(SpatialItem{handle, task.location});
+    }
+  }
+
+  if (config_.incremental) {
+    // Splice the arrivals into every known worker's row — including busy
+    // workers, so a returning worker's row is already current. One probe
+    // query per worker against just the delta keeps this O(delta)-ish.
+    if (!tasks.empty() && known_workers > 0) {
+      rebuild_items_.clear();
+      for (size_t i = 0; i < tasks.size(); ++i) {
+        const int32_t handle = static_cast<int32_t>(
+            slot_of_handle_.size() - tasks.size() + i);
+        rebuild_items_.push_back(SpatialItem{handle, tasks[i].location});
+      }
+      const std::unique_ptr<SpatialIndex> delta =
+          MakeDeltaIndex(rebuild_items_);
+      for (size_t h = 0; h < known_workers; ++h) {
+        SpliceRow(static_cast<int32_t>(h), *delta, now);
+      }
+    }
+    // New workers: one full circle query each against the persistent
+    // index (which now includes this window's tasks).
+    for (const Worker& worker : workers) {
+      const int32_t handle = static_cast<int32_t>(worker_store_.size());
+      worker_store_.push_back(worker);
+      rows_.emplace_back();
+      SpliceRow(handle, *task_index_, now);
+      pool_worker_handles_.push_back(handle);
+    }
+  } else {
+    for (const Worker& worker : workers) {
+      const int32_t handle = static_cast<int32_t>(worker_store_.size());
+      worker_store_.push_back(worker);
+      rows_.emplace_back();
+      pool_worker_handles_.push_back(handle);
+    }
+  }
+}
+
+void StreamingPlane::StageReleases(double now) {
+  size_t keep = 0;
+  for (size_t i = 0; i < busy_.size(); ++i) {
+    if (busy_[i].first <= now) {
+      staged_releases_.push_back(busy_[i].second);
+    } else {
+      busy_[keep++] = busy_[i];
+    }
+  }
+  busy_.resize(keep);
+}
+
+void StreamingPlane::FlushReleases() {
+  for (const int32_t handle : staged_releases_) {
+    pool_worker_handles_.push_back(handle);
+  }
+  staged_releases_.clear();
+}
+
+void StreamingPlane::RemoveTask(int32_t slot) {
+  const int32_t handle = pool_task_handles_[static_cast<size_t>(slot)];
+  if (config_.incremental) {
+    const bool removed = task_index_->Remove(SpatialItem{
+        handle, pool_tasks_[static_cast<size_t>(slot)].location});
+    CASC_CHECK(removed) << "open task missing from the persistent index";
+  }
+  slot_of_handle_[static_cast<size_t>(handle)] = -1;
+}
+
+void StreamingPlane::RefreshSlots() {
+  for (size_t slot = 0; slot < pool_task_handles_.size(); ++slot) {
+    slot_of_handle_[static_cast<size_t>(pool_task_handles_[slot])] =
+        static_cast<int32_t>(slot);
+  }
+}
+
+void StreamingPlane::MaybeRebuildSpatialIndex() {
+  if (task_rtree_ == nullptr) return;
+  CASC_CHECK_EQ(task_rtree_->Size(), pool_tasks_.size());
+  const double threshold =
+      config_.rtree_rebuild_fraction *
+      static_cast<double>(std::max<size_t>(pool_tasks_.size(), 1));
+  if (static_cast<double>(task_rtree_->removed_since_build()) <= threshold) {
+    return;
+  }
+  rebuild_items_.clear();
+  rebuild_items_.reserve(pool_tasks_.size());
+  for (size_t slot = 0; slot < pool_tasks_.size(); ++slot) {
+    rebuild_items_.push_back(SpatialItem{pool_task_handles_[slot],
+                                         pool_tasks_[slot].location});
+  }
+  task_rtree_->Build(rebuild_items_);
+  ++spatial_rebuilds_;
+}
+
+void StreamingPlane::Expire(double now) {
+  size_t keep = 0;
+  for (size_t slot = 0; slot < pool_tasks_.size(); ++slot) {
+    if (pool_tasks_[slot].deadline < now) {
+      RemoveTask(static_cast<int32_t>(slot));
+    } else {
+      pool_tasks_[keep] = pool_tasks_[slot];
+      pool_task_handles_[keep] = pool_task_handles_[slot];
+      ++keep;
+    }
+  }
+  if (keep == pool_tasks_.size()) return;
+  pool_tasks_.resize(keep);
+  pool_task_handles_.resize(keep);
+  RefreshSlots();
+  MaybeRebuildSpatialIndex();
+}
+
+void StreamingPlane::Admit(int budget) {
+  const int pool_size = static_cast<int>(pool_tasks_.size());
+  admitted_.resize(static_cast<size_t>(pool_size));
+  for (int slot = 0; slot < pool_size; ++slot) {
+    admitted_[static_cast<size_t>(slot)] = slot;
+  }
+  admitted_count_ = pool_size;
+  if (budget > 0 && pool_size > budget) {
+    // Stable EDF on slot indices == stable EDF on the task vector, so the
+    // admitted prefix and the deferred suffix match the sequential
+    // admission exactly.
+    std::stable_sort(admitted_.begin(), admitted_.end(),
+                     [&](int32_t a, int32_t b) {
+                       const Task& ta = pool_tasks_[static_cast<size_t>(a)];
+                       const Task& tb = pool_tasks_[static_cast<size_t>(b)];
+                       if (ta.deadline != tb.deadline) {
+                         return ta.deadline < tb.deadline;
+                       }
+                       return ta.id < tb.id;
+                     });
+    admitted_count_ = budget;
+  }
+  pool_size_at_admit_ = static_cast<size_t>(pool_size);
+}
+
+void StreamingPlane::MaterializeWorkers(std::vector<Worker>* out) const {
+  CASC_CHECK(out != nullptr);
+  out->clear();
+  out->reserve(pool_worker_handles_.size());
+  for (const int32_t handle : pool_worker_handles_) {
+    out->push_back(worker_store_[static_cast<size_t>(handle)]);
+  }
+}
+
+void StreamingPlane::MaterializeAdmittedTasks(std::vector<Task>* out) const {
+  CASC_CHECK(out != nullptr);
+  out->clear();
+  out->reserve(static_cast<size_t>(admitted_count_));
+  for (int i = 0; i < admitted_count_; ++i) {
+    out->push_back(pool_tasks_[static_cast<size_t>(admitted_[i])]);
+  }
+}
+
+void StreamingPlane::BuildValidPairs(Instance* instance,
+                                     BatchWorkspace* workspace) {
+  CASC_CHECK(instance != nullptr);
+  CASC_CHECK_EQ(instance->num_workers(),
+                static_cast<int>(pool_worker_handles_.size()));
+  CASC_CHECK_EQ(instance->num_tasks(), admitted_count_);
+  if (!config_.incremental) {
+    // Scratch mode: the literal pre-existing rebuild-everything path.
+    instance->ComputeValidPairs(config_.backend, workspace);
+    return;
+  }
+
+  const double now = instance->now();
+  ValidPairIndex index = workspace != nullptr
+                             ? workspace->AcquireValidPairIndex()
+                             : ValidPairIndex{};
+  instance_index_of_slot_.assign(pool_tasks_.size(), -1);
+  for (int i = 0; i < admitted_count_; ++i) {
+    instance_index_of_slot_[static_cast<size_t>(admitted_[i])] = i;
+  }
+
+  index.BeginBuild(instance->num_workers(), instance->num_tasks());
+  for (size_t w = 0; w < pool_worker_handles_.size(); ++w) {
+    const int32_t handle = pool_worker_handles_[w];
+    const Worker& worker = worker_store_[static_cast<size_t>(handle)];
+    std::vector<int32_t>& row = rows_[static_cast<size_t>(handle)];
+    if (worker.arrival_time > now) {
+      // Not present yet (sub-epsilon window edge): empty row, exactly as
+      // ComputeValidPairs() treats it. Keep the maintained row untouched.
+      index.FinishWorker();
+      continue;
+    }
+    emit_row_.clear();
+    size_t keep = 0;
+    for (const int32_t task_handle : row) {
+      const int32_t slot = slot_of_handle_[static_cast<size_t>(task_handle)];
+      if (slot < 0) continue;  // task left the pool: drop the entry
+      const Task& task = pool_tasks_[static_cast<size_t>(slot)];
+      if (!CanArriveByDeadline(worker.location, worker.speed, task.location,
+                               now, task.deadline)) {
+        // Monotone in now: the pair is dead forever, drop the entry.
+        continue;
+      }
+      row[keep++] = task_handle;
+      const int32_t instance_index =
+          instance_index_of_slot_[static_cast<size_t>(slot)];
+      if (instance_index < 0) continue;   // alive but deferred this batch
+      if (task.create_time > now) continue;  // sub-epsilon window edge
+      emit_row_.push_back(instance_index);
+    }
+    row.resize(keep);
+    // Rows are kept in splice order (handle-ish); the CSR contract wants
+    // ascending instance indices. Equal sets sorted the same way means
+    // the emitted arrays are byte-identical to a from-scratch build.
+    std::sort(emit_row_.begin(), emit_row_.end());
+    for (const int32_t instance_index : emit_row_) {
+      index.AppendValidTask(instance_index);
+    }
+    index.FinishWorker();
+  }
+  index.FinishBuild();
+
+  if (config_.audit) {
+    instance->ComputeValidPairs(config_.backend, nullptr);
+    ValidPairIndex scratch = instance->ReleaseValidPairs();
+    CASC_CHECK(index.SameAs(scratch))
+        << "CASC_STREAM_AUDIT: delta-maintained valid pairs differ from "
+           "the from-scratch build at now=" << now;
+  }
+  instance->AdoptValidPairs(std::move(index));
+}
+
+void StreamingPlane::Commit(const Instance& instance,
+                            const Assignment& assignment,
+                            double release_time) {
+  const int num_workers = instance.num_workers();
+  const int num_tasks = instance.num_tasks();
+  CASC_CHECK_EQ(num_tasks, admitted_count_);
+  CASC_CHECK_LE(static_cast<size_t>(num_workers),
+                pool_worker_handles_.size());
+
+  // Started groups (>= B members) occupy their workers until release.
+  emit_row_.assign(static_cast<size_t>(num_workers), 0);
+  std::vector<int32_t>& worker_started = emit_row_;
+  instance_index_of_slot_.assign(static_cast<size_t>(num_tasks), 0);
+  std::vector<int32_t>& task_started = instance_index_of_slot_;
+  for (TaskIndex t = 0; t < num_tasks; ++t) {
+    if (assignment.GroupSize(t) < instance.min_group_size()) continue;
+    task_started[static_cast<size_t>(t)] = 1;
+    for (const WorkerIndex w : assignment.GroupOf(t)) {
+      worker_started[static_cast<size_t>(w)] = 1;
+    }
+  }
+
+  // Workers: stable compaction. Pool indices past num_workers are
+  // arrivals ingested during an overlapped solve; they stay in place
+  // after the survivors, reproducing [survivors][arrivals].
+  size_t keep = 0;
+  for (size_t i = 0; i < pool_worker_handles_.size(); ++i) {
+    const int32_t handle = pool_worker_handles_[i];
+    if (i < static_cast<size_t>(num_workers) && worker_started[i] != 0) {
+      busy_.emplace_back(release_time, handle);
+    } else {
+      pool_worker_handles_[keep++] = handle;
+    }
+  }
+  pool_worker_handles_.resize(keep);
+
+  // Tasks: rebuild the pool in the sequential carry-over order —
+  // [non-started admitted, instance order][deferred][overlap arrivals].
+  scratch_tasks_.clear();
+  scratch_handles_.clear();
+  const auto keep_slot = [&](int32_t slot) {
+    scratch_tasks_.push_back(pool_tasks_[static_cast<size_t>(slot)]);
+    scratch_handles_.push_back(pool_task_handles_[static_cast<size_t>(slot)]);
+  };
+  for (int i = 0; i < admitted_count_; ++i) {
+    const int32_t slot = admitted_[static_cast<size_t>(i)];
+    if (task_started[static_cast<size_t>(i)] != 0) {
+      RemoveTask(slot);
+    } else {
+      keep_slot(slot);
+    }
+  }
+  for (size_t i = static_cast<size_t>(admitted_count_); i < admitted_.size();
+       ++i) {
+    keep_slot(admitted_[i]);
+  }
+  committed_queue_depth_ = static_cast<int>(scratch_tasks_.size());
+  for (size_t slot = pool_size_at_admit_; slot < pool_tasks_.size(); ++slot) {
+    keep_slot(static_cast<int32_t>(slot));
+  }
+  std::swap(pool_tasks_, scratch_tasks_);
+  std::swap(pool_task_handles_, scratch_handles_);
+  RefreshSlots();
+  MaybeRebuildSpatialIndex();
+}
+
+}  // namespace casc

@@ -1,0 +1,248 @@
+#ifndef CASC_SIM_STREAMING_PLANE_H_
+#define CASC_SIM_STREAMING_PLANE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "model/assignment.h"
+#include "model/batch_workspace.h"
+#include "model/instance.h"
+#include "model/task.h"
+#include "model/worker.h"
+#include "spatial/spatial_index.h"
+
+namespace casc {
+
+class RTree;
+
+/// Configuration of the incremental streaming data plane.
+struct StreamingPlaneConfig {
+  /// Spatial backend for the persistent task index and the from-scratch
+  /// fallback. Every backend returns identical (id-sorted) query results,
+  /// so the choice never changes the produced valid-pair sets.
+  SpatialBackend backend = SpatialBackend::kRTree;
+
+  /// Delta-maintain the valid-pair rows across batches (the whole point
+  /// of the plane). When false the plane only does pool bookkeeping and
+  /// BuildValidPairs() falls back to Instance::ComputeValidPairs() — the
+  /// exact pre-existing rebuild-everything path, used as the baseline and
+  /// reachable at runtime via CASC_NO_INCREMENTAL.
+  bool incremental = true;
+
+  /// Differential self-check: after every incremental emission, also run
+  /// the from-scratch build and CHECK the two CSR indexes are
+  /// byte-identical (ValidPairIndex::SameAs). Debug/CI tool, enabled at
+  /// runtime via CASC_STREAM_AUDIT.
+  bool audit = false;
+
+  /// R-tree tombstone threshold: once removed_since_build() exceeds this
+  /// fraction of the live size, the accumulated loose bounds make a fresh
+  /// bulk load cheaper than querying the degraded tree, so the plane
+  /// rebuilds the persistent index from the live pool.
+  double rtree_rebuild_fraction = 0.25;
+
+  /// Defaults plus the process-wide runtime switches: backend from
+  /// DefaultSpatialBackend(), incremental off when CASC_NO_INCREMENTAL is
+  /// set, audit on when CASC_STREAM_AUDIT is set.
+  static StreamingPlaneConfig FromEnv();
+};
+
+/// The cross-batch state of a streaming run (Algorithm 1), maintained
+/// incrementally: the idle-worker pool, the open-task pool, the busy-
+/// worker queue, a persistent spatial index over the open tasks, and a
+/// delta-maintained valid-pair row per worker. Between consecutive
+/// batches the plane touches O(arrivals + departures) state instead of
+/// rebuilding the task index and re-running one circle query per worker:
+///
+/// * New tasks are spliced into every known worker's row via a small
+///   probe index over just the arrivals.
+/// * New workers get one circle query against the persistent task index.
+/// * Surviving row entries only need a deadline re-check at emission,
+///   because the two non-trivial validity conditions of Definition 3
+///   behave monotonically: the working-area test is time-invariant, and
+///   CanArriveByDeadline(now) implies CanArriveByDeadline(now') for every
+///   now' < now — so a pair that is valid at emission time was valid when
+///   the row was spliced, and a pair that fails the deadline re-check can
+///   never become valid again (the entry is dropped permanently).
+///
+/// Rows are keyed by internal task *handles* (dense, monotonically
+/// increasing), not pool slots or task ids: slots move on compaction and
+/// external ids are not guaranteed unique. Rows therefore survive pool
+/// reordering (EDF admission), task departures (lazy: the handle's slot
+/// is -1 and the entry is dropped at the next emission) and worker busy
+/// spells (rows of busy workers keep being spliced, so a returning worker
+/// needs no rebuild).
+///
+/// One batch cycle, in order (matching the sequential loops of
+/// BatchRunner::RunStreaming and DispatchService::Run):
+///
+///   Ingest(now, arrivals)        // appends workers, then tasks
+///   StageReleases(now); FlushReleases();
+///   Expire(now);
+///   if (HasWork()) {
+///     Admit(budget);             // EDF under the batch budget
+///     MaterializeWorkers/MaterializeAdmittedTasks -> Instance
+///     BuildValidPairs(&instance, &workspace);
+///     ... solve ...
+///     Commit(instance, assignment, now + task_duration);
+///   }
+///
+/// Pipelining contract: between BuildValidPairs() and Commit(), the
+/// methods Ingest() and StageReleases() for the *next* batch may run on a
+/// different thread while the current instance is being solved — the
+/// solver only reads the Instance (which owns copies), never the plane.
+/// Appended arrivals land past the instance's prefix of the pools, so
+/// Commit()'s stable compaction reproduces the sequential pool order
+/// [survivors][arrivals][earlier releases][just-returned workers]
+/// exactly; overlapping therefore never changes any output.
+///
+/// Not thread-safe beyond that contract: at most one mutating call at a
+/// time.
+class StreamingPlane {
+ public:
+  explicit StreamingPlane(
+      StreamingPlaneConfig config = StreamingPlaneConfig::FromEnv());
+  ~StreamingPlane();
+
+  StreamingPlane(const StreamingPlane&) = delete;
+  StreamingPlane& operator=(const StreamingPlane&) = delete;
+
+  /// Appends this window's arrivals to the pools at batch time `now`.
+  /// Incremental mode also inserts the tasks into the persistent spatial
+  /// index, splices them into every known worker's row (one probe-index
+  /// query per worker) and computes fresh rows for the new workers (one
+  /// persistent-index query each).
+  void Ingest(double now, std::span<const Worker> workers,
+              std::span<const Task> tasks);
+
+  /// Moves busy workers whose release time is <= `now` to the staged
+  /// list, preserving their start order. Safe to call more than once per
+  /// batch (the pipelined loop stages pre-existing releases during the
+  /// overlap and the just-returned ones after Commit()).
+  void StageReleases(double now);
+
+  /// Appends the staged released workers to the idle pool.
+  void FlushReleases();
+
+  /// Drops open tasks whose deadline has passed (deadline < now), stably.
+  void Expire(double now);
+
+  /// True when both pools are non-empty (a batch can run).
+  bool HasWork() const {
+    return !pool_worker_handles_.empty() && !pool_tasks_.empty();
+  }
+
+  /// Selects this batch's tasks: all of them when `budget` <= 0 or the
+  /// pool fits, else the earliest-deadline `budget` tasks (stable EDF,
+  /// ties by task id — the admission order of the dispatch service).
+  /// Instance task i corresponds to pool slot admitted()[i].
+  void Admit(int budget);
+
+  /// Pool slots of the admitted tasks, in instance task order. Valid
+  /// until the next Commit()/Expire().
+  std::span<const int32_t> admitted() const {
+    return {admitted_.data(), static_cast<size_t>(admitted_count_)};
+  }
+
+  /// Tasks deferred by the last Admit()'s budget.
+  int num_deferred() const {
+    return static_cast<int>(admitted_.size()) - admitted_count_;
+  }
+
+  size_t num_pool_workers() const { return pool_worker_handles_.size(); }
+  size_t num_pool_tasks() const { return pool_tasks_.size(); }
+
+  /// Open tasks carried past the last Commit() (non-started admitted plus
+  /// deferred), excluding any arrivals already ingested for the next
+  /// batch — the queue-depth metric of the sequential loop.
+  int queue_depth_after_commit() const { return committed_queue_depth_; }
+
+  /// Copies the idle pool (in pool order) into `out` (cleared first).
+  void MaterializeWorkers(std::vector<Worker>* out) const;
+
+  /// Copies the admitted tasks (in instance order) into `out`.
+  void MaterializeAdmittedTasks(std::vector<Task>* out) const;
+
+  /// Fills `instance`'s valid pairs: incremental emission from the
+  /// maintained rows (audited against a from-scratch build when
+  /// configured), or Instance::ComputeValidPairs() in scratch mode. The
+  /// instance must have been materialized from this plane's current
+  /// pools/admission. The emitted CSR is byte-identical to the
+  /// from-scratch build in either mode.
+  void BuildValidPairs(Instance* instance, BatchWorkspace* workspace);
+
+  /// Commits the solved batch: workers of started groups (>= B members)
+  /// go busy until `release_time`; started tasks leave the pool (and the
+  /// persistent index); non-started admitted tasks, deferred tasks and
+  /// any overlapped arrivals remain, in exactly the sequential loop's
+  /// carry-over order.
+  void Commit(const Instance& instance, const Assignment& assignment,
+              double release_time);
+
+  const StreamingPlaneConfig& config() const { return config_; }
+
+  /// Tombstone-triggered rebuilds of the persistent R-tree so far.
+  int64_t spatial_rebuilds() const { return spatial_rebuilds_; }
+
+ private:
+  /// Removes one task from the persistent index and invalidates its
+  /// handle. Row entries referencing it die lazily at the next emission.
+  void RemoveTask(int32_t slot);
+
+  /// Restores slot_of_handle_ after a pool compaction/reorder.
+  void RefreshSlots();
+
+  /// Bulk-reloads the persistent R-tree from the live pool once the
+  /// tombstone fraction is exceeded.
+  void MaybeRebuildSpatialIndex();
+
+  /// Appends the row entries valid for `worker` at `now` among `tasks`
+  /// (a probe index keyed by task handle) into rows_[handle].
+  void SpliceRow(int32_t handle, const SpatialIndex& tasks, double now);
+
+  StreamingPlaneConfig config_;
+
+  /// Every worker ever seen, by handle; parallel to rows_.
+  std::vector<Worker> worker_store_;
+  /// Per-worker valid-task rows, entries are task handles (unordered).
+  std::vector<std::vector<int32_t>> rows_;
+  /// Idle pool, in the sequential loop's carry-over order (handles).
+  std::vector<int32_t> pool_worker_handles_;
+
+  /// Open-task pool in carry-over order, with parallel handles.
+  std::vector<Task> pool_tasks_;
+  std::vector<int32_t> pool_task_handles_;
+  /// Task handle -> pool slot, -1 once the task left the pool. Grows by
+  /// one entry per task ever ingested (4 bytes each).
+  std::vector<int32_t> slot_of_handle_;
+
+  /// Busy workers as (release time, handle), in start order.
+  std::vector<std::pair<double, int32_t>> busy_;
+  std::vector<int32_t> staged_releases_;
+
+  /// Persistent spatial index over the open tasks (keyed by handle).
+  /// Null in scratch mode.
+  std::unique_ptr<SpatialIndex> task_index_;
+  RTree* task_rtree_ = nullptr;  ///< downcast when backend == kRTree
+  int64_t spatial_rebuilds_ = 0;
+
+  /// Admission state of the current batch.
+  std::vector<int32_t> admitted_;  ///< permutation of slots (prefix used)
+  int admitted_count_ = 0;
+  size_t pool_size_at_admit_ = 0;
+  int committed_queue_depth_ = 0;
+
+  /// Emission scratch (reused across batches).
+  std::vector<int32_t> instance_index_of_slot_;
+  std::vector<int32_t> emit_row_;
+  std::vector<SpatialItem> rebuild_items_;
+  std::vector<Task> scratch_tasks_;
+  std::vector<int32_t> scratch_handles_;
+};
+
+}  // namespace casc
+
+#endif  // CASC_SIM_STREAMING_PLANE_H_

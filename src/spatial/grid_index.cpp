@@ -28,6 +28,23 @@ void GridIndex::Insert(const SpatialItem& item) {
   ++size_;
 }
 
+bool GridIndex::Remove(const SpatialItem& item) {
+  const int cx = CellOf(item.location.x);
+  const int cy = CellOf(item.location.y);
+  std::vector<SpatialItem>& cell =
+      cells_[static_cast<size_t>(cy) * cells_per_side_ + cx];
+  for (size_t i = 0; i < cell.size(); ++i) {
+    if (cell[i].id == item.id && cell[i].location.x == item.location.x &&
+        cell[i].location.y == item.location.y) {
+      cell[i] = cell.back();
+      cell.pop_back();
+      --size_;
+      return true;
+    }
+  }
+  return false;
+}
+
 void GridIndex::Build(const std::vector<SpatialItem>& items) {
   for (auto& cell : cells_) cell.clear();
   size_ = 0;

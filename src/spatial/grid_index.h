@@ -14,6 +14,12 @@ namespace casc {
 /// Cell resolution is fixed at construction; a resolution near
 /// 1 / expected_query_radius keeps candidate lists short for the working-
 /// area queries issued by the batch framework.
+///
+/// The grid is fully mutation-capable: Insert/Remove touch exactly one
+/// cell each, so a streaming caller maintaining the index across batches
+/// pays O(delta) per batch instead of an O(n) rebuild. Cell order is not
+/// part of the contract (queries sort their results by id), which lets
+/// Remove use swap-with-last eviction.
 class GridIndex : public SpatialIndex {
  public:
   /// Creates a `cells_per_side` x `cells_per_side` grid.
@@ -21,6 +27,7 @@ class GridIndex : public SpatialIndex {
   explicit GridIndex(int cells_per_side = 32);
 
   void Insert(const SpatialItem& item) override;
+  bool Remove(const SpatialItem& item) override;
   void Build(const std::vector<SpatialItem>& items) override;
   std::vector<int64_t> RangeQuery(const Rect& rect) const override;
   std::vector<int64_t> CircleQuery(const Point& center,

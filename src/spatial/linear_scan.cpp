@@ -6,6 +6,18 @@ namespace casc {
 
 void LinearScan::Insert(const SpatialItem& item) { items_.push_back(item); }
 
+bool LinearScan::Remove(const SpatialItem& item) {
+  for (size_t i = 0; i < items_.size(); ++i) {
+    if (items_[i].id == item.id && items_[i].location.x == item.location.x &&
+        items_[i].location.y == item.location.y) {
+      items_[i] = items_.back();
+      items_.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
 void LinearScan::Build(const std::vector<SpatialItem>& items) {
   items_ = items;
 }

@@ -13,6 +13,7 @@ namespace casc {
 class LinearScan : public SpatialIndex {
  public:
   void Insert(const SpatialItem& item) override;
+  bool Remove(const SpatialItem& item) override;
   void Build(const std::vector<SpatialItem>& items) override;
   std::vector<int64_t> RangeQuery(const Rect& rect) const override;
   std::vector<int64_t> CircleQuery(const Point& center,

@@ -217,8 +217,57 @@ void RTree::Insert(const SpatialItem& item) {
   }
 }
 
+bool RTree::RemoveFrom(RTree::Node* node, const SpatialItem& item) {
+  if (!node->bounds.Contains(item.location)) return false;
+  if (node->is_leaf) {
+    for (size_t i = 0; i < node->items.size(); ++i) {
+      const SpatialItem& candidate = node->items[i];
+      if (candidate.id == item.id &&
+          candidate.location.x == item.location.x &&
+          candidate.location.y == item.location.y) {
+        // Leaf order is not part of any query contract (results are
+        // sorted by id), so swap-with-last keeps the erase O(1).
+        node->items[i] = node->items.back();
+        node->items.pop_back();
+        return true;
+      }
+    }
+    return false;
+  }
+  for (size_t c = 0; c < node->children.size(); ++c) {
+    if (!RemoveFrom(node->children[c].get(), item)) continue;
+    if (node->children[c]->EntryCount() == 0) {
+      node->children[c] = std::move(node->children.back());
+      node->children.pop_back();
+    }
+    // Bounds are left loose on purpose: they still contain everything
+    // below, so queries stay correct; the removed_since_build() counter
+    // lets callers rebuild once the slack accumulates.
+    return true;
+  }
+  return false;
+}
+
+bool RTree::Remove(const SpatialItem& item) {
+  if (!root_) return false;
+  if (!RemoveFrom(root_.get(), item)) return false;
+  --size_;
+  ++removed_since_build_;
+  if (root_->EntryCount() == 0) {
+    root_.reset();
+  } else {
+    // Collapse single-child internal roots so Height() stays honest and
+    // leaf depth stays uniform.
+    while (!root_->is_leaf && root_->children.size() == 1) {
+      root_ = std::move(root_->children.front());
+    }
+  }
+  return true;
+}
+
 void RTree::Build(const std::vector<SpatialItem>& items) {
   root_.reset();
+  removed_since_build_ = 0;
   size_ = items.size();
   if (items.empty()) return;
 

@@ -16,6 +16,14 @@ namespace casc {
 ///   is the common path.
 /// * Incremental Insert() uses Guttman's least-enlargement descent with
 ///   quadratic split.
+/// * Incremental Remove() deletes the item from its leaf without
+///   condensing: bounding boxes are left loose (still containing, so
+///   queries stay correct) and emptied nodes are pruned. Every removal is
+///   counted in removed_since_build(); once the count passes a caller-
+///   chosen tombstone threshold, the accumulated slack makes a fresh
+///   Build() cheaper than continuing to query the degraded tree — the
+///   streaming plane rebuilds at removed_since_build() >
+///   fraction * Size().
 /// * Queries: rectangle, circle (working area), and best-first kNN.
 class RTree : public SpatialIndex {
  public:
@@ -33,12 +41,18 @@ class RTree : public SpatialIndex {
   RTree& operator=(RTree&&) = default;
 
   void Insert(const SpatialItem& item) override;
+  bool Remove(const SpatialItem& item) override;
   void Build(const std::vector<SpatialItem>& items) override;
   std::vector<int64_t> RangeQuery(const Rect& rect) const override;
   std::vector<int64_t> CircleQuery(const Point& center,
                                    double radius) const override;
   std::vector<int64_t> Knn(const Point& center, size_t k) const override;
   size_t Size() const override { return size_; }
+
+  /// Removals applied since the last Build() (or construction). Loose
+  /// bounds accumulate with each removal; callers compare this against
+  /// their tombstone threshold to decide when to rebuild.
+  int64_t removed_since_build() const { return removed_since_build_; }
 
   /// Height of the tree (0 for empty, 1 for a single leaf).
   int Height() const;
@@ -49,10 +63,15 @@ class RTree : public SpatialIndex {
   void CheckInvariants() const;
 
  private:
+  /// Removes one (id, location) match under `node`; returns true when
+  /// found. Prunes children that become empty.
+  bool RemoveFrom(Node* node, const SpatialItem& item);
+
   std::unique_ptr<Node> root_;
   int max_entries_;
   int min_entries_;
   size_t size_ = 0;
+  int64_t removed_since_build_ = 0;
 };
 
 }  // namespace casc

@@ -26,6 +26,17 @@ class SpatialIndex {
   /// Adds one item. Duplicate ids are allowed and returned independently.
   virtual void Insert(const SpatialItem& item) = 0;
 
+  /// Removes one item previously inserted with exactly this (id, location)
+  /// pair; returns false (and changes nothing) when no such item exists.
+  /// With duplicates, removes one arbitrary matching copy. The default
+  /// implementation refuses (returns false): only the mutation-capable
+  /// backends (GridIndex, RTree, LinearScan) support incremental
+  /// maintenance; callers holding other backends fall back to Build().
+  virtual bool Remove(const SpatialItem& item) {
+    (void)item;
+    return false;
+  }
+
   /// Bulk-loads `items`, replacing current contents. Implementations may
   /// override with something faster than repeated Insert().
   virtual void Build(const std::vector<SpatialItem>& items);

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -236,6 +238,134 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<IndexCase>& info) {
       return info.param.name;
     });
+
+// ---------------------------------------------------------------------------
+// Remove: mutation path vs. rebuild-from-live-set (fuzz)
+// ---------------------------------------------------------------------------
+
+TEST(RemoveTest, RemoveMissingReturnsFalse) {
+  LinearScan scan;
+  GridIndex grid(8);
+  RTree rtree(4, 2);
+  const SpatialItem item{7, {0.5, 0.5}};
+  EXPECT_FALSE(scan.Remove(item));
+  EXPECT_FALSE(grid.Remove(item));
+  EXPECT_FALSE(rtree.Remove(item));
+  scan.Insert(item);
+  grid.Insert(item);
+  rtree.Insert(item);
+  // Same id at a different location is not a match.
+  const SpatialItem elsewhere{7, {0.1, 0.1}};
+  EXPECT_FALSE(scan.Remove(elsewhere));
+  EXPECT_FALSE(grid.Remove(elsewhere));
+  EXPECT_FALSE(rtree.Remove(elsewhere));
+  EXPECT_TRUE(scan.Remove(item));
+  EXPECT_TRUE(grid.Remove(item));
+  EXPECT_TRUE(rtree.Remove(item));
+  EXPECT_EQ(scan.Size(), 0u);
+  EXPECT_EQ(grid.Size(), 0u);
+  EXPECT_EQ(rtree.Size(), 0u);
+}
+
+TEST(RemoveTest, KdTreeDoesNotSupportRemove) {
+  KdTree tree;
+  const SpatialItem item{1, {0.5, 0.5}};
+  tree.Insert(item);
+  EXPECT_FALSE(tree.Remove(item));
+  EXPECT_EQ(tree.Size(), 1u);
+}
+
+// Interleaves inserts and removals on every mutation-capable index and
+// checks each query against a LinearScan rebuilt from the live set — the
+// invariant the streaming plane's delta maintenance rests on.
+TEST(RemoveTest, FuzzInterleavedMutationsMatchRebuild) {
+  for (const uint64_t seed : {41u, 42u, 43u}) {
+    Rng rng(seed);
+    GridIndex grid(8);
+    RTree rtree(6, 2);
+    LinearScan scan;
+    // Seed with a bulk load so the R-tree starts from an STR packing.
+    std::vector<SpatialItem> live = RandomItems(100, seed ^ 0xF00);
+    grid.Build(live);
+    rtree.Build(live);
+    scan.Build(live);
+    int64_t next_id = 100;
+
+    for (int step = 0; step < 400; ++step) {
+      if (live.empty() || rng.Uniform() < 0.5) {
+        const SpatialItem item{next_id++, {rng.Uniform(), rng.Uniform()}};
+        live.push_back(item);
+        grid.Insert(item);
+        rtree.Insert(item);
+        scan.Insert(item);
+      } else {
+        const size_t victim = static_cast<size_t>(
+            rng.Uniform() * static_cast<double>(live.size()));
+        const SpatialItem item = live[std::min(victim, live.size() - 1)];
+        live[std::min(victim, live.size() - 1)] = live.back();
+        live.pop_back();
+        EXPECT_TRUE(grid.Remove(item));
+        EXPECT_TRUE(rtree.Remove(item));
+        EXPECT_TRUE(scan.Remove(item));
+      }
+      ASSERT_EQ(grid.Size(), live.size());
+      ASSERT_EQ(rtree.Size(), live.size());
+      ASSERT_EQ(scan.Size(), live.size());
+
+      if (step % 20 == 19) {
+        rtree.CheckInvariants();
+        LinearScan reference;
+        reference.Build(live);
+        const Point center{rng.Uniform(), rng.Uniform()};
+        const double radius = rng.Uniform(0.0, 0.4);
+        const auto expected = reference.CircleQuery(center, radius);
+        EXPECT_EQ(grid.CircleQuery(center, radius), expected);
+        EXPECT_EQ(rtree.CircleQuery(center, radius), expected);
+        EXPECT_EQ(scan.CircleQuery(center, radius), expected);
+        const Rect rect{rng.Uniform(0.0, 0.5), rng.Uniform(0.0, 0.5),
+                        rng.Uniform(0.5, 1.0), rng.Uniform(0.5, 1.0)};
+        const auto expected_range = reference.RangeQuery(rect);
+        EXPECT_EQ(grid.RangeQuery(rect), expected_range);
+        EXPECT_EQ(rtree.RangeQuery(rect), expected_range);
+        EXPECT_EQ(scan.RangeQuery(rect), expected_range);
+      }
+    }
+  }
+}
+
+TEST(RemoveTest, RTreeTombstoneCounterTracksRemovalsAndResetsOnBuild) {
+  RTree tree(4, 2);
+  const auto items = RandomItems(64, 77);
+  tree.Build(items);
+  EXPECT_EQ(tree.removed_since_build(), 0);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_TRUE(tree.Remove(items[static_cast<size_t>(i)]));
+  }
+  EXPECT_EQ(tree.removed_since_build(), 16);
+  EXPECT_EQ(tree.Size(), 48u);
+  tree.CheckInvariants();
+  // Failed removals don't count.
+  EXPECT_FALSE(tree.Remove(items[0]));
+  EXPECT_EQ(tree.removed_since_build(), 16);
+  // Rebuild resets the tombstone counter.
+  tree.Build(
+      std::vector<SpatialItem>(items.begin() + 16, items.end()));
+  EXPECT_EQ(tree.removed_since_build(), 0);
+  EXPECT_EQ(tree.Size(), 48u);
+}
+
+TEST(RemoveTest, RTreeDrainToEmptyAndRefill) {
+  RTree tree(4, 2);
+  auto items = RandomItems(50, 88);
+  for (const auto& item : items) tree.Insert(item);
+  for (const auto& item : items) EXPECT_TRUE(tree.Remove(item));
+  EXPECT_EQ(tree.Size(), 0u);
+  tree.CheckInvariants();
+  EXPECT_TRUE(tree.RangeQuery({0, 0, 1, 1}).empty());
+  for (const auto& item : items) tree.Insert(item);
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.RangeQuery({0, 0, 1, 1}).size(), 50u);
+}
 
 // ---------------------------------------------------------------------------
 // KdTree specifics

@@ -1,0 +1,360 @@
+// Bit-identity tests for the incremental streaming data plane: the
+// delta-maintained StreamingPlane and the pipelined dispatch loop must
+// produce exactly the outputs of the rebuild-everything sequential path,
+// across every {incremental, pipeline} combination and thread count.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "algo/gt_assigner.h"
+#include "algo/tpg_assigner.h"
+#include "common/rng.h"
+#include "gen/trace.h"
+#include "model/cooperation_matrix.h"
+#include "service/dispatch_service.h"
+#include "sim/batch_runner.h"
+#include "sim/event_stream.h"
+
+namespace casc {
+namespace {
+
+// Scoped environment override; restores the prior state on destruction
+// so env-driven kill switches never leak across tests.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_, old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_old_;
+  std::string old_;
+};
+
+struct StreamFixture {
+  Trace trace;
+  CooperationMatrix coop{0};
+};
+
+/// A long carry-over-heavy trace: ~270 batch intervals, generous task
+/// lifetimes so open tasks and idle workers persist across many batches
+/// (a batch with no open tasks records no metrics, so the horizon leaves
+/// headroom above the 200-recorded-batch floor the tests assert).
+StreamFixture MakeLongFixture(uint64_t seed, double horizon = 270.0,
+                              double worker_rate = 3.0,
+                              double task_rate = 1.5) {
+  StreamFixture fixture;
+  Rng rng(seed);
+  TraceConfig config;
+  config.horizon = horizon;
+  config.worker_rate = worker_rate;
+  config.task_rate = task_rate;
+  config.worker.radius_min = 0.15;
+  config.worker.radius_max = 0.30;
+  config.worker.speed_min = 0.05;
+  config.worker.speed_max = 0.10;
+  config.task.remaining_time = 6.0;
+  config.task.capacity = 4;
+  fixture.trace = GenerateTrace(config, &rng);
+  const int m = static_cast<int>(fixture.trace.workers.size());
+  fixture.coop = CooperationMatrix(m);
+  for (int i = 0; i < m; ++i) {
+    for (int k = i + 1; k < m; ++k) {
+      fixture.coop.SetSymmetric(i, k, rng.Uniform());
+    }
+  }
+  return fixture;
+}
+
+/// Exact equality over everything except wall times: if the incremental
+/// or pipelined path diverges by one ULP anywhere, this fails.
+void ExpectIdenticalBatches(const RunSummary& expected,
+                            const RunSummary& actual,
+                            const std::string& label) {
+  ASSERT_EQ(expected.batches.size(), actual.batches.size()) << label;
+  for (size_t i = 0; i < expected.batches.size(); ++i) {
+    const BatchMetrics& e = expected.batches[i];
+    const BatchMetrics& a = actual.batches[i];
+    ASSERT_EQ(e.round, a.round) << label << " batch " << i;
+    ASSERT_EQ(e.now, a.now) << label << " batch " << i;
+    ASSERT_EQ(e.num_workers, a.num_workers) << label << " batch " << i;
+    ASSERT_EQ(e.num_tasks, a.num_tasks) << label << " batch " << i;
+    ASSERT_EQ(e.valid_pairs, a.valid_pairs) << label << " batch " << i;
+    ASSERT_EQ(e.score, a.score) << label << " batch " << i;  // bitwise
+    ASSERT_EQ(e.assigned_workers, a.assigned_workers)
+        << label << " batch " << i;
+    ASSERT_EQ(e.completed_tasks, a.completed_tasks)
+        << label << " batch " << i;
+    ASSERT_EQ(e.gt_rounds, a.gt_rounds) << label << " batch " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// EventStream cursor
+// ---------------------------------------------------------------------------
+
+TEST(EventStreamCursorTest, MatchesArrivingInOverRandomWindows) {
+  const StreamFixture fixture = MakeLongFixture(501, /*horizon=*/40.0);
+  const EventStream stream(fixture.trace.workers, fixture.trace.tasks);
+  EventStream::Cursor cursor = stream.NewCursor();
+
+  Rng rng(77);
+  double from = -1.0;
+  std::vector<Worker> workers;
+  std::vector<Task> tasks;
+  size_t total_workers = 0;
+  size_t total_tasks = 0;
+  while (from < 45.0) {
+    const double to = from + rng.Uniform(0.0, 3.0);
+    workers.clear();
+    tasks.clear();
+    cursor.NextBatch(from, to, &workers, &tasks);
+    const auto expected_workers = stream.WorkersArrivingIn(from, to);
+    const auto expected_tasks = stream.TasksArrivingIn(from, to);
+    ASSERT_EQ(workers.size(), expected_workers.size())
+        << "[" << from << ", " << to << ")";
+    for (size_t i = 0; i < workers.size(); ++i) {
+      EXPECT_EQ(workers[i].id, expected_workers[i].id);
+    }
+    ASSERT_EQ(tasks.size(), expected_tasks.size())
+        << "[" << from << ", " << to << ")";
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      EXPECT_EQ(tasks[i].id, expected_tasks[i].id);
+    }
+    total_workers += workers.size();
+    total_tasks += tasks.size();
+    from = to;
+  }
+  EXPECT_TRUE(cursor.Exhausted());
+  EXPECT_EQ(total_workers, stream.num_workers());
+  EXPECT_EQ(total_tasks, stream.num_tasks());
+}
+
+TEST(EventStreamCursorTest, AppendsIntoNonEmptyBuffers) {
+  const EventStream stream(
+      {Worker{0, {0.5, 0.5}, 0.1, 0.2, 1.0}},
+      {Task{0, {0.5, 0.5}, 2.0, 9.0, 3}});
+  EventStream::Cursor cursor = stream.NewCursor();
+  std::vector<Worker> workers(3);
+  std::vector<Task> tasks;
+  cursor.NextBatch(0.0, 1.5, &workers, &tasks);
+  EXPECT_EQ(workers.size(), 4u);  // appended, not overwritten
+  EXPECT_TRUE(tasks.empty());
+  cursor.NextBatch(1.5, 2.5, nullptr, &tasks);  // null side is skipped
+  EXPECT_EQ(tasks.size(), 1u);
+  EXPECT_TRUE(cursor.Exhausted());
+}
+
+TEST(EventStreamCursorDeathTest, RejectsOverlappingWindows) {
+  const EventStream stream({Worker{0, {0.5, 0.5}, 0.1, 0.2, 1.0}}, {});
+  EventStream::Cursor cursor = stream.NewCursor();
+  std::vector<Worker> workers;
+  cursor.NextBatch(0.0, 2.0, &workers, nullptr);
+  EXPECT_DEATH(cursor.NextBatch(1.0, 3.0, &workers, nullptr),
+               "non-overlapping");
+}
+
+// ---------------------------------------------------------------------------
+// First/LastEventTime merge the worker AND task timelines
+// ---------------------------------------------------------------------------
+
+TEST(EventStreamTest, FirstAndLastEventTimeCoverTaskOnlyIntervals) {
+  // The first and last events are both tasks; a worker sits in between.
+  // The batch clock must start at the leading task and run past the
+  // trailing one, or those tasks would never enter any batch.
+  const EventStream stream(
+      {Worker{0, {0.5, 0.5}, 0.1, 0.2, 5.0}},
+      {Task{0, {0.4, 0.4}, 1.0, 20.0, 3},
+       Task{1, {0.6, 0.6}, 9.0, 30.0, 3}});
+  EXPECT_EQ(stream.FirstEventTime(), 1.0);
+  EXPECT_EQ(stream.LastEventTime(), 9.0);
+
+  // Symmetric case: workers bracket the tasks.
+  const EventStream flipped(
+      {Worker{0, {0.5, 0.5}, 0.1, 0.2, 0.5},
+       Worker{1, {0.5, 0.5}, 0.1, 0.2, 12.0}},
+      {Task{0, {0.4, 0.4}, 3.0, 20.0, 3}});
+  EXPECT_EQ(flipped.FirstEventTime(), 0.5);
+  EXPECT_EQ(flipped.LastEventTime(), 12.0);
+}
+
+// ---------------------------------------------------------------------------
+// BatchRunner::RunStreaming: incremental vs. scratch (200+ batches)
+// ---------------------------------------------------------------------------
+
+TEST(StreamingIncrementalTest, RunStreamingIdenticalAcrossIncrementalOnOff) {
+  const StreamFixture fixture = MakeLongFixture(601);
+  ASSERT_FALSE(fixture.trace.workers.empty());
+  ASSERT_FALSE(fixture.trace.tasks.empty());
+  const EventStream stream(fixture.trace.workers, fixture.trace.tasks);
+  BatchRunnerConfig config;
+  config.min_group_size = 3;
+  config.task_duration = 2.0;
+  const BatchRunner runner(config);
+
+  RunSummary scratch;
+  {
+    ScopedEnv off("CASC_NO_INCREMENTAL", "1");
+    TpgAssigner tpg;
+    scratch = runner.RunStreaming(stream, fixture.coop, &tpg);
+  }
+  ASSERT_GE(scratch.batches.size(), 200u) << "trace too short for the test";
+
+  RunSummary incremental;
+  {
+    ScopedEnv on("CASC_NO_INCREMENTAL", nullptr);
+    // The audit mode additionally CHECKs every incrementally-built CSR
+    // index byte-for-byte against a from-scratch build inside the run.
+    ScopedEnv audit("CASC_STREAM_AUDIT", "1");
+    TpgAssigner tpg;
+    incremental = runner.RunStreaming(stream, fixture.coop, &tpg);
+  }
+  ExpectIdenticalBatches(scratch, incremental, "incremental-vs-scratch");
+  EXPECT_GT(incremental.TotalScore(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// DispatchService::Run: {incremental} x {pipeline} x threads (200+ batches)
+// ---------------------------------------------------------------------------
+
+TEST(StreamingIncrementalTest, DispatchRunIdenticalAcrossAllCombos) {
+  const StreamFixture fixture = MakeLongFixture(602);
+  ASSERT_FALSE(fixture.trace.workers.empty());
+  ASSERT_FALSE(fixture.trace.tasks.empty());
+  const EventStream stream(fixture.trace.workers, fixture.trace.tasks);
+  // Make sure the env kill switches don't mask the config flags we are
+  // exercising.
+  ScopedEnv no_inc("CASC_NO_INCREMENTAL", nullptr);
+  ScopedEnv no_pipe("CASC_NO_PIPELINE", nullptr);
+
+  auto run = [&](bool incremental, bool pipeline, int threads,
+                 bool audit, std::vector<ServiceMetrics>* service_out) {
+    DispatchConfig config;
+    config.sharded.shards_per_side = 2;
+    config.sharded.num_threads = threads;
+    config.min_group_size = 3;
+    config.task_duration = 2.0;
+    config.max_tasks_per_batch = 4;  // exercise deferral carry-over
+    config.enable_incremental = incremental;
+    config.enable_pipeline = pipeline;
+    config.audit_streaming = audit;
+    DispatchService service(
+        config, &fixture.coop,
+        [] { return std::make_unique<GtAssigner>(); });
+    RunSummary summary = service.Run(stream);
+    if (service_out != nullptr) *service_out = service.batch_metrics();
+    return summary;
+  };
+
+  std::vector<ServiceMetrics> baseline_service;
+  const RunSummary baseline =
+      run(false, false, 1, false, &baseline_service);
+  ASSERT_GE(baseline.batches.size(), 200u) << "trace too short";
+
+  struct Combo {
+    bool incremental;
+    bool pipeline;
+    int threads;
+    bool audit;
+  };
+  const std::vector<Combo> combos = {
+      {true, false, 1, true},   // incremental alone, audited
+      {false, true, 1, false},  // pipeline alone
+      {true, true, 1, false},   // both
+      {true, true, 4, false},   // both, multi-threaded shards
+  };
+  for (const Combo& combo : combos) {
+    const std::string label =
+        std::string("inc=") + (combo.incremental ? "1" : "0") +
+        " pipe=" + (combo.pipeline ? "1" : "0") +
+        " threads=" + std::to_string(combo.threads);
+    std::vector<ServiceMetrics> service_metrics;
+    const RunSummary actual =
+        run(combo.incremental, combo.pipeline, combo.threads,
+            combo.audit, &service_metrics);
+    ExpectIdenticalBatches(baseline, actual, label);
+    // Admission-queue state must also carry over identically.
+    ASSERT_EQ(service_metrics.size(), baseline_service.size()) << label;
+    for (size_t i = 0; i < service_metrics.size(); ++i) {
+      ASSERT_EQ(service_metrics[i].admitted_tasks,
+                baseline_service[i].admitted_tasks)
+          << label << " batch " << i;
+      ASSERT_EQ(service_metrics[i].deferred_tasks,
+                baseline_service[i].deferred_tasks)
+          << label << " batch " << i;
+      ASSERT_EQ(service_metrics[i].queue_depth,
+                baseline_service[i].queue_depth)
+          << label << " batch " << i;
+    }
+  }
+}
+
+TEST(StreamingIncrementalTest, KillSwitchesDisablePipelineAndIncremental) {
+  const StreamFixture fixture = MakeLongFixture(603, /*horizon=*/30.0);
+  ASSERT_FALSE(fixture.trace.workers.empty());
+  ASSERT_FALSE(fixture.trace.tasks.empty());
+  const EventStream stream(fixture.trace.workers, fixture.trace.tasks);
+  DispatchConfig config;
+  config.sharded.shards_per_side = 1;
+  config.min_group_size = 3;
+  config.enable_incremental = true;
+  config.enable_pipeline = true;
+
+  ScopedEnv no_inc("CASC_NO_INCREMENTAL", "1");
+  ScopedEnv no_pipe("CASC_NO_PIPELINE", "1");
+  DispatchService service(config, &fixture.coop,
+                          [] { return std::make_unique<GtAssigner>(); });
+  const RunSummary summary = service.Run(stream);
+  EXPECT_FALSE(summary.batches.empty());
+  // With the pipeline killed, no batch may report overlapped ingest.
+  for (const ServiceMetrics& metrics : service.batch_metrics()) {
+    EXPECT_FALSE(metrics.pipelined);
+  }
+}
+
+TEST(StreamingIncrementalTest, RunLatencyStatsSummarizeBatchSeconds) {
+  const StreamFixture fixture = MakeLongFixture(604, /*horizon=*/30.0);
+  ASSERT_FALSE(fixture.trace.workers.empty());
+  ASSERT_FALSE(fixture.trace.tasks.empty());
+  const EventStream stream(fixture.trace.workers, fixture.trace.tasks);
+  DispatchConfig config;
+  config.sharded.shards_per_side = 1;
+  config.min_group_size = 3;
+  DispatchService service(config, &fixture.coop,
+                          [] { return std::make_unique<GtAssigner>(); });
+  (void)service.Run(stream);
+
+  const RunLatencyStats& latency = service.run_latency();
+  ASSERT_GT(latency.batches, 0);
+  ASSERT_EQ(latency.batches,
+            static_cast<int64_t>(service.batch_metrics().size()));
+  EXPECT_GT(latency.max_seconds, 0.0);
+  EXPECT_LE(latency.p50_seconds, latency.p99_seconds);
+  EXPECT_LE(latency.p99_seconds,
+            latency.max_seconds * (1.0 + 1e-6));
+  EXPECT_GT(latency.mean_seconds, 0.0);
+  EXPECT_LE(latency.mean_seconds, latency.max_seconds * (1.0 + 1e-6));
+  const std::string json = latency.ToJson();
+  EXPECT_NE(json.find("\"p99_seconds\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace casc

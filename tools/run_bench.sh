@@ -12,8 +12,13 @@
 #        CooperationMatrix path at group sizes 2-16) and bound-based
 #        candidate pruning (pruned vs unpruned GT wall time + prune-rate
 #        counters; the binary aborts if pruning changes the score)
+#   PR6  incremental streaming data plane (rebuild-everything vs
+#        delta-maintained valid-pair rows, sequential vs pipelined
+#        ingest, on a carry-over-heavy rush-hour trace: steady-state
+#        per-batch build+solve seconds plus p50/p99 batch latency; the
+#        binary aborts if any combination changes a batch output)
 #
-# Usage: tools/run_bench.sh [pr1|pr2|pr3|pr5|all] [OUT_JSON]
+# Usage: tools/run_bench.sh [pr1|pr2|pr3|pr5|pr6|all] [OUT_JSON]
 #   pr1|pr2|all  which suite to run (default all)
 #   OUT_JSON     output override for a single suite
 # Env:
@@ -59,6 +64,13 @@ run_pr3() {
   echo "wrote $out"
 }
 
+run_pr6() {
+  local out="${1:-BENCH_PR6.json}"
+  cmake --build "$BUILD_DIR" -j --target bench_streaming_pipeline >/dev/null
+  "$BUILD_DIR/bench/bench_streaming_pipeline" --json="$out" ${BENCH_ARGS:-}
+  echo "wrote $out"
+}
+
 run_pr5() {
   local out="${1:-BENCH_PR5.json}"
   cmake --build "$BUILD_DIR" -j --target bench_micro_kernels >/dev/null
@@ -71,14 +83,16 @@ case "$SUITE" in
   pr2) run_pr2 "${2:-}" ;;
   pr3) run_pr3 "${2:-}" ;;
   pr5) run_pr5 "${2:-}" ;;
+  pr6) run_pr6 "${2:-}" ;;
   all)
     run_pr1
     run_pr2
     run_pr3
     run_pr5
+    run_pr6
     ;;
   *)
-    echo "usage: tools/run_bench.sh [pr1|pr2|pr3|pr5|all] [OUT_JSON]" >&2
+    echo "usage: tools/run_bench.sh [pr1|pr2|pr3|pr5|pr6|all] [OUT_JSON]" >&2
     exit 1
     ;;
 esac
