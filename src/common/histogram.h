@@ -36,6 +36,43 @@ class SummaryStats {
   double max_ = 0.0;
 };
 
+/// Fixed-capacity quantile estimator: a deterministic reservoir that
+/// keeps the first `capacity` observations exactly and then thins to
+/// every k-th observation (systematic sampling — no RNG, so identical
+/// input streams always produce identical quantiles). Exact while the
+/// sample count stays at or below the capacity, which covers the
+/// intended uses (per-batch network round-trip times: tens to a few
+/// thousand observations). Companion to SummaryStats where a mean and
+/// extremes are not enough and a full Histogram's fixed range is
+/// unknown up front.
+class QuantileSketch {
+ public:
+  /// `capacity` >= 1 samples are retained.
+  explicit QuantileSketch(int capacity = 1024);
+
+  void Add(double value);
+
+  /// Total observations folded in (not the retained count).
+  int64_t Count() const { return count_; }
+
+  /// Value at quantile `p` in [0, 1] with linear interpolation between
+  /// retained order statistics: p = 0 is the minimum retained sample,
+  /// p = 1 the maximum, and with n = 0 the sketch returns 0.0 (there is
+  /// nothing to summarize); n = 1 returns the single sample for every p.
+  double Quantile(double p) const;
+
+  /// Drops all samples (capacity kept).
+  void Reset();
+
+ private:
+  int capacity_;
+  int64_t count_ = 0;
+  int64_t stride_ = 1;  ///< keep every stride-th observation once full
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;  ///< lazily rebuilt scratch
+  mutable bool sorted_valid_ = false;
+};
+
 /// Fixed-range linear histogram for diagnosing distributions (e.g. the
 /// per-worker valid-task counts of a batch). Out-of-range samples clamp
 /// into the edge buckets.

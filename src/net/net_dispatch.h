@@ -1,0 +1,129 @@
+#ifndef CASC_NET_NET_DISPATCH_H_
+#define CASC_NET_NET_DISPATCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/coordinator.h"
+#include "net/network_config.h"
+#include "net/shard_node.h"
+#include "net/simulator.h"
+#include "service/dispatch_service.h"
+
+namespace casc {
+
+/// Configuration of the distributed dispatch mode: how many simulated
+/// solver nodes to run, the network fault/latency model and the
+/// coordinator protocol knobs.
+struct DistributedConfig {
+  /// Master switch; anded with the CASC_NO_DISTRIBUTED kill switch at
+  /// construction time (either side can force the in-process path).
+  bool enabled = true;
+
+  /// Shard solver nodes (>= 1), at ids 1..num_nodes; the coordinator is
+  /// node 0 and is durable (crash events must not target it).
+  int num_nodes = 4;
+
+  NetworkConfig network;
+  ProtocolConfig protocol;
+
+  /// Per-batch simulator event budget — the livelock backstop behind the
+  /// termination guarantee (a batch exceeding it is a protocol bug and
+  /// fails a CASC_CHECK).
+  int64_t max_events_per_batch = 10'000'000;
+};
+
+/// True when distributed mode is both configured on and not disabled by
+/// the CASC_NO_DISTRIBUTED environment kill switch.
+bool DistributedEnabled(const DistributedConfig& config);
+
+/// The message-driven ShardedBatchSolver: runs each batch as one epoch
+/// of the coordinator/shard-node protocol over a deterministic simulated
+/// network. Owns the simulator and the nodes for its whole lifetime, so
+/// the virtual clock, fault schedule and crash events span batches — a
+/// node that crashes in batch 3 is still down in batch 4 until its
+/// scheduled restart.
+///
+/// Determinism: for a fixed (options, config, factory) and instance
+/// sequence, every run produces bit-identical assignments and identical
+/// NetStats. With a zero-delay, zero-loss network the assignments are
+/// additionally bit-identical to the in-process ShardedAssigner: shard
+/// results are folded in ascending shard order regardless of arrival
+/// order, and the reconcile passes are literally the same code.
+class NetShardedAssigner : public ShardedBatchSolver {
+ public:
+  NetShardedAssigner(ShardedOptions options, DistributedConfig config,
+                     AssignerFactory factory);
+
+  Assignment Solve(const Instance& instance) override;
+  const ServiceMetrics& metrics() const override { return metrics_; }
+  void AttachWorkspace(BatchWorkspace* workspace) override {
+    workspace_ = workspace;
+  }
+
+  /// Cumulative wire statistics across all batches so far.
+  const NetStats& net_stats() const { return sim_.stats(); }
+
+  /// Stats of the most recent batch, from the coordinator's seat.
+  const NetBatchStats& batch_stats() const {
+    return coordinator_.batch_stats();
+  }
+
+  /// Test oracles.
+  NetworkSimulator& simulator() { return sim_; }
+  const ShardSolverNode& shard_node(int i) const { return *nodes_[i]; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+ private:
+  ShardedOptions options_;
+  DistributedConfig config_;
+  AssignerFactory factory_;
+  ShardExecutor executor_;  ///< problem building/recycling only
+  NetworkSimulator sim_;
+  CoordinatorNode coordinator_;
+  std::vector<std::unique_ptr<ShardSolverNode>> nodes_;
+  BatchWorkspace* workspace_ = nullptr;
+  /// The in-flight batch's problem table; shared so straggler dispatch
+  /// messages keep it alive. Recycled at the next Solve() when this is
+  /// again the sole owner.
+  std::shared_ptr<std::vector<ShardProblem>> problems_;
+  ServiceMetrics metrics_;
+};
+
+/// DispatchService with the distributed mode wired in: when `dist` is
+/// enabled (and CASC_NO_DISTRIBUTED is unset) batches route through a
+/// NetShardedAssigner over the simulated network; otherwise this is
+/// exactly the in-process service. Admission, streaming carry-over and
+/// commit stay in DispatchService either way — only the per-batch solve
+/// is swapped, which is what keeps the two modes bit-identical at zero
+/// faults.
+class DistributedDispatchService {
+ public:
+  DistributedDispatchService(DispatchConfig config, DistributedConfig dist,
+                             const CooperationMatrix* global_coop,
+                             AssignerFactory factory);
+
+  /// True when batches run over the simulated network.
+  bool distributed() const { return net_ != nullptr; }
+
+  DispatchResult RunBatch(std::vector<Worker> workers,
+                          std::vector<Task> tasks, double now) {
+    return service_.RunBatch(std::move(workers), std::move(tasks), now);
+  }
+
+  RunSummary Run(const EventStream& stream) { return service_.Run(stream); }
+
+  DispatchService& service() { return service_; }
+
+  /// Null when running in-process.
+  NetShardedAssigner* net_solver() { return net_.get(); }
+
+ private:
+  DispatchService service_;
+  std::unique_ptr<NetShardedAssigner> net_;
+};
+
+}  // namespace casc
+
+#endif  // CASC_NET_NET_DISPATCH_H_

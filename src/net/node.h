@@ -1,0 +1,64 @@
+#ifndef CASC_NET_NODE_H_
+#define CASC_NET_NODE_H_
+
+#include <cstdint>
+
+#include "net/message.h"
+
+namespace casc {
+
+/// The capabilities the simulator hands a node during a callback (and the
+/// driver at batch boundaries): reading the virtual clock, sending
+/// messages and arming timers. Nodes never see the simulator itself, so
+/// they cannot cheat past the network (no peeking at other nodes' state,
+/// no oracle liveness queries).
+class NetContext {
+ public:
+  virtual ~NetContext() = default;
+
+  /// The virtual clock.
+  virtual double now() const = 0;
+
+  /// The node this context belongs to.
+  virtual NodeId self() const = 0;
+
+  /// Sends `msg` to `to` over the simulated link (delay/drop rules of the
+  /// NetworkConfig apply).
+  virtual void Send(NodeId to, Message msg) = 0;
+
+  /// Like Send but the message leaves `delay` virtual seconds from now —
+  /// the hook shard nodes use to model local compute time before the
+  /// reply hits the wire.
+  virtual void SendAfter(double delay, NodeId to, Message msg) = 0;
+
+  /// Arms a one-shot timer firing `delay` seconds from now with the given
+  /// id; returns a token for CancelTimer. Timers die if the node crashes
+  /// before they fire.
+  virtual uint64_t SetTimer(double delay, int timer_id) = 0;
+
+  /// Cancels a pending timer (no-op if already fired or canceled).
+  virtual void CancelTimer(uint64_t token) = 0;
+};
+
+/// A simulated node. Callbacks run single-threaded in virtual-clock order;
+/// all state a node owns is private to it (message passing only).
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  /// A message arrived.
+  virtual void OnMessage(NetContext& net, NodeId from, const Message& msg) = 0;
+
+  /// A timer armed via SetTimer fired.
+  virtual void OnTimer(NetContext& net, int timer_id) = 0;
+
+  /// The node crashed: drop all volatile state. No sends allowed.
+  virtual void OnCrash() {}
+
+  /// The node restarted (fresh state, may re-announce itself).
+  virtual void OnRestart(NetContext& net) { (void)net; }
+};
+
+}  // namespace casc
+
+#endif  // CASC_NET_NODE_H_

@@ -5,7 +5,6 @@
 
 #include "algo/best_response.h"
 #include "common/check.h"
-#include "model/score_keeper.h"
 
 namespace casc {
 namespace {
@@ -29,17 +28,14 @@ double Affinity(const CooperationMatrix& coop, WorkerIndex w,
 BoundaryReconciler::BoundaryReconciler(ReconcileOptions options)
     : options_(options) {}
 
-ReconcileStats BoundaryReconciler::Reconcile(
-    const Instance& global, const std::vector<WorkerIndex>& boundary,
-    Assignment* assignment) const {
+int BoundaryReconciler::PassInsert(const Instance& global,
+                                   const std::vector<WorkerIndex>& boundary,
+                                   Assignment* assignment, ScoreKeeper* keeper,
+                                   std::vector<AssignedPair>* placed) const {
   CASC_CHECK(assignment != nullptr);
-  CASC_CHECK(global.valid_pairs_ready())
-      << "compute the global valid pairs before reconciling";
-  ReconcileStats stats;
-  ScoreKeeper keeper(global);
-  keeper.Sync(*assignment);
-
-  // Pass 1: globally greedy best-marginal insertion — always commit the
+  CASC_CHECK(keeper != nullptr);
+  int inserted = 0;
+  // Globally greedy best-marginal insertion — always commit the
   // highest-gain (boundary worker, task) pair next, not the next worker
   // by index. One lazily-revalidated heap entry per worker: a popped
   // entry is recomputed against the current groups and committed only if
@@ -64,7 +60,7 @@ ReconcileStats BoundaryReconciler::Reconcile(
           global.tasks()[static_cast<size_t>(t)].capacity) {
         continue;
       }
-      const double gain = keeper.GainIfJoined(w, t);
+      const double gain = keeper->GainIfJoined(w, t);
       if (gain > best_gain) {  // ties keep the lowest task index
         best_gain = gain;
         entry.gain = gain;
@@ -92,60 +88,78 @@ ReconcileStats BoundaryReconciler::Reconcile(
       continue;
     }
     assignment->Assign(top.worker, top.task);
-    keeper.Add(top.worker, top.task);
-    ++stats.inserted;
+    keeper->Add(top.worker, top.task);
+    if (placed != nullptr) placed->push_back({top.worker, top.task});
+    ++inserted;
   }
+  return inserted;
+}
 
-  // Pass 2: top up tasks still below B from the unassigned remainder.
-  if (options_.seed_underfilled) {
-    std::vector<bool> available(static_cast<size_t>(global.num_workers()),
-                                false);
-    for (const WorkerIndex w : boundary) {
-      if (assignment->TaskOf(w) == kNoTask) {
-        available[static_cast<size_t>(w)] = true;
-      }
+int BoundaryReconciler::PassSeed(const Instance& global,
+                                 const std::vector<WorkerIndex>& boundary,
+                                 Assignment* assignment, ScoreKeeper* keeper,
+                                 std::vector<AssignedPair>* placed) const {
+  CASC_CHECK(assignment != nullptr);
+  CASC_CHECK(keeper != nullptr);
+  int seeded = 0;
+  // Top up tasks still below B from the unassigned remainder.
+  std::vector<bool> available(static_cast<size_t>(global.num_workers()),
+                              false);
+  for (const WorkerIndex w : boundary) {
+    if (assignment->TaskOf(w) == kNoTask) {
+      available[static_cast<size_t>(w)] = true;
     }
-    for (TaskIndex t = 0; t < global.num_tasks(); ++t) {
-      const int size = assignment->GroupSize(t);
-      if (size >= global.min_group_size()) continue;
-      std::vector<WorkerIndex> pool;
-      for (const WorkerIndex w : global.Candidates(t)) {
-        if (available[static_cast<size_t>(w)]) pool.push_back(w);
-      }
-      if (size + static_cast<int>(pool.size()) < global.min_group_size()) {
-        continue;  // cannot reach B even with every available candidate
-      }
-      // Grow to exactly B by max two-way affinity (ties to the lowest
-      // worker index — `pool` is ascending). B <= a_j always, so the
-      // capacity constraint cannot be hit here.
-      const std::span<const WorkerIndex> current = keeper.GroupOf(t);
-      std::vector<WorkerIndex> members(current.begin(), current.end());
-      std::vector<WorkerIndex> chosen;
-      while (static_cast<int>(members.size()) < global.min_group_size()) {
-        WorkerIndex best = kNoWorker;
-        double best_affinity = -1.0;
-        for (const WorkerIndex w : pool) {
-          if (!available[static_cast<size_t>(w)]) continue;
-          const double affinity = Affinity(global.coop(), w, members);
-          if (affinity > best_affinity) {
-            best_affinity = affinity;
-            best = w;
-          }
+  }
+  for (TaskIndex t = 0; t < global.num_tasks(); ++t) {
+    const int size = assignment->GroupSize(t);
+    if (size >= global.min_group_size()) continue;
+    std::vector<WorkerIndex> pool;
+    for (const WorkerIndex w : global.Candidates(t)) {
+      if (available[static_cast<size_t>(w)]) pool.push_back(w);
+    }
+    if (size + static_cast<int>(pool.size()) < global.min_group_size()) {
+      continue;  // cannot reach B even with every available candidate
+    }
+    // Grow to exactly B by max two-way affinity (ties to the lowest
+    // worker index — `pool` is ascending). B <= a_j always, so the
+    // capacity constraint cannot be hit here.
+    const std::span<const WorkerIndex> current = keeper->GroupOf(t);
+    std::vector<WorkerIndex> members(current.begin(), current.end());
+    std::vector<WorkerIndex> chosen;
+    while (static_cast<int>(members.size()) < global.min_group_size()) {
+      WorkerIndex best = kNoWorker;
+      double best_affinity = -1.0;
+      for (const WorkerIndex w : pool) {
+        if (!available[static_cast<size_t>(w)]) continue;
+        const double affinity = Affinity(global.coop(), w, members);
+        if (affinity > best_affinity) {
+          best_affinity = affinity;
+          best = w;
         }
-        CASC_CHECK_NE(best, kNoWorker);
-        members.push_back(best);
-        chosen.push_back(best);
-        available[static_cast<size_t>(best)] = false;
       }
-      for (const WorkerIndex w : chosen) {
-        assignment->Assign(w, t);
-        keeper.Add(w, t);
-        ++stats.seeded;
-      }
+      CASC_CHECK_NE(best, kNoWorker);
+      members.push_back(best);
+      chosen.push_back(best);
+      available[static_cast<size_t>(best)] = false;
+    }
+    for (const WorkerIndex w : chosen) {
+      assignment->Assign(w, t);
+      keeper->Add(w, t);
+      if (placed != nullptr) placed->push_back({w, t});
+      ++seeded;
     }
   }
+  return seeded;
+}
 
-  // Pass 3: best-response rounds over an *active set* that starts as the
+int BoundaryReconciler::PassPolish(const Instance& global,
+                                   const std::vector<WorkerIndex>& boundary,
+                                   Assignment* assignment, ScoreKeeper* keeper,
+                                   std::vector<AssignedPair>* placed) const {
+  CASC_CHECK(assignment != nullptr);
+  CASC_CHECK(keeper != nullptr);
+  int polish_moves = 0;
+  // Best-response rounds over an *active set* that starts as the
   // boundary workers and grows by whoever a move crowds out — an evicted
   // interior worker must get the chance to re-place itself or it would
   // be stranded idle. Rounds stop once no active worker moves (a Nash
@@ -154,36 +168,55 @@ ReconcileStats BoundaryReconciler::Reconcile(
   // pass stays deterministic; ties resolve to the current strategy, so a
   // differing response is a strict improvement, and ApplyMove keeps the
   // keeper exact.
-  if (options_.polish_rounds > 0) {
-    std::vector<WorkerIndex> active = boundary;  // ascending
-    std::vector<bool> in_active(static_cast<size_t>(global.num_workers()),
-                                false);
-    for (const WorkerIndex w : active) in_active[static_cast<size_t>(w)] = true;
-    for (int round = 0; round < options_.polish_rounds; ++round) {
-      int moves_this_round = 0;
-      std::vector<WorkerIndex> evicted;
-      for (const WorkerIndex w : active) {
-        const BestResponse response =
-            ComputeBestResponse(global, keeper, *assignment, w);
-        if (response.task == assignment->TaskOf(w)) continue;
-        const MoveResult result =
-            ApplyMove(global, assignment, &keeper, w, response.task);
-        ++moves_this_round;
-        if (result.crowded_out != kNoWorker &&
-            !in_active[static_cast<size_t>(result.crowded_out)]) {
-          in_active[static_cast<size_t>(result.crowded_out)] = true;
-          evicted.push_back(result.crowded_out);
-        }
-      }
-      stats.polish_moves += moves_this_round;
-      if (moves_this_round == 0) break;
-      if (!evicted.empty()) {
-        std::sort(evicted.begin(), evicted.end());
-        const auto middle = active.insert(active.end(), evicted.begin(),
-                                          evicted.end());
-        std::inplace_merge(active.begin(), middle, active.end());
+  std::vector<WorkerIndex> active = boundary;  // ascending
+  std::vector<bool> in_active(static_cast<size_t>(global.num_workers()),
+                              false);
+  for (const WorkerIndex w : active) in_active[static_cast<size_t>(w)] = true;
+  for (int round = 0; round < options_.polish_rounds; ++round) {
+    int moves_this_round = 0;
+    std::vector<WorkerIndex> evicted;
+    for (const WorkerIndex w : active) {
+      const BestResponse response =
+          ComputeBestResponse(global, *keeper, *assignment, w);
+      if (response.task == assignment->TaskOf(w)) continue;
+      const MoveResult result =
+          ApplyMove(global, assignment, keeper, w, response.task);
+      ++moves_this_round;
+      if (placed != nullptr) placed->push_back({w, response.task});
+      if (result.crowded_out != kNoWorker &&
+          !in_active[static_cast<size_t>(result.crowded_out)]) {
+        in_active[static_cast<size_t>(result.crowded_out)] = true;
+        evicted.push_back(result.crowded_out);
       }
     }
+    polish_moves += moves_this_round;
+    if (moves_this_round == 0) break;
+    if (!evicted.empty()) {
+      std::sort(evicted.begin(), evicted.end());
+      const auto middle =
+          active.insert(active.end(), evicted.begin(), evicted.end());
+      std::inplace_merge(active.begin(), middle, active.end());
+    }
+  }
+  return polish_moves;
+}
+
+ReconcileStats BoundaryReconciler::Reconcile(
+    const Instance& global, const std::vector<WorkerIndex>& boundary,
+    Assignment* assignment) const {
+  CASC_CHECK(assignment != nullptr);
+  CASC_CHECK(global.valid_pairs_ready())
+      << "compute the global valid pairs before reconciling";
+  ReconcileStats stats;
+  ScoreKeeper keeper(global);
+  keeper.Sync(*assignment);
+
+  stats.inserted = PassInsert(global, boundary, assignment, &keeper);
+  if (options_.seed_underfilled) {
+    stats.seeded = PassSeed(global, boundary, assignment, &keeper);
+  }
+  if (options_.polish_rounds > 0) {
+    stats.polish_moves = PassPolish(global, boundary, assignment, &keeper);
   }
   return stats;
 }

@@ -5,6 +5,7 @@
 
 #include "model/assignment.h"
 #include "model/instance.h"
+#include "model/score_keeper.h"
 
 namespace casc {
 
@@ -61,10 +62,38 @@ class BoundaryReconciler {
 
   /// Merges `boundary` (ascending global worker indices; members may be
   /// idle or already placed) into `assignment`. Requires global valid
-  /// pairs.
+  /// pairs. Equivalent to creating a keeper synced to `assignment` and
+  /// running PassInsert / PassSeed / PassPolish in order — the
+  /// message-driven coordinator calls the passes individually so it can
+  /// interleave them with network round-trips, and both paths produce
+  /// bit-identical assignments by construction.
   ReconcileStats Reconcile(const Instance& global,
                            const std::vector<WorkerIndex>& boundary,
                            Assignment* assignment) const;
+
+  /// Pass 1 (greedy best-marginal insertion) against a live keeper.
+  /// Returns the number of insertions; a non-null `placed` receives each
+  /// committed (worker, task) placement in commit order — the payload of
+  /// the coordinator's per-pass broadcast.
+  int PassInsert(const Instance& global,
+                 const std::vector<WorkerIndex>& boundary,
+                 Assignment* assignment, ScoreKeeper* keeper,
+                 std::vector<AssignedPair>* placed = nullptr) const;
+
+  /// Pass 2 (under-B seeding). Returns the number of seeded workers.
+  /// Call only when options().seed_underfilled.
+  int PassSeed(const Instance& global,
+               const std::vector<WorkerIndex>& boundary,
+               Assignment* assignment, ScoreKeeper* keeper,
+               std::vector<AssignedPair>* placed = nullptr) const;
+
+  /// Pass 3 (best-response polish over the active set). Returns the
+  /// number of moves; `placed` records each mover's new task (kNoTask for
+  /// a move to idle). Call only when options().polish_rounds > 0.
+  int PassPolish(const Instance& global,
+                 const std::vector<WorkerIndex>& boundary,
+                 Assignment* assignment, ScoreKeeper* keeper,
+                 std::vector<AssignedPair>* placed = nullptr) const;
 
   const ReconcileOptions& options() const { return options_; }
 

@@ -60,6 +60,14 @@ std::string ServiceMetrics::ToJson() const {
       << ",\"queue_depth\":" << queue_depth
       << ",\"prune_evals\":" << prune_evals
       << ",\"prune_skips\":" << prune_skips
+      << ",\"lost_shards\":" << lost_shards
+      << ",\"net_messages\":" << net_messages
+      << ",\"net_bytes\":" << net_bytes
+      << ",\"net_dropped\":" << net_dropped
+      << ",\"net_retries\":" << net_retries
+      << ",\"net_failovers\":" << net_failovers
+      << ",\"net_rtt_p50_seconds\":" << net_rtt_p50_seconds
+      << ",\"net_rtt_p99_seconds\":" << net_rtt_p99_seconds
       << ",\"ingest_seconds\":" << ingest_seconds
       << ",\"index_build_seconds\":" << index_build_seconds
       << ",\"batch_seconds\":" << batch_seconds
@@ -115,9 +123,12 @@ Assignment ShardedAssigner::Run(const Instance& instance) {
 
   watch.Restart();
   std::vector<AssignerStats> shard_stats;
+  std::vector<int> dropped_shards;
   Assignment assignment =
       executor_.Run(instance, problems, factory_, &metrics_.shard_seconds,
-                    workspace(), &shard_stats);
+                    workspace(), &shard_stats, options_.fault_hook,
+                    batch_index_++, &dropped_shards);
+  metrics_.lost_shards = static_cast<int>(dropped_shards.size());
   metrics_.phase1_seconds = watch.ElapsedSeconds();
   for (const AssignerStats& stats : shard_stats) {
     metrics_.prune_evals += stats.prune_candidates_evaluated;
@@ -149,7 +160,12 @@ DispatchService::DispatchService(DispatchConfig config,
   CASC_CHECK(global_coop_ != nullptr);
   CASC_CHECK_GE(config_.max_tasks_per_batch, 0);
   CASC_CHECK_GT(config_.batch_interval, 0.0);
-  sharded_.set_workspace(&solve_workspace_);
+  set_batch_solver(nullptr);  // default: the in-process engine
+}
+
+void DispatchService::set_batch_solver(ShardedBatchSolver* solver) {
+  solver_ = solver != nullptr ? solver : &sharded_;
+  solver_->AttachWorkspace(&solve_workspace_);
 }
 
 DispatchResult DispatchService::RunBatch(std::vector<Worker> workers,
@@ -193,7 +209,7 @@ DispatchResult DispatchService::RunBatch(std::vector<Worker> workers,
   batch.num_tasks = instance.num_tasks();
   batch.valid_pairs = static_cast<int64_t>(instance.NumValidPairs());
   Stopwatch watch;
-  Assignment assignment = sharded_.Run(instance);
+  Assignment assignment = solver_->Solve(instance);
   batch.seconds = watch.ElapsedSeconds();
   batch.score = TotalScore(instance, assignment);
   batch.assigned_workers = assignment.NumAssigned();
@@ -205,7 +221,7 @@ DispatchResult DispatchService::RunBatch(std::vector<Worker> workers,
 
   batch.index_build_seconds = index_build_seconds;
 
-  ServiceMetrics metrics = sharded_.metrics();
+  ServiceMetrics metrics = solver_->metrics();
   metrics.admitted_tasks = num_admitted;
   metrics.deferred_tasks = static_cast<int>(deferred.size());
   metrics.queue_depth = static_cast<int>(deferred.size());
@@ -309,7 +325,7 @@ RunSummary DispatchService::Run(const EventStream& stream) {
         pipeline_pool.ParallelFor(2, [&](int64_t chunk) {
           if (chunk == 0) {
             Stopwatch solve_watch;
-            assignment = sharded_.Run(instance);
+            assignment = solver_->Solve(instance);
             solve_seconds = solve_watch.ElapsedSeconds();
           } else {
             Stopwatch overlap_watch;
@@ -326,7 +342,7 @@ RunSummary DispatchService::Run(const EventStream& stream) {
         ingested_ahead = true;
       } else {
         Stopwatch solve_watch;
-        assignment = sharded_.Run(instance);
+        assignment = solver_->Solve(instance);
         solve_seconds = solve_watch.ElapsedSeconds();
       }
 
@@ -351,7 +367,7 @@ RunSummary DispatchService::Run(const EventStream& stream) {
       // together with the admission queue's deferred overflow.
       plane.Commit(instance, assignment, now + config_.task_duration);
 
-      ServiceMetrics metrics = sharded_.metrics();
+      ServiceMetrics metrics = solver_->metrics();
       metrics.admitted_tasks = instance.num_tasks();
       metrics.deferred_tasks = plane.num_deferred();
       metrics.queue_depth = plane.queue_depth_after_commit();

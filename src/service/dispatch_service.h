@@ -29,6 +29,11 @@ struct ShardedOptions {
 
   /// Phase-2 knobs.
   ReconcileOptions reconcile;
+
+  /// Test/fuzz fault hook forwarded to ShardExecutor::Run (see
+  /// ShardFaultHook): non-null drops the flagged shards' phase-1 results
+  /// before the fold, leaving their workers idle for carry-over.
+  ShardFaultHook fault_hook;
 };
 
 /// Observability of one dispatched batch: shard loads, boundary-worker
@@ -68,8 +73,47 @@ struct ServiceMetrics {
   int64_t prune_evals = 0;
   int64_t prune_skips = 0;
 
+  /// Shards whose phase-1 result was lost this batch — dropped by the
+  /// fault hook on the in-process path, or declared unrecoverable after
+  /// exhausting failover on the distributed path. The lost shards'
+  /// workers stay idle and carry over to the next batch.
+  int lost_shards = 0;
+
+  /// Distributed-mode (simulated network) observability; all zero on the
+  /// in-process path. Counters are per-batch deltas of the simulator's
+  /// NetStats; RTT quantiles summarize per-shard dispatch -> result
+  /// round-trip times at the coordinator (QuantileSketch).
+  int64_t net_messages = 0;       ///< messages put on the wire
+  int64_t net_bytes = 0;          ///< modeled payload bytes sent
+  int64_t net_dropped = 0;        ///< drops (rng + partition + dead)
+  int net_retries = 0;            ///< retransmissions after timeout
+  int net_failovers = 0;          ///< shards re-dispatched to another node
+  double net_rtt_p50_seconds = 0.0;
+  double net_rtt_p99_seconds = 0.0;
+
   /// Compact JSON object (machine-readable bench/monitoring output).
   std::string ToJson() const;
+};
+
+/// How DispatchService solves one admitted batch. The default
+/// implementation is the in-process ShardedAssigner below; the net layer
+/// injects a message-driven implementation (NetShardedAssigner) that runs
+/// the same shard solvers on simulated nodes. Implementations must be
+/// deterministic and must honor the ShardedAssigner determinism contract:
+/// for a fixed instance and options the assignment is bit-identical to
+/// the in-process path at zero network delay and zero loss.
+class ShardedBatchSolver {
+ public:
+  virtual ~ShardedBatchSolver() = default;
+
+  /// Solves one batch instance (valid pairs ready) into an assignment.
+  virtual Assignment Solve(const Instance& instance) = 0;
+
+  /// Per-batch observability of the most recent Solve().
+  virtual const ServiceMetrics& metrics() const = 0;
+
+  /// Lets the service lend its pooled solve-side workspace (may be null).
+  virtual void AttachWorkspace(BatchWorkspace* workspace) = 0;
 };
 
 /// The sharded dispatch engine as a drop-in Assigner (Algorithm 1 line
@@ -83,7 +127,7 @@ struct ServiceMetrics {
 /// are solved independently and folded in shard order; phase 2 is
 /// serial in ascending worker order). With shards_per_side == 1 the
 /// result is bit-identical to running the factory's assigner directly.
-class ShardedAssigner : public Assigner {
+class ShardedAssigner : public Assigner, public ShardedBatchSolver {
  public:
   /// `factory` creates the per-shard solver (see AssignerFactory's
   /// thread-safety and determinism requirements).
@@ -92,9 +136,17 @@ class ShardedAssigner : public Assigner {
   std::string Name() const override;
   Assignment Run(const Instance& instance) override;
 
+  // -- ShardedBatchSolver --
+  Assignment Solve(const Instance& instance) override {
+    return Run(instance);
+  }
+  void AttachWorkspace(BatchWorkspace* workspace) override {
+    set_workspace(workspace);
+  }
+
   /// Shard/phase observability of the most recent Run(). Admission
   /// fields stay zero here — they belong to the DispatchService.
-  const ServiceMetrics& metrics() const { return metrics_; }
+  const ServiceMetrics& metrics() const override { return metrics_; }
 
   const ShardedOptions& options() const { return options_; }
 
@@ -105,6 +157,7 @@ class ShardedAssigner : public Assigner {
   BoundaryReconciler reconciler_;
   ServiceMetrics metrics_;
   std::string name_;
+  int batch_index_ = 0;  ///< Run() counter handed to the fault hook
 };
 
 /// Per-batch configuration of the dispatch service.
@@ -210,10 +263,21 @@ class DispatchService {
 
   const DispatchConfig& config() const { return config_; }
 
+  /// Replaces the in-process batch solver with `solver` (not owned; must
+  /// outlive the service) — the seam the simulated-network layer uses to
+  /// route batches through message-driven dispatch. The service lends the
+  /// solver its pooled solve-side workspace. Pass nullptr to restore the
+  /// built-in ShardedAssigner.
+  void set_batch_solver(ShardedBatchSolver* solver);
+
+  /// The built-in in-process engine (for tests comparing paths).
+  ShardedAssigner& sharded_assigner() { return sharded_; }
+
  private:
   DispatchConfig config_;
   const CooperationMatrix* global_coop_;
   ShardedAssigner sharded_;
+  ShardedBatchSolver* solver_ = nullptr;  ///< set in the constructor
   /// Double-buffered scratch: the build side pools the spatial scratch
   /// and CSR pair indexes the streaming plane's valid-pair build draws
   /// from; the solve side (attached to the sharded engine) pools

@@ -129,12 +129,41 @@ void ShardExecutor::RecycleProblems(std::vector<ShardProblem>* problems) {
   }
 }
 
+std::optional<Assignment> ShardExecutor::SolveProblem(
+    const ShardProblem& problem, const AssignerFactory& factory,
+    BatchWorkspace* workspace, double* seconds, AssignerStats* stats) {
+  CASC_CHECK(factory != nullptr);
+  if (problem.instance.num_workers() == 0 ||
+      problem.instance.num_tasks() == 0) {
+    return std::nullopt;  // nothing to assign; fold treats absent as empty
+  }
+  Stopwatch watch;
+  const std::unique_ptr<Assigner> solver = factory();
+  solver->set_workspace(workspace);
+  std::optional<Assignment> local = solver->Run(problem.instance);
+  if (seconds != nullptr) *seconds = watch.ElapsedSeconds();
+  if (stats != nullptr) *stats = solver->stats();
+  return local;
+}
+
+void ShardExecutor::FoldProblem(const ShardProblem& problem,
+                                const Assignment& local, Assignment* global) {
+  CASC_CHECK(global != nullptr);
+  local.ForEachPair([&](WorkerIndex lw, TaskIndex lt) {
+    global->Assign(problem.global_workers[static_cast<size_t>(lw)],
+                   problem.global_tasks[static_cast<size_t>(lt)]);
+  });
+}
+
 Assignment ShardExecutor::Run(const Instance& global,
                               const std::vector<ShardProblem>& problems,
                               const AssignerFactory& factory,
                               std::vector<double>* shard_seconds,
                               BatchWorkspace* global_workspace,
-                              std::vector<AssignerStats>* shard_stats) {
+                              std::vector<AssignerStats>* shard_stats,
+                              const ShardFaultHook& fault_hook,
+                              int batch_index,
+                              std::vector<int>* dropped_shards) {
   CASC_CHECK(factory != nullptr);
   const int num_shards = static_cast<int>(problems.size());
   EnsureWorkspaces(num_shards);
@@ -146,35 +175,29 @@ Assignment ShardExecutor::Run(const Instance& global,
   }
 
   pool_.ParallelFor(num_shards, [&](int64_t s) {
-    const ShardProblem& problem = problems[static_cast<size_t>(s)];
-    if (problem.instance.num_workers() == 0 ||
-        problem.instance.num_tasks() == 0) {
-      return;  // nothing to assign; fold treats absent as empty
-    }
-    Stopwatch watch;
-    const std::unique_ptr<Assigner> solver = factory();
-    solver->set_workspace(workspaces_[static_cast<size_t>(s)].get());
-    locals[static_cast<size_t>(s)] = solver->Run(problem.instance);
-    seconds[static_cast<size_t>(s)] = watch.ElapsedSeconds();
-    if (shard_stats != nullptr) {
-      (*shard_stats)[static_cast<size_t>(s)] = solver->stats();
-    }
+    const size_t i = static_cast<size_t>(s);
+    locals[i] = SolveProblem(problems[i], factory, workspaces_[i].get(),
+                             &seconds[i],
+                             shard_stats != nullptr ? &(*shard_stats)[i]
+                                                    : nullptr);
   });
 
   // Deterministic fold: ascending shard order, local insertion order.
   // Shards are disjoint in both workers and tasks, so group insertion
   // order within any task matches the local solver's order exactly.
+  // The fault hook fires here (serial, ascending) so the dropped set is
+  // deterministic too.
   Assignment assignment = global_workspace != nullptr
                               ? global_workspace->AcquireAssignment(global)
                               : Assignment(global);
   for (int s = 0; s < num_shards; ++s) {
     if (!locals[static_cast<size_t>(s)].has_value()) continue;
-    const ShardProblem& problem = problems[static_cast<size_t>(s)];
     Assignment& local = *locals[static_cast<size_t>(s)];
-    local.ForEachPair([&](WorkerIndex lw, TaskIndex lt) {
-      assignment.Assign(problem.global_workers[static_cast<size_t>(lw)],
-                        problem.global_tasks[static_cast<size_t>(lt)]);
-    });
+    if (fault_hook != nullptr && fault_hook(batch_index, s)) {
+      if (dropped_shards != nullptr) dropped_shards->push_back(s);
+    } else {
+      FoldProblem(problems[static_cast<size_t>(s)], local, &assignment);
+    }
     workspaces_[static_cast<size_t>(s)]->Recycle(std::move(local));
   }
   if (shard_seconds != nullptr) *shard_seconds = std::move(seconds);

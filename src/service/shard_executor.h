@@ -21,6 +21,13 @@ namespace casc {
 /// shard results must not depend on where they ran.
 using AssignerFactory = std::function<std::unique_ptr<Assigner>()>;
 
+/// Test/fuzz fault hook: returns true when shard `shard` of batch `batch`
+/// must be dropped *after* solving — the result vanishes before the fold,
+/// exactly as if the network lost it. Used to exercise carry-over replay
+/// (dropped shards' workers stay idle and re-enter the next batch's
+/// admission) without standing up the simulated network.
+using ShardFaultHook = std::function<bool(int batch, int shard)>;
+
 /// One shard's self-contained CA-SC sub-instance plus the index maps
 /// back into the global instance. The local instance holds the shard's
 /// interior workers and tasks under local indices, a zero-copy
@@ -67,12 +74,39 @@ class ShardExecutor {
   /// skipped shards). The solvers draw their scratch state from this
   /// executor's per-shard workspaces; a non-null `global_workspace`
   /// additionally pools the folded global assignment.
+  /// A non-null `fault_hook` is consulted per shard (with `batch_index`)
+  /// during the serial fold: a dropped shard's local result is discarded
+  /// — its workers stay idle in the returned assignment — and the shard
+  /// index is appended to `dropped_shards` (if non-null).
   Assignment Run(const Instance& global,
                  const std::vector<ShardProblem>& problems,
                  const AssignerFactory& factory,
                  std::vector<double>* shard_seconds,
                  BatchWorkspace* global_workspace = nullptr,
-                 std::vector<AssignerStats>* shard_stats = nullptr);
+                 std::vector<AssignerStats>* shard_stats = nullptr,
+                 const ShardFaultHook& fault_hook = nullptr,
+                 int batch_index = 0,
+                 std::vector<int>* dropped_shards = nullptr);
+
+  /// Solves one shard problem with a factory-made assigner — the unit of
+  /// work a simulated shard node performs on dispatch. Returns nullopt
+  /// for an empty shard (no workers or no tasks). Thread-safe given a
+  /// private `workspace` (may be null). Run() is equivalent to
+  /// SolveProblem on every shard (any order/concurrency) followed by
+  /// FoldProblem in ascending shard order.
+  static std::optional<Assignment> SolveProblem(const ShardProblem& problem,
+                                                const AssignerFactory& factory,
+                                                BatchWorkspace* workspace,
+                                                double* seconds = nullptr,
+                                                AssignerStats* stats = nullptr);
+
+  /// Folds one shard's local assignment into the global assignment using
+  /// the problem's index maps (local insertion order, so folding shards
+  /// in ascending shard order reproduces Run()'s fold bit-identically —
+  /// shards share no workers and no tasks, making per-shard folds
+  /// commutative across shards).
+  static void FoldProblem(const ShardProblem& problem, const Assignment& local,
+                          Assignment* global);
 
   /// Returns the problems' CSR pair indexes to the per-shard workspaces
   /// so the next batch's BuildProblems reuses their capacity. The

@@ -572,5 +572,71 @@ TEST(AccumulatingTimerTest, StopWithoutStartIsNoop) {
   EXPECT_DOUBLE_EQ(timer.TotalSeconds(), 0.0);
 }
 
+TEST(QuantileSketchTest, EmptySketchReturnsZero) {
+  QuantileSketch sketch;
+  EXPECT_EQ(sketch.Count(), 0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(1.0), 0.0);
+}
+
+TEST(QuantileSketchTest, SingleSampleIsEveryQuantile) {
+  QuantileSketch sketch;
+  sketch.Add(3.25);
+  EXPECT_EQ(sketch.Count(), 1);
+  for (const double p : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(sketch.Quantile(p), 3.25) << "p=" << p;
+  }
+}
+
+TEST(QuantileSketchTest, TwoSamplesInterpolateLinearly) {
+  QuantileSketch sketch;
+  sketch.Add(10.0);
+  sketch.Add(2.0);  // insertion order must not matter
+  EXPECT_EQ(sketch.Count(), 2);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.5), 6.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.25), 4.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(1.0), 10.0);
+}
+
+TEST(QuantileSketchTest, ExactUnderCapacity) {
+  QuantileSketch sketch(128);
+  for (int i = 100; i >= 0; --i) sketch.Add(static_cast<double>(i));
+  EXPECT_EQ(sketch.Count(), 101);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(1.0), 100.0);
+}
+
+TEST(QuantileSketchTest, ThinningKeepsQuantilesApproximateAndDeterministic) {
+  QuantileSketch a(64);
+  QuantileSketch b(64);
+  for (int i = 0; i < 10000; ++i) {
+    a.Add(static_cast<double>(i));
+    b.Add(static_cast<double>(i));
+  }
+  EXPECT_EQ(a.Count(), 10000);
+  // Deterministic: no RNG anywhere, so two identical streams agree.
+  for (const double p : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(a.Quantile(p), b.Quantile(p)) << "p=" << p;
+  }
+  // Systematic thinning keeps the sample spread over the whole stream.
+  EXPECT_NEAR(a.Quantile(0.5), 5000.0, 1000.0);
+  EXPECT_NEAR(a.Quantile(0.9), 9000.0, 1000.0);
+  EXPECT_LE(a.Quantile(0.0), 1000.0);
+  EXPECT_GE(a.Quantile(1.0), 9000.0);
+}
+
+TEST(QuantileSketchTest, ResetEmptiesTheSketch) {
+  QuantileSketch sketch(8);
+  for (int i = 0; i < 100; ++i) sketch.Add(static_cast<double>(i));
+  sketch.Reset();
+  EXPECT_EQ(sketch.Count(), 0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.5), 0.0);
+  sketch.Add(7.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.5), 7.0);
+}
+
 }  // namespace
 }  // namespace casc

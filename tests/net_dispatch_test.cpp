@@ -1,0 +1,357 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "algo/gt_assigner.h"
+#include "common/rng.h"
+#include "gen/synthetic.h"
+#include "model/objective.h"
+#include "net/net_dispatch.h"
+#include "sim/event_stream.h"
+
+namespace casc {
+namespace {
+
+AssignerFactory GtFactory() {
+  return [] { return std::make_unique<GtAssigner>(); };
+}
+
+Instance SmallInstance(int num_workers, int num_tasks, uint64_t seed) {
+  SyntheticInstanceConfig config;
+  config.num_workers = num_workers;
+  config.num_tasks = num_tasks;
+  Rng rng(seed);
+  return GenerateSyntheticInstance(config, /*now=*/0.0, &rng);
+}
+
+ShardedOptions MakeOptions(int shards_per_side, int num_threads = 1) {
+  ShardedOptions options;
+  options.shards_per_side = shards_per_side;
+  options.num_threads = num_threads;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity: zero-delay zero-loss network == in-process ShardedAssigner
+// ---------------------------------------------------------------------------
+
+TEST(NetDispatchTest, ZeroFaultNetworkBitIdenticalToInProcess) {
+  for (const uint64_t seed : {1u, 7u, 23u}) {
+    const Instance instance = SmallInstance(240, 80, seed);
+    for (const int s_per_side : {1, 2, 4}) {
+      ShardedAssigner in_process(MakeOptions(s_per_side), GtFactory());
+      const Assignment expected = in_process.Run(instance);
+
+      DistributedConfig dist;
+      dist.num_nodes = 3;
+      NetShardedAssigner net(MakeOptions(s_per_side), dist, GtFactory());
+      const Assignment actual = net.Solve(instance);
+      EXPECT_EQ(actual.Pairs(), expected.Pairs())
+          << "seed " << seed << " S " << s_per_side;
+      EXPECT_GT(net.metrics().net_messages, 0);
+      EXPECT_EQ(net.metrics().net_dropped, 0);
+      EXPECT_EQ(net.metrics().lost_shards, 0);
+      EXPECT_EQ(net.metrics().net_failovers, 0);
+    }
+  }
+}
+
+TEST(NetDispatchTest, DelaysAndJitterReorderArrivalsButNotTheResult) {
+  // Jittered per-link delays permute the order shard results reach the
+  // coordinator; the ascending-shard fold makes the assignment identical
+  // anyway — the end-to-end order-independence property.
+  const Instance instance = SmallInstance(260, 90, 5);
+  ShardedAssigner in_process(MakeOptions(3), GtFactory());
+  const Assignment expected = in_process.Run(instance);
+  for (const uint64_t net_seed : {11u, 12u, 13u}) {
+    DistributedConfig dist;
+    dist.num_nodes = 4;
+    dist.network.base_delay = 0.01;
+    dist.network.jitter = 0.05;
+    dist.network.solve_seconds = 0.02;
+    dist.network.seed = net_seed;
+    dist.protocol.retry_timeout = 10.0;  // delays alone must not retry
+    NetShardedAssigner net(MakeOptions(3), dist, GtFactory());
+    const Assignment actual = net.Solve(instance);
+    EXPECT_EQ(actual.Pairs(), expected.Pairs()) << "net seed " << net_seed;
+    EXPECT_EQ(net.metrics().net_retries, 0);
+  }
+}
+
+TEST(NetDispatchTest, DropsWithRetriesStillConvergeToTheSameAssignment) {
+  // Retries re-draw the drop coin, so with enough attempts every shard
+  // result eventually lands and the batch is bit-identical to the
+  // fault-free run: drops cost latency and bytes, not quality.
+  const Instance instance = SmallInstance(220, 70, 9);
+  ShardedAssigner in_process(MakeOptions(2), GtFactory());
+  const Assignment expected = in_process.Run(instance);
+
+  DistributedConfig dist;
+  dist.num_nodes = 3;
+  dist.network.drop_rate = 0.25;
+  dist.network.base_delay = 0.01;
+  dist.protocol.retry_timeout = 0.1;
+  dist.protocol.max_attempts = 12;  // enough that loss of a shard is
+                                    // astronomically unlikely
+  NetShardedAssigner net(MakeOptions(2), dist, GtFactory());
+  const Assignment actual = net.Solve(instance);
+  EXPECT_EQ(actual.Pairs(), expected.Pairs());
+  EXPECT_EQ(net.metrics().lost_shards, 0);
+  EXPECT_GT(net.metrics().net_dropped, 0);
+  EXPECT_GT(net.metrics().net_retries, 0);
+}
+
+TEST(NetDispatchTest, ReplaySameConfigSameSeedIsIdentical) {
+  const Instance instance = SmallInstance(200, 60, 3);
+  const auto run = [&](uint64_t seed) {
+    DistributedConfig dist;
+    dist.num_nodes = 3;
+    dist.network.drop_rate = 0.2;
+    dist.network.jitter = 0.02;
+    dist.network.seed = seed;
+    dist.protocol.retry_timeout = 0.1;
+    dist.protocol.max_attempts = 10;
+    NetShardedAssigner net(MakeOptions(2), dist, GtFactory());
+    Assignment assignment = net.Solve(instance);
+    return std::make_pair(assignment.Pairs(), net.net_stats().messages_sent);
+  };
+  const auto [pairs_a, sent_a] = run(77);
+  const auto [pairs_b, sent_b] = run(77);
+  EXPECT_EQ(pairs_a, pairs_b);
+  EXPECT_EQ(sent_a, sent_b);
+}
+
+// ---------------------------------------------------------------------------
+// Failover
+// ---------------------------------------------------------------------------
+
+TEST(NetDispatchTest, DeadNodeFailsOverAndTheBatchStillMatches) {
+  // Node 1 is down from the start and never returns. Its shards fail
+  // over to the survivors; since every solver is deterministic the final
+  // assignment still matches the in-process run exactly.
+  const Instance instance = SmallInstance(240, 80, 13);
+  ShardedAssigner in_process(MakeOptions(2), GtFactory());
+  const Assignment expected = in_process.Run(instance);
+
+  DistributedConfig dist;
+  dist.num_nodes = 3;
+  dist.network.crashes.push_back({/*node=*/1, /*time=*/0.0,
+                                  /*restart_time=*/-1.0});
+  dist.protocol.retry_timeout = 0.05;
+  dist.protocol.max_attempts = 2;
+  NetShardedAssigner net(MakeOptions(2), dist, GtFactory());
+  const Assignment actual = net.Solve(instance);
+  EXPECT_EQ(actual.Pairs(), expected.Pairs());
+  EXPECT_GT(net.metrics().net_failovers, 0);
+  EXPECT_EQ(net.metrics().lost_shards, 0);
+  EXPECT_TRUE(actual.Validate(instance).ok());
+}
+
+TEST(NetDispatchTest, AllNodesDeadLosesShardsButCommitsAValidBatch) {
+  // Every solver node is gone: all shards are lost and their workers are
+  // absorbed into the coordinator's reconcile passes, which still commit
+  // a valid assignment (degraded, not deadlocked).
+  const Instance instance = SmallInstance(150, 50, 21);
+  DistributedConfig dist;
+  dist.num_nodes = 2;
+  dist.network.crashes.push_back({1, 0.0, -1.0});
+  dist.network.crashes.push_back({2, 0.0, -1.0});
+  dist.protocol.retry_timeout = 0.05;
+  dist.protocol.max_attempts = 2;
+  NetShardedAssigner net(MakeOptions(2), dist, GtFactory());
+  const Assignment assignment = net.Solve(instance);
+  EXPECT_TRUE(assignment.Validate(instance).ok());
+  EXPECT_GT(net.metrics().lost_shards, 0);
+  // The reconcile passes (same-code greedy insert + seed + polish over
+  // the absorbed workers) recover real work even with zero solver nodes.
+  EXPECT_GT(assignment.NumAssigned(), 0);
+}
+
+TEST(NetDispatchTest, RestartedNodeReSolvesAfterCacheLoss) {
+  // Crash node 1 mid-run with a restart: batches after the restart
+  // dispatch to it again and it re-solves from a clean slate.
+  const Instance instance = SmallInstance(200, 60, 31);
+  DistributedConfig dist;
+  dist.num_nodes = 2;
+  dist.network.solve_seconds = 0.1;
+  dist.network.crashes.push_back({1, 0.05, 0.3});
+  dist.protocol.retry_timeout = 0.2;
+  dist.protocol.max_attempts = 4;
+  dist.protocol.heartbeat_interval = 0.1;
+  NetShardedAssigner net(MakeOptions(2), dist, GtFactory());
+  const Assignment first = net.Solve(instance);
+  EXPECT_TRUE(first.Validate(instance).ok());
+  // Second batch on the same network: node 1 restarted and serves again.
+  const Assignment second = net.Solve(instance);
+  EXPECT_EQ(first.Pairs(), second.Pairs());
+  EXPECT_EQ(net.simulator().stats().crashes, 1);
+  EXPECT_EQ(net.simulator().stats().restarts, 1);
+}
+
+// ---------------------------------------------------------------------------
+// DispatchService integration & the kill switch
+// ---------------------------------------------------------------------------
+
+/// Streaming scenario on one global matrix (mirrors sharded_dispatch_test).
+struct ServiceFixture {
+  std::vector<Worker> workers;
+  std::vector<Task> tasks;
+  CooperationMatrix coop;
+
+  ServiceFixture(int m, int n, double horizon, uint64_t seed) : coop(m) {
+    Rng rng(seed);
+    for (int i = 0; i < m; ++i) {
+      Worker worker;
+      worker.id = i;
+      worker.location = {rng.Uniform(), rng.Uniform()};
+      worker.speed = 0.2;
+      worker.radius = 0.4;
+      worker.arrival_time = rng.Uniform(0.0, horizon);
+      workers.push_back(worker);
+    }
+    for (int j = 0; j < n; ++j) {
+      Task task;
+      task.id = j;
+      task.location = {rng.Uniform(), rng.Uniform()};
+      task.create_time = rng.Uniform(0.0, horizon);
+      task.deadline = task.create_time + 3.0;
+      task.capacity = 4;
+      tasks.push_back(task);
+    }
+    for (int i = 0; i < m; ++i) {
+      for (int k = i + 1; k < m; ++k) {
+        coop.SetSymmetric(i, k, rng.Uniform());
+      }
+    }
+  }
+};
+
+TEST(DistributedDispatchServiceTest, StreamingMatchesInProcessAtZeroFaults) {
+  const ServiceFixture fixture(60, 24, 4.0, 71);
+  const EventStream stream(fixture.workers, fixture.tasks);
+  DispatchConfig config;
+  config.sharded = MakeOptions(2);
+  config.min_group_size = 3;
+
+  DispatchService in_process(config, &fixture.coop, GtFactory());
+  const RunSummary expected = in_process.Run(stream);
+
+  DistributedConfig dist;
+  dist.num_nodes = 3;
+  DistributedDispatchService distributed(config, dist, &fixture.coop,
+                                         GtFactory());
+  ASSERT_TRUE(distributed.distributed());
+  const RunSummary actual = distributed.Run(stream);
+
+  ASSERT_EQ(actual.batches.size(), expected.batches.size());
+  for (size_t i = 0; i < expected.batches.size(); ++i) {
+    EXPECT_DOUBLE_EQ(actual.batches[i].score, expected.batches[i].score);
+    EXPECT_EQ(actual.batches[i].assigned_workers,
+              expected.batches[i].assigned_workers);
+    EXPECT_EQ(actual.batches[i].completed_tasks,
+              expected.batches[i].completed_tasks);
+  }
+  // The distributed path reported real network activity per batch.
+  bool saw_messages = false;
+  for (const ServiceMetrics& metrics :
+       distributed.service().batch_metrics()) {
+    if (metrics.net_messages > 0) saw_messages = true;
+  }
+  EXPECT_TRUE(saw_messages);
+}
+
+TEST(DistributedDispatchServiceTest, KillSwitchForcesInProcessPath) {
+  const ServiceFixture fixture(30, 10, 2.0, 5);
+  DispatchConfig config;
+  config.sharded = MakeOptions(2);
+  DistributedConfig dist;
+  ASSERT_EQ(setenv("CASC_NO_DISTRIBUTED", "1", 1), 0);
+  DistributedDispatchService service(config, dist, &fixture.coop,
+                                     GtFactory());
+  unsetenv("CASC_NO_DISTRIBUTED");
+  EXPECT_FALSE(service.distributed());
+  EXPECT_EQ(service.net_solver(), nullptr);
+
+  DistributedConfig disabled;
+  disabled.enabled = false;
+  DistributedDispatchService service2(config, disabled, &fixture.coop,
+                                      GtFactory());
+  EXPECT_FALSE(service2.distributed());
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection fuzz: validity, termination, retention
+// ---------------------------------------------------------------------------
+
+/// Retention floor the fuzz asserts: even under drops, a partition window
+/// and a node crash, a batch must keep at least this fraction of the
+/// fault-free run's assigned workers (failover + absorption make the
+/// realistic outcome 100%; the floor guards the degraded worst case).
+constexpr double kRetentionFloor = 0.25;
+
+TEST(NetDispatchFuzzTest, SeededFaultsPreserveValidityTerminationRetention) {
+  const Instance instance = SmallInstance(140, 48, 77);
+  ShardedAssigner in_process(MakeOptions(2), GtFactory());
+  const Assignment baseline = in_process.Run(instance);
+  const int baseline_assigned = baseline.NumAssigned();
+  ASSERT_GT(baseline_assigned, 0);
+
+  int identical = 0;
+  int degraded = 0;
+  for (uint64_t seed = 0; seed < 100; ++seed) {
+    Rng rng(seed * 2654435761u + 1);
+    DistributedConfig dist;
+    dist.num_nodes = 3;
+    dist.network.seed = seed + 1;
+    dist.network.drop_rate = rng.Uniform(0.0, 0.4);
+    dist.network.base_delay = rng.Uniform(0.0, 0.05);
+    dist.network.jitter = rng.Uniform(0.0, 0.02);
+    dist.network.solve_seconds = rng.Uniform(0.0, 0.05);
+    // One partition window separating one node from the rest.
+    NetPartition partition;
+    partition.start = rng.Uniform(0.0, 0.5);
+    partition.end = partition.start + rng.Uniform(0.1, 1.5);
+    partition.island = {static_cast<NodeId>(1 + seed % 3)};
+    dist.network.partitions.push_back(partition);
+    // One crash; 50% of the seeds let the node come back.
+    CrashEvent crash;
+    crash.node = static_cast<NodeId>(1 + (seed / 3) % 3);
+    crash.time = rng.Uniform(0.0, 0.5);
+    crash.restart_time =
+        rng.Bernoulli(0.5) ? crash.time + rng.Uniform(0.1, 1.0) : -1.0;
+    dist.network.crashes.push_back(crash);
+    // Arbitrary timeout/retry settings: termination must not depend on
+    // them being tuned.
+    dist.protocol.retry_timeout = rng.Uniform(0.02, 0.5);
+    dist.protocol.retry_backoff = rng.Bernoulli(0.5) ? 1.0 : 2.0;
+    dist.protocol.max_attempts = 1 + static_cast<int>(rng.Uniform(0.0, 6.0));
+    dist.protocol.heartbeat_interval =
+        rng.Bernoulli(0.5) ? 0.0 : rng.Uniform(0.05, 0.3);
+
+    NetShardedAssigner net(MakeOptions(2), dist, GtFactory());
+    // Termination: Solve CHECK-fails (and kills the test) if the
+    // protocol stalls or blows the event budget.
+    const Assignment assignment = net.Solve(instance);
+
+    const Status status = assignment.Validate(instance);
+    ASSERT_TRUE(status.ok()) << "seed " << seed << ": " << status.message();
+    const double retention = static_cast<double>(assignment.NumAssigned()) /
+                             static_cast<double>(baseline_assigned);
+    EXPECT_GE(retention, kRetentionFloor) << "seed " << seed;
+    if (net.metrics().lost_shards == 0 &&
+        assignment.Pairs() == baseline.Pairs()) {
+      ++identical;
+    } else {
+      ++degraded;
+    }
+  }
+  // With bounded faults and failover, most seeds recover the exact
+  // fault-free assignment; all of them stay valid and above the floor.
+  EXPECT_GT(identical, 50) << "identical=" << identical
+                           << " degraded=" << degraded;
+}
+
+}  // namespace
+}  // namespace casc

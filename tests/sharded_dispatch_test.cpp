@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <numeric>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -380,6 +383,99 @@ TEST(DispatchServiceTest, StreamingCarriesAdmissionOverflow) {
   // The budget defers work but the queue keeps it alive: something still
   // completes over the run.
   EXPECT_GT(summary.TotalCompletedTasks(), 0);
+}
+
+TEST(ShardedAssignerTest, ShardResultArrivalOrderDoesNotMatter) {
+  // Solve every shard independently, then replay the results at the
+  // reconciler in several arrival orders. Shards share no workers and no
+  // tasks, so the folds commute and every order must reproduce the
+  // executor's ascending-order result bit-for-bit — the property the
+  // distributed coordinator leans on when network jitter permutes shard
+  // result arrivals.
+  const Instance instance = SmallInstance(200, 60, 17);
+  ShardedOptions options = MakeOptions(2, 1);
+  ShardedAssigner reference(options, GtFactory());
+  const Assignment expected = reference.Run(instance);
+
+  ShardMapConfig map_config;
+  map_config.shards_per_side = options.shards_per_side;
+  const ShardMap map(instance.workers(), instance.tasks(), map_config);
+  ShardExecutor executor(1);
+  const std::vector<ShardProblem> problems =
+      executor.BuildProblems(instance, map);
+
+  std::vector<std::optional<Assignment>> locals;
+  for (const ShardProblem& problem : problems) {
+    locals.push_back(
+        ShardExecutor::SolveProblem(problem, GtFactory(), nullptr));
+  }
+
+  std::vector<int> order(problems.size());
+  std::iota(order.begin(), order.end(), 0);
+  const BoundaryReconciler reconciler(options.reconcile);
+  for (int variant = 0; variant < 3; ++variant) {
+    if (variant == 1) std::reverse(order.begin(), order.end());
+    if (variant == 2) std::rotate(order.begin(), order.begin() + 1,
+                                  order.end());
+    Assignment assignment(instance);
+    for (const int shard : order) {
+      if (locals[shard].has_value()) {
+        ShardExecutor::FoldProblem(problems[shard], *locals[shard],
+                                   &assignment);
+      }
+    }
+    reconciler.Reconcile(instance, map.boundary_workers(), &assignment);
+    EXPECT_EQ(assignment.Pairs(), expected.Pairs()) << "variant " << variant;
+  }
+}
+
+TEST(DispatchServiceTest, DroppedShardResultReplaysItsWorkersNextBatch) {
+  // All workers arrive at t=0 and there is a single shard. The fault
+  // hook swallows that shard's batch-0 result — exactly as if the
+  // network lost it — so nobody starts a task and every worker must
+  // re-enter batch 1's admission. The fault-free run keeps its batch-0
+  // assignees busy (task_duration > batch_interval) and fields fewer
+  // workers in batch 1.
+  ServiceFixture fixture(36, 16, 2.0, 91);
+  for (Worker& worker : fixture.workers) worker.arrival_time = 0.0;
+  for (int j = 0; j < 16; ++j) {
+    fixture.tasks[j].create_time = j < 8 ? 0.0 : 1.0;
+    fixture.tasks[j].deadline = fixture.tasks[j].create_time + 3.0;
+  }
+  const EventStream stream(fixture.workers, fixture.tasks);
+
+  const auto run = [&](bool fault) {
+    DispatchConfig config;
+    config.sharded = MakeOptions(1, 1);
+    config.batch_interval = 1.0;
+    config.task_duration = 5.0;  // batch-0 assignees stay busy in batch 1
+    if (fault) {
+      config.sharded.fault_hook = [](int batch, int shard) {
+        return batch == 0 && shard == 0;
+      };
+    }
+    DispatchService service(config, &fixture.coop, GtFactory());
+    const RunSummary summary = service.Run(stream);
+    return std::make_pair(summary, service.batch_metrics());
+  };
+  const auto [clean, clean_metrics] = run(false);
+  const auto [faulty, fault_metrics] = run(true);
+
+  ASSERT_GE(clean.batches.size(), 2u);
+  ASSERT_GE(faulty.batches.size(), 2u);
+  ASSERT_GT(clean.batches[0].assigned_workers, 0);
+
+  // The dropped shard assigned nobody and was reported lost.
+  EXPECT_EQ(faulty.batches[0].assigned_workers, 0);
+  EXPECT_EQ(fault_metrics[0].lost_shards, 1);
+  EXPECT_EQ(clean_metrics[0].lost_shards, 0);
+
+  // Carry-over replay: every worker re-enters batch 1 after the loss,
+  // whereas the clean run's batch-0 assignees are still out working.
+  EXPECT_EQ(faulty.batches[1].num_workers, 36);
+  EXPECT_EQ(clean.batches[1].num_workers,
+            36 - clean.batches[0].assigned_workers);
+  EXPECT_GT(faulty.batches[1].num_workers, clean.batches[1].num_workers);
 }
 
 TEST(DispatchServiceDeathTest, StreamingRejectsNonDenseWorkerIds) {

@@ -17,8 +17,13 @@
 #        ingest, on a carry-over-heavy rush-hour trace: steady-state
 #        per-batch build+solve seconds plus p50/p99 batch latency; the
 #        binary aborts if any combination changes a batch output)
+#   PR7  distributed dispatch over the simulated network (protocol
+#        overhead vs the in-process engine at zero faults -- the binary
+#        aborts unless the two are bit-identical -- plus retention,
+#        retries, failovers and RTT quantiles across a drop-rate sweep
+#        and a node-crash scenario)
 #
-# Usage: tools/run_bench.sh [pr1|pr2|pr3|pr5|pr6|all] [OUT_JSON]
+# Usage: tools/run_bench.sh [pr1|pr2|pr3|pr5|pr6|pr7|all] [OUT_JSON]
 #   pr1|pr2|all  which suite to run (default all)
 #   OUT_JSON     output override for a single suite
 # Env:
@@ -78,21 +83,30 @@ run_pr5() {
   echo "wrote $out"
 }
 
+run_pr7() {
+  local out="${1:-BENCH_PR7.json}"
+  cmake --build "$BUILD_DIR" -j --target bench_net_dispatch >/dev/null
+  "$BUILD_DIR/bench/bench_net_dispatch" --json="$out" ${BENCH_ARGS:-}
+  echo "wrote $out"
+}
+
 case "$SUITE" in
   pr1) run_pr1 "${2:-}" ;;
   pr2) run_pr2 "${2:-}" ;;
   pr3) run_pr3 "${2:-}" ;;
   pr5) run_pr5 "${2:-}" ;;
   pr6) run_pr6 "${2:-}" ;;
+  pr7) run_pr7 "${2:-}" ;;
   all)
     run_pr1
     run_pr2
     run_pr3
     run_pr5
     run_pr6
+    run_pr7
     ;;
   *)
-    echo "usage: tools/run_bench.sh [pr1|pr2|pr3|pr5|pr6|all] [OUT_JSON]" >&2
+    echo "usage: tools/run_bench.sh [pr1|pr2|pr3|pr5|pr6|pr7|all] [OUT_JSON]" >&2
     exit 1
     ;;
 esac
