@@ -30,6 +30,10 @@ struct AssignerStats {
   /// Candidate tasks (or swap trials) skipped because their upper bound
   /// could not beat the incumbent — work the pruning screen saved.
   int64_t prune_candidates_skipped = 0;
+  /// Candidate joins rejected by the objective's group-feasibility
+  /// predicate before any utility work (ObjectiveModel::JoinFeasible).
+  /// Always 0 for the default CA-SC objective.
+  int64_t feasibility_rejects = 0;
   /// Objective value of the initialization (TPG score for GT).
   double init_score = 0.0;
   /// Objective value of the returned assignment.

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "model/objective.h"
+#include "model/objective_model.h"
 
 namespace casc {
 namespace {
@@ -62,8 +63,18 @@ BestResponse ComputeBestResponse(const Instance& instance,
   best.utility =
       StrategyUtility(instance, assignment, w, current, &best.crowded_out);
 
+  // The strategy space is the *feasible* valid tasks (plus staying and
+  // idling): objectives with a non-trivial join predicate restrict the
+  // deviations a worker may even consider. IsNashEquilibrium applies the
+  // same filter, so the equilibrium notion stays consistent.
+  const ObjectiveModel& objective = instance.objective();
+  const bool filter_joins = !objective.AlwaysJoinFeasible();
   for (const TaskIndex t : instance.ValidTasks(w)) {
     if (t == current) continue;
+    if (filter_joins &&
+        !objective.JoinFeasible(instance, t, assignment.GroupOf(t), w)) {
+      continue;
+    }
     WorkerIndex crowded = kNoWorker;
     const double utility =
         StrategyUtility(instance, assignment, w, t, &crowded);
@@ -115,7 +126,12 @@ double StrategyUtility(const Instance& instance, const ScoreKeeper& keeper,
   }
   double joined_score = 0.0;
   if (static_cast<int>(group.size()) >= instance.min_group_size()) {
-    joined_score = instance.coop().PairSum(best) / (capacity - 1);
+    // The surviving subset is scored by the objective (a crowd-out can
+    // break skill coverage); for the default objective this is exactly
+    // the historical PairSum(best) / (capacity - 1).
+    joined_score = instance.objective().ScoreGroup(
+        instance, t, best, kNoWorker, kNoWorker,
+        instance.coop().PairSum(best), capacity);
   }
   return joined_score - keeper.TaskScore(t);
 }
@@ -154,6 +170,18 @@ BestResponse ComputeBestResponse(const Instance& instance,
   best.utility = StrategyUtility(instance, keeper, assignment, w, current,
                                  &best.crowded_out);
   const bool do_prune = prune && !PruningDisabledByEnv();
+  const ObjectiveModel& objective = instance.objective();
+  // Hoisted so the default objective pays no per-candidate virtual call
+  // for a predicate that is constantly true.
+  const bool filter_joins = !objective.AlwaysJoinFeasible();
+  const auto join_feasible = [&](TaskIndex t) {
+    if (!filter_joins) return true;
+    if (objective.JoinFeasible(instance, t, keeper.GroupOf(t), w)) {
+      return true;
+    }
+    if (counters != nullptr) ++counters->feasibility_rejects;
+    return false;
+  };
 
   if (!do_prune) {
     // Unpruned scan: every non-full candidate's joining gain comes from
@@ -165,6 +193,10 @@ BestResponse ComputeBestResponse(const Instance& instance,
     candidates.clear();
     for (const TaskIndex t : instance.ValidTasks(w)) {
       if (t == current) continue;
+      if (filter_joins &&
+          !objective.JoinFeasible(instance, t, keeper.GroupOf(t), w)) {
+        continue;  // counted once, in the replay loop below
+      }
       const int capacity =
           instance.tasks()[static_cast<size_t>(t)].capacity;
       if (static_cast<int>(keeper.GroupOf(t).size()) < capacity) {
@@ -176,6 +208,7 @@ BestResponse ComputeBestResponse(const Instance& instance,
     size_t next = 0;
     for (const TaskIndex t : instance.ValidTasks(w)) {
       if (t == current) continue;
+      if (!join_feasible(t)) continue;
       WorkerIndex crowded = kNoWorker;
       double utility;
       if (next < candidates.size() && candidates[next] == t) {
@@ -194,6 +227,7 @@ BestResponse ComputeBestResponse(const Instance& instance,
   } else {
     for (const TaskIndex t : instance.ValidTasks(w)) {
       if (t == current) continue;
+      if (!join_feasible(t)) continue;
       const int capacity =
           instance.tasks()[static_cast<size_t>(t)].capacity;
       if (static_cast<int>(keeper.GroupOf(t).size()) < capacity) {
@@ -313,12 +347,21 @@ MoveResult ApplyMove(const Instance& instance, Assignment* assignment,
 
 bool IsNashEquilibrium(const Instance& instance,
                        const Assignment& assignment, double tolerance) {
+  const ObjectiveModel& objective = instance.objective();
+  const bool filter_joins = !objective.AlwaysJoinFeasible();
   for (WorkerIndex w = 0; w < instance.num_workers(); ++w) {
     const TaskIndex current = assignment.TaskOf(w);
     const double current_utility =
         StrategyUtility(instance, assignment, w, current, nullptr);
     for (const TaskIndex t : instance.ValidTasks(w)) {
       if (t == current) continue;
+      // Deviations are restricted to objective-feasible joins — the same
+      // filter ComputeBestResponse applies, so "no improving move" and
+      // "equilibrium" quantify over the same strategy space.
+      if (filter_joins &&
+          !objective.JoinFeasible(instance, t, assignment.GroupOf(t), w)) {
+        continue;
+      }
       const double utility =
           StrategyUtility(instance, assignment, w, t, nullptr);
       if (utility > current_utility + tolerance) return false;

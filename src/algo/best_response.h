@@ -62,6 +62,9 @@ BestResponse ComputeBestResponse(const Instance& instance,
 struct PruneCounters {
   int64_t evaluated = 0;  ///< candidates whose exact utility was computed
   int64_t pruned = 0;     ///< candidates skipped on their upper bound
+  /// Candidates rejected by ObjectiveModel::JoinFeasible before any
+  /// utility work (always 0 for objectives with a trivial predicate).
+  int64_t feasibility_rejects = 0;
 };
 
 /// True when the CASC_NO_PRUNE environment variable force-disables

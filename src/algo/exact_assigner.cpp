@@ -6,6 +6,7 @@
 #include "algo/upper_bound.h"
 #include "common/check.h"
 #include "model/objective.h"
+#include "model/objective_model.h"
 
 namespace casc {
 namespace {
@@ -29,12 +30,17 @@ struct SearchState {
 
 double CurrentScore(const SearchState& state) {
   const Instance& instance = *state.instance;
+  const ObjectiveModel& objective = instance.objective();
   double total = 0.0;
   for (TaskIndex t = 0; t < instance.num_tasks(); ++t) {
-    const int size =
-        static_cast<int>(state.groups[static_cast<size_t>(t)].size());
+    const auto& group = state.groups[static_cast<size_t>(t)];
+    const int size = static_cast<int>(group.size());
     if (size >= instance.min_group_size()) {
-      total += state.pair_sums[static_cast<size_t>(t)] / (size - 1);
+      // The search never overfills a task (the capacity gate below), so
+      // the objective sees |group| <= a_j and no best-subset crowding.
+      total += objective.ScoreGroup(instance, t, group, kNoWorker, kNoWorker,
+                                    state.pair_sums[static_cast<size_t>(t)],
+                                    size);
     }
   }
   return total;
@@ -57,6 +63,15 @@ void Search(SearchState* state, WorkerIndex w) {
   // assigned at their ceilings. (The current *partial score* is not a
   // valid base — later joins can raise earlier workers' averages — so the
   // bound uses ceilings for the assigned prefix too.)
+  //
+  // Objective-variant admissibility: the ceilings bound the *cooperation
+  // term* of Equation 2, so this prune stays exact for any objective
+  // whose ScoreGroup is pointwise <= that term (e.g. multiskill, which
+  // only gates groups to 0). This is the same discount-variant
+  // obligation as ScoreKeeper::JoinBound; an objective that adds a
+  // positive regularizer on top of the cooperation term must not be run
+  // through ExactAssigner without widening these ceilings (see
+  // ObjectiveModel::BoundFromSum docs).
   if (state->best_score >= 0.0 &&
       state->assigned_ceiling +
               state->suffix_bound[static_cast<size_t>(w)] <=
@@ -85,6 +100,13 @@ void Search(SearchState* state, WorkerIndex w) {
     state->pair_sums[static_cast<size_t>(t)] -= added;
   };
 
+  // Deliberately no ObjectiveModel::JoinFeasible gate here: skill
+  // coverage grows as members are added, so a join that looks futile
+  // against the partial group (worker holds none of the missing skills)
+  // can still belong to the optimum once a later worker covers them.
+  // Branch elimination by JoinFeasible is only sound for marginal moves
+  // against a fixed group — the best-response scans — never for an
+  // exhaustive search. Infeasible leaves simply score 0 via ScoreGroup.
   for (const TaskIndex t : instance.ValidTasks(w)) {
     if (static_cast<int>(state->groups[static_cast<size_t>(t)].size()) <
         instance.tasks()[static_cast<size_t>(t)].capacity) {

@@ -186,6 +186,7 @@ int64_t GtAssigner::Round(const Instance& instance,
     }
     stats_.prune_candidates_evaluated += counters.evaluated;
     stats_.prune_candidates_skipped += counters.pruned;
+    stats_.feasibility_rejects += counters.feasibility_rejects;
     ++stats_.best_response_evals;
     if (best.task == current) continue;
     const double current_utility =

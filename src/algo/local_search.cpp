@@ -8,6 +8,7 @@
 #include "algo/best_response.h"
 #include "common/check.h"
 #include "model/objective.h"
+#include "model/objective_model.h"
 
 namespace casc {
 namespace {
@@ -51,14 +52,16 @@ int64_t LocalSearchAssigner::ImprovementPass(
     const auto it = std::find(group.begin(), group.end(), w);
     CASC_CHECK(it != group.end());
     group.erase(it);
+    // The mirror already reflects the trial removal, so it doubles as
+    // the membership the objective scores against.
     keeper->ApplyDelta(t, -affinity(group, w),
-                       static_cast<int>(group.size()));
+                       static_cast<int>(group.size()), group);
   };
   const auto add_to = [&](TaskIndex t, WorkerIndex w) {
     std::vector<WorkerIndex>& group = (*mirror)[static_cast<size_t>(t)];
     const double added = affinity(group, w);
     group.push_back(w);
-    keeper->ApplyDelta(t, added, static_cast<int>(group.size()));
+    keeper->ApplyDelta(t, added, static_cast<int>(group.size()), group);
   };
 
   const bool prune = options_.use_pruning && !PruningDisabledByEnv();
@@ -71,14 +74,18 @@ int64_t LocalSearchAssigner::ImprovementPass(
   // round-up fixed-point ticks, so the product is exact and converts to
   // double without losing the >= guarantee. A group that stays below B
   // (or below size 2) scores zero no matter who swaps in.
+  // The pair-sum ceiling feeds the objective's BoundFromSum, so the
+  // bound stays admissible for any discount variant (a skill-gated
+  // group's true score is at most its cooperation term).
   const auto swap_score_bound = [&](TaskIndex t, int g,
                                     WorkerIndex incoming) {
     if (g < b_min || g < 2) return 0.0;
-    return (keeper->TaskPairSum(t) +
-            std::ldexp(static_cast<double>(static_cast<int64_t>(g - 1) *
-                                           keeper->WorkerTicks(incoming)),
-                       -32)) /
-           (g - 1);
+    const double sum_ub =
+        keeper->TaskPairSum(t) +
+        std::ldexp(static_cast<double>(static_cast<int64_t>(g - 1) *
+                                       keeper->WorkerTicks(incoming)),
+                   -32);
+    return instance.objective().BoundFromSum(instance, t, sum_ub, g);
   };
 
   int64_t swaps = 0;

@@ -7,6 +7,7 @@
 #include "algo/best_response.h"
 #include "common/check.h"
 #include "model/objective.h"
+#include "model/objective_model.h"
 #include "model/score_keeper.h"
 
 namespace casc {
@@ -35,6 +36,8 @@ Assignment OnlineAssigner::Run(const Instance& instance) {
                    });
 
   const bool prune = options_.use_pruning && !PruningDisabledByEnv();
+  const ObjectiveModel& objective = instance.objective();
+  const bool filter_joins = !objective.AlwaysJoinFeasible();
   for (const WorkerIndex w : order) {
     TaskIndex best_task = kNoTask;
     double best_gain = 0.0;
@@ -44,6 +47,10 @@ Assignment OnlineAssigner::Run(const Instance& instance) {
       const int capacity =
           instance.tasks()[static_cast<size_t>(t)].capacity;
       if (static_cast<int>(group.size()) >= capacity) continue;
+      if (filter_joins && !objective.JoinFeasible(instance, t, group, w)) {
+        ++stats_.feasibility_rejects;
+        continue;
+      }
       if (prune) {
         // The accept rule is a strict >, so a bound at or below the
         // incumbent proves the exact gain cannot win — skipping is
@@ -72,6 +79,11 @@ Assignment OnlineAssigner::Run(const Instance& instance) {
         if (static_cast<int>(group.size()) + 1 >
             instance.min_group_size()) {
           continue;  // only seed groups still at or below B
+        }
+        if (filter_joins &&
+            !objective.JoinFeasible(instance, t, group, w)) {
+          ++stats_.feasibility_rejects;
+          continue;
         }
         const double affinity =
             instance.coop().RowSum(w, group) +

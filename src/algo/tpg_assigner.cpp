@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "model/objective.h"
+#include "model/objective_model.h"
 
 namespace casc {
 namespace {
@@ -91,7 +92,6 @@ Assignment TpgAssigner::Run(const Instance& instance) {
   stats_ = AssignerStats{};
   Assignment assignment = MakeAssignment(instance);
   const int num_tasks = instance.num_tasks();
-  const int min_group = instance.min_group_size();
 
   std::vector<bool> worker_available(
       static_cast<size_t>(instance.num_workers()), true);
@@ -108,10 +108,13 @@ Assignment TpgAssigner::Run(const Instance& instance) {
   auto refresh_seed = [&](TaskIndex t) {
     SeedEntry& entry = seeds[static_cast<size_t>(t)];
     entry.workers = GreedySeedSet(instance, t, worker_available);
-    entry.score =
-        entry.workers.empty()
-            ? -1.0
-            : instance.coop().PairSum(entry.workers) / (min_group - 1);
+    // A seed has exactly B workers, so GroupScore is the objective's
+    // value of the would-be group (PairSum / (B-1) for the default;
+    // variants may gate an infeasible seed to 0, deprioritizing it
+    // behind any feasible positive-scoring seed).
+    entry.score = entry.workers.empty()
+                      ? -1.0
+                      : GroupScore(instance, t, entry.workers);
     seed_fresh[static_cast<size_t>(t)] = true;
   };
 
@@ -182,6 +185,8 @@ Assignment TpgAssigner::Run(const Instance& instance) {
   // worker-and-task pair with the largest ΔQ.
   // ---------------------------------------------------------------------
   std::vector<uint64_t> task_version(static_cast<size_t>(num_tasks), 0);
+  const ObjectiveModel& objective = instance.objective();
+  const bool filter_joins = !objective.AlwaysJoinFeasible();
 
   auto pair_gain = [&](WorkerIndex w, TaskIndex t) {
     return GainOfJoining(instance, t, assignment.GroupOf(t), w);
@@ -211,6 +216,15 @@ Assignment TpgAssigner::Run(const Instance& instance) {
       heap.push(GainEntry{pair_gain(top.worker, top.task), top.worker,
                           top.task,
                           task_version[static_cast<size_t>(top.task)]});
+      continue;
+    }
+    if (filter_joins &&
+        !objective.JoinFeasible(instance, top.task,
+                                assignment.GroupOf(top.task), top.worker)) {
+      // The objective forbids this join outright (e.g. the worker holds
+      // none of the task's missing skills); skip it without letting its
+      // (necessarily non-positive) gain trip the stop rule below.
+      ++stats_.feasibility_rejects;
       continue;
     }
     // Adding a poorly-matched worker can lower a group's score (the

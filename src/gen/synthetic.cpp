@@ -3,6 +3,24 @@
 #include "common/check.h"
 
 namespace casc {
+namespace {
+
+/// `count` uniform skill draws (with replacement) from `num_skills`
+/// categories, OR'ed into a mask. Zero categories draws nothing at all,
+/// leaving the rng stream untouched.
+SkillMask SampleSkills(int num_skills, int count, Rng* rng) {
+  if (num_skills <= 0) return 0;
+  CASC_CHECK_LE(num_skills, 64) << "SkillMask holds at most 64 categories";
+  CASC_CHECK_GE(count, 0);
+  SkillMask mask = 0;
+  for (int i = 0; i < count; ++i) {
+    mask |= SkillMask{1}
+            << rng->UniformInt(static_cast<uint64_t>(num_skills));
+  }
+  return mask;
+}
+
+}  // namespace
 
 Worker GenerateWorker(int64_t id, const WorkerGenConfig& config,
                       double arrival_time, Rng* rng) {
@@ -14,6 +32,8 @@ Worker GenerateWorker(int64_t id, const WorkerGenConfig& config,
   worker.radius =
       SampleRangeGaussian(config.radius_min, config.radius_max, rng);
   worker.arrival_time = arrival_time;
+  worker.skills =
+      SampleSkills(config.num_skills, config.skills_per_worker, rng);
   return worker;
 }
 
@@ -26,6 +46,8 @@ Task GenerateTask(int64_t id, const TaskGenConfig& config, double create_time,
   task.create_time = create_time;
   task.deadline = create_time + config.remaining_time;
   task.capacity = config.capacity;
+  task.required_skills =
+      SampleSkills(config.num_skills, config.skills_per_task, rng);
   return task;
 }
 

@@ -16,6 +16,15 @@ struct WorkerGenConfig {
   double speed_max = 0.05;   ///< v+
   double radius_min = 0.05;  ///< r- (Table II default [5, 10]%)
   double radius_max = 0.10;  ///< r+
+
+  /// Skill universe for the multi-skill objective variant: each worker
+  /// holds `skills_per_worker` uniform draws (with replacement) from
+  /// `num_skills` categories (<= 64, the SkillMask width). The default 0
+  /// draws nothing — the rng stream and every generated worker are
+  /// bit-identical to the pre-skill generator, so skill-less configs
+  /// reproduce historical workloads exactly.
+  int num_skills = 0;
+  int skills_per_worker = 2;
 };
 
 /// Task sampling parameters.
@@ -23,6 +32,12 @@ struct TaskGenConfig {
   SpatialGenConfig spatial;
   double remaining_time = 3.0;  ///< tau_j - phi (Table II default 3)
   int capacity = 4;             ///< a_j (Table II default 4)
+
+  /// Skill demand: each task requires `skills_per_task` uniform draws
+  /// (with replacement) from `num_skills` categories. 0 draws nothing
+  /// (no requirement, rng stream untouched) — see WorkerGenConfig.
+  int num_skills = 0;
+  int skills_per_task = 1;
 };
 
 /// How pairwise cooperation qualities are generated for synthetic data.

@@ -7,6 +7,7 @@
 
 #include "kernel/coop_tile.h"
 #include "model/assignment.h"
+#include "model/objective_model.h"
 #include "model/score_keeper.h"
 #include "model/valid_pair_index.h"
 #include "spatial/spatial_index.h"
@@ -74,22 +75,35 @@ class BatchWorkspace {
   /// nullptr when tiling is gated off (matrix larger than the
   /// CASC_TILE_MAX_WORKERS ceiling, default 2048 — a dense tile at
   /// city scale would dwarf the problem itself). The tile is cached by
-  /// CooperationMatrix::IdentityHash, so a steady-state stream whose
-  /// batches view the same matrix rebuilds nothing. The pointer stays
-  /// valid until the next PrepareCoopTile call with a *different*
-  /// matrix; keepers drawn from this workspace within one batch all see
-  /// the same tile.
+  /// (CooperationMatrix::IdentityHash, objective identity), so a
+  /// steady-state stream whose batches view the same matrix under the
+  /// same objective rebuilds nothing. The objective key is a
+  /// correctness guard for the pluggable scoring layer: today's tile
+  /// holds only raw affinity ticks (objective-independent), but an
+  /// objective is free to grow tile-resident precomputation later, and
+  /// a cache hit across objectives would then serve stale data — the
+  /// same staleness class the matrix identity hash already guards. The
+  /// pointer stays valid until the next PrepareCoopTile call with a
+  /// *different* (matrix, objective) key; keepers drawn from this
+  /// workspace within one batch all see the same tile.
   const CoopTile* PrepareCoopTile(const Instance& instance) {
     const CooperationMatrix& coop = instance.coop();
     if (coop.num_workers() > TileMaxWorkers()) {
       tile_.Clear();
+      tile_objective_ = nullptr;
       return nullptr;
     }
     const uint64_t identity = coop.IdentityHash();
-    if (tile_.built() && tile_.source_identity() == identity) {
+    const ObjectiveModel* objective = &instance.objective();
+    if (tile_.built() && tile_.source_identity() == identity &&
+        tile_objective_ == objective) {
       return &tile_;
     }
-    if (!tile_.BuildFrom(coop, TileMaxWorkers())) return nullptr;
+    if (!tile_.BuildFrom(coop, TileMaxWorkers())) {
+      tile_objective_ = nullptr;
+      return nullptr;
+    }
+    tile_objective_ = objective;
     return &tile_;
   }
 
@@ -111,6 +125,9 @@ class BatchWorkspace {
   std::vector<ScoreKeeper> keepers_;
   std::vector<SpatialItem> spatial_items_;
   CoopTile tile_;
+  /// Objective half of the tile cache key (objectives are process-wide
+  /// singletons, so pointer identity is objective identity). Not owned.
+  const ObjectiveModel* tile_objective_ = nullptr;
 };
 
 }  // namespace casc

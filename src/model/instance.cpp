@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "geo/reachability.h"
 #include "model/batch_workspace.h"
+#include "model/objective_model.h"
 #include "spatial/grid_index.h"
 #include "spatial/linear_scan.h"
 #include "spatial/rtree.h"
@@ -30,7 +31,8 @@ Instance::Instance(std::vector<Worker> workers, std::vector<Task> tasks,
       tasks_(std::move(tasks)),
       coop_(std::move(coop)),
       now_(now),
-      min_group_size_(min_group_size) {
+      min_group_size_(min_group_size),
+      objective_(&ProcessDefaultObjective()) {
   CASC_CHECK_EQ(coop_.num_workers(), static_cast<int>(workers_.size()));
   CASC_CHECK_GE(min_group_size_, 2)
       << "Equation 2 divides by min(|W_j|, a_j) - 1";
@@ -38,16 +40,19 @@ Instance::Instance(std::vector<Worker> workers, std::vector<Task> tasks,
   worker_speeds_.reserve(workers_.size());
   worker_radii_.reserve(workers_.size());
   worker_arrivals_.reserve(workers_.size());
+  worker_skills_.reserve(workers_.size());
   for (const Worker& worker : workers_) {
     worker_locations_.push_back(worker.location);
     worker_speeds_.push_back(worker.speed);
     worker_radii_.push_back(worker.radius);
     worker_arrivals_.push_back(worker.arrival_time);
+    worker_skills_.push_back(worker.skills);
   }
   task_locations_.reserve(tasks_.size());
   task_create_times_.reserve(tasks_.size());
   task_deadlines_.reserve(tasks_.size());
   task_capacities_.reserve(tasks_.size());
+  task_required_skills_.reserve(tasks_.size());
   for (const Task& task : tasks_) {
     CASC_CHECK_GE(task.capacity, min_group_size_)
         << "task capacity a_j below the minimum group size B";
@@ -55,7 +60,13 @@ Instance::Instance(std::vector<Worker> workers, std::vector<Task> tasks,
     task_create_times_.push_back(task.create_time);
     task_deadlines_.push_back(task.deadline);
     task_capacities_.push_back(task.capacity);
+    task_required_skills_.push_back(task.required_skills);
   }
+}
+
+void Instance::set_objective(const ObjectiveModel* objective) {
+  CASC_CHECK(objective != nullptr);
+  objective_ = objective;
 }
 
 bool Instance::IsValidPair(WorkerIndex w, TaskIndex t) const {

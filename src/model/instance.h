@@ -13,6 +13,7 @@
 namespace casc {
 
 class BatchWorkspace;
+class ObjectiveModel;
 
 /// Spatial index backend used by ComputeValidPairs() for the
 /// working-area range queries. All backends produce identical valid-pair
@@ -60,6 +61,16 @@ class Instance {
   /// The minimum number B of workers required to finish any task.
   int min_group_size() const { return min_group_size_; }
 
+  /// The scoring model every solver layer routes through. Fresh
+  /// instances start on ProcessDefaultObjective() (CASC_OBJECTIVE env,
+  /// else the paper's CascObjective); shard views inherit the global
+  /// instance's objective, the dispatch service applies its config.
+  const ObjectiveModel& objective() const { return *objective_; }
+
+  /// Swaps the scoring model. Requires a registry-lived objective (the
+  /// pointer is shared across threads and shard views, never owned).
+  void set_objective(const ObjectiveModel* objective);
+
   int num_workers() const { return static_cast<int>(workers_.size()); }
   int num_tasks() const { return static_cast<int>(tasks_.size()); }
 
@@ -79,6 +90,10 @@ class Instance {
   }
   std::span<const double> task_deadlines() const { return task_deadlines_; }
   std::span<const int> task_capacities() const { return task_capacities_; }
+  std::span<const SkillMask> worker_skills() const { return worker_skills_; }
+  std::span<const SkillMask> task_required_skills() const {
+    return task_required_skills_;
+  }
 
   /// Direct geometric/temporal validity check for one pair (Definition 3).
   bool IsValidPair(WorkerIndex w, TaskIndex t) const;
@@ -132,6 +147,7 @@ class Instance {
   CooperationMatrix coop_;
   double now_;
   int min_group_size_;
+  const ObjectiveModel* objective_;
 
   // SoA mirrors of the hot fields, filled by the constructor.
   std::vector<Point> worker_locations_;
@@ -142,6 +158,8 @@ class Instance {
   std::vector<double> task_create_times_;
   std::vector<double> task_deadlines_;
   std::vector<int> task_capacities_;
+  std::vector<SkillMask> worker_skills_;
+  std::vector<SkillMask> task_required_skills_;
 
   bool valid_pairs_ready_ = false;
   ValidPairIndex pairs_;

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "model/objective_model.h"
 
 namespace casc {
 namespace {
@@ -111,12 +112,19 @@ double GroupScore(const Instance& instance, TaskIndex t,
   if (size < instance.min_group_size()) return 0.0;
   const int capacity = instance.tasks()[static_cast<size_t>(t)].capacity;
   const CooperationMatrix& coop = instance.coop();
+  const ObjectiveModel& objective = instance.objective();
   if (size <= capacity) {
-    return coop.PairSum(group) / (size - 1);
+    return objective.ScoreGroup(instance, t, group, kNoWorker, kNoWorker,
+                                coop.PairSum(group), size);
   }
   // Over capacity: only the best a_j-subset is paid (Equation 2's note).
+  // Subset selection maximizes the cooperation term regardless of the
+  // objective — the crowding mechanism is engine-side — but the chosen
+  // subset is *scored* by the objective (a skill-gated subset can come
+  // out at 0 if the crowd-out dropped the last holder of a skill).
   const std::vector<WorkerIndex> best = BestSubset(coop, group, capacity);
-  return coop.PairSum(best) / (capacity - 1);
+  return objective.ScoreGroup(instance, t, best, kNoWorker, kNoWorker,
+                              coop.PairSum(best), capacity);
 }
 
 double MarginalOfMember(const Instance& instance, TaskIndex t,

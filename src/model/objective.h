@@ -17,12 +17,21 @@ namespace casc {
 /// GroupStore groups without copying (std::vector converts implicitly).
 
 /// Selects the subset of `group` of size `k` with the maximum PairSum.
-/// Exact by enumeration when the number of k-subsets is small (<= ~20k
-/// combinations, which covers every case the assigners produce, where
-/// |group| exceeds k by at most 1); otherwise greedy backward elimination
-/// (repeatedly drop the worker with the smallest affinity to the rest),
-/// which is the standard heuristic for the NP-hard maximum-weight
-/// k-induced-subgraph problem the paper cites [2].
+///
+/// Enumeration/greedy crossover: the algorithm is exact enumeration
+/// while C(|group|, k) < 20000 (e.g. any |group| <= 16 at k=8, and every
+/// |group| = k+1 crowding case the assigners produce, where exactly one
+/// worker is dropped); at or beyond that count it switches to greedy
+/// backward elimination — repeatedly drop the member with the smallest
+/// total (incoming + outgoing) affinity to the rest — the standard
+/// heuristic for the NP-hard maximum-weight k-induced-subgraph problem
+/// the paper cites [2]. The crossover is a pure cost cap: both paths
+/// return exactly k workers, and the greedy path is deterministic
+/// (ties drop the earliest position).
+///
+/// Edge cases: k == 0 returns the empty subset, k == |group| returns the
+/// whole group (no enumeration either way); k < 0 or k > |group| is a
+/// caller bug and CHECK-fails.
 /// Requires 0 <= k <= |group|.
 std::vector<WorkerIndex> BestSubset(const CooperationMatrix& coop,
                                     std::span<const WorkerIndex> group,

@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "kernel/affinity_kernels.h"
 #include "kernel/coop_tile.h"
+#include "model/objective_model.h"
 
 namespace casc {
 namespace {
@@ -139,19 +140,36 @@ void ScoreKeeper::Sync(const Assignment& assignment) {
     bound_ticks_[static_cast<size_t>(t)] = ticks;
     scores_[static_cast<size_t>(t)] = GroupScoreFromSum(
         t, pair_sums_[static_cast<size_t>(t)],
-        static_cast<int>(group.size()));
+        static_cast<int>(group.size()), kNoWorker, kNoWorker);
     total_ += scores_[static_cast<size_t>(t)];
   }
 }
 
-double ScoreKeeper::GroupScoreFromSum(TaskIndex t, double pair_sum,
-                                      int size) const {
+double ScoreKeeper::GroupScoreFromSum(TaskIndex t, double pair_sum, int size,
+                                      WorkerIndex extra,
+                                      WorkerIndex without) const {
   if (size < instance_->min_group_size()) return 0.0;
   const int capacity =
       instance_->tasks()[static_cast<size_t>(t)].capacity;
   CASC_CHECK_LE(size, capacity)
       << "ScoreKeeper does not evaluate over-capacity groups";
-  return pair_sum / (size - 1);
+  const std::span<const WorkerIndex> members =
+      assignment_ != nullptr ? assignment_->GroupOf(t)
+                             : std::span<const WorkerIndex>{};
+  return instance_->objective().ScoreGroup(*instance_, t, members, extra,
+                                           without, pair_sum, size);
+}
+
+double ScoreKeeper::ScoreFromSumWithMembers(
+    TaskIndex t, double pair_sum, int size,
+    std::span<const WorkerIndex> members) const {
+  if (size < instance_->min_group_size()) return 0.0;
+  const int capacity =
+      instance_->tasks()[static_cast<size_t>(t)].capacity;
+  CASC_CHECK_LE(size, capacity)
+      << "ScoreKeeper does not evaluate over-capacity groups";
+  return instance_->objective().ScoreGroup(*instance_, t, members, kNoWorker,
+                                           kNoWorker, pair_sum, size);
 }
 
 void ScoreKeeper::Add(WorkerIndex w, TaskIndex t) {
@@ -162,8 +180,8 @@ void ScoreKeeper::Add(WorkerIndex w, TaskIndex t) {
   pair_sums_[static_cast<size_t>(t)] += added;
   bound_ticks_[static_cast<size_t>(t)] += WorkerTicks(w);
   total_ -= scores_[static_cast<size_t>(t)];
-  scores_[static_cast<size_t>(t)] =
-      GroupScoreFromSum(t, pair_sums_[static_cast<size_t>(t)], others + 1);
+  scores_[static_cast<size_t>(t)] = GroupScoreFromSum(
+      t, pair_sums_[static_cast<size_t>(t)], others + 1, w, kNoWorker);
   total_ += scores_[static_cast<size_t>(t)];
 }
 
@@ -175,8 +193,8 @@ void ScoreKeeper::Remove(WorkerIndex w, TaskIndex t) {
   pair_sums_[static_cast<size_t>(t)] -= removed;
   bound_ticks_[static_cast<size_t>(t)] -= WorkerTicks(w);
   total_ -= scores_[static_cast<size_t>(t)];
-  scores_[static_cast<size_t>(t)] =
-      GroupScoreFromSum(t, pair_sums_[static_cast<size_t>(t)], others);
+  scores_[static_cast<size_t>(t)] = GroupScoreFromSum(
+      t, pair_sums_[static_cast<size_t>(t)], others, kNoWorker, w);
   total_ += scores_[static_cast<size_t>(t)];
 }
 
@@ -211,7 +229,8 @@ double ScoreKeeper::GainIfJoined(WorkerIndex w, TaskIndex t) const {
   int others = 0;
   const double added = AffinityOverGroup(GroupOf(t), w, kNoWorker, &others);
   const double new_score = GroupScoreFromSum(
-      t, pair_sums_[static_cast<size_t>(t)] + added, others + 1);
+      t, pair_sums_[static_cast<size_t>(t)] + added, others + 1, w,
+      kNoWorker);
   return new_score - scores_[static_cast<size_t>(t)];
 }
 
@@ -258,7 +277,7 @@ void ScoreKeeper::GainsIfJoined(WorkerIndex w,
     const TaskIndex t = tasks[static_cast<size_t>(i)];
     out[i] = GroupScoreFromSum(t, pair_sums_[static_cast<size_t>(t)] +
                                       sums[k],
-                               lens[k] + 1) -
+                               lens[k] + 1, w, kNoWorker) -
              scores_[static_cast<size_t>(t)];
   }
 }
@@ -279,11 +298,14 @@ double ScoreKeeper::JoinBound(WorkerIndex w, TaskIndex t) const {
   // power-of-two scale are both rounding-free.
   const double aff_ub = std::ldexp(static_cast<double>(aff_ticks), -32);
   // New size g + 1 is at most the capacity (GainIfJoined's own
-  // precondition), so the Equation-2 divisor is (g + 1) - 1 = g; both
-  // the numerator add and the divide are monotone in aff_ub, keeping the
-  // bound sound in floating point.
-  const double new_score =
-      (pair_sums_[static_cast<size_t>(t)] + aff_ub) / g;
+  // precondition), so the default Equation-2 divisor is (g + 1) - 1 = g;
+  // both the numerator add and the divide are monotone in aff_ub,
+  // keeping the bound sound in floating point. The objective's
+  // BoundFromSum ceilings the *joined* score; subtracting the cached
+  // (objective-correct) current score keeps the gain bound admissible
+  // for any variant whose scores never exceed the cooperation term.
+  const double new_score = instance_->objective().BoundFromSum(
+      *instance_, t, pair_sums_[static_cast<size_t>(t)] + aff_ub, g + 1);
   return new_score - scores_[static_cast<size_t>(t)];
 }
 
@@ -294,7 +316,7 @@ double ScoreKeeper::LossIfLeft(WorkerIndex w, TaskIndex t) const {
   CASC_CHECK(static_cast<size_t>(others) + 1 == group.size())
       << "worker " << w << " not on task " << t;
   const double new_score = GroupScoreFromSum(
-      t, pair_sums_[static_cast<size_t>(t)] - removed, others);
+      t, pair_sums_[static_cast<size_t>(t)] - removed, others, kNoWorker, w);
   return scores_[static_cast<size_t>(t)] - new_score;
 }
 
@@ -303,11 +325,12 @@ double ScoreKeeper::AffinityTo(TaskIndex t, WorkerIndex w,
   return AffinityOverGroup(GroupOf(t), w, skip, nullptr);
 }
 
-void ScoreKeeper::ApplyDelta(TaskIndex t, double delta, int new_size) {
+void ScoreKeeper::ApplyDelta(TaskIndex t, double delta, int new_size,
+                             std::span<const WorkerIndex> members) {
   pair_sums_[static_cast<size_t>(t)] += delta;
   total_ -= scores_[static_cast<size_t>(t)];
-  scores_[static_cast<size_t>(t)] =
-      GroupScoreFromSum(t, pair_sums_[static_cast<size_t>(t)], new_size);
+  scores_[static_cast<size_t>(t)] = ScoreFromSumWithMembers(
+      t, pair_sums_[static_cast<size_t>(t)], new_size, members);
   total_ += scores_[static_cast<size_t>(t)];
 }
 

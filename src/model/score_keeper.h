@@ -30,6 +30,15 @@ class CoopTile;
 /// crowding rule must be applied by the caller first, as ApplyMove
 /// does) — scores follow the B <= |W| <= a_j branch of Equation 2.
 ///
+/// Scores are produced by the instance's ObjectiveModel: the keeper
+/// maintains the cooperation-term ingredients (pair sums, sizes, tick
+/// bounds) and hands them plus the live membership to
+/// ObjectiveModel::ScoreGroup, with the present-aware extra/without
+/// corrections so membership-dependent objectives (skill coverage) stay
+/// exact under either mutation order. Cached task scores are therefore
+/// always objective-correct, which is what keeps JoinBound admissible
+/// for any discount variant (see ObjectiveModel's bound obligation).
+///
 /// Affinity sums are accumulated in the canonical 4-lane order of
 /// src/kernel/affinity_kernels.h whether or not a CoopTile is attached
 /// (AttachTile): the tile routes them through the runtime-dispatched
@@ -136,13 +145,17 @@ class ScoreKeeper {
   /// Low-level hook for trial moves (local search): shifts t's cached
   /// pair sum by `delta` and re-derives the Equation-2 score with
   /// `new_size` members, exactly mirroring one Add/Remove update of the
-  /// cached sums without consulting group membership. Callers own the
-  /// consistency of the delta/size bookkeeping and must return the sums
-  /// to a membership-consistent state before any other keeper use.
+  /// cached sums without consulting the attached assignment's (possibly
+  /// stale mid-trial) membership — `members` is the caller's trial
+  /// membership of `t` (local search's mirror groups), which the
+  /// objective scores directly. Callers own the consistency of the
+  /// delta/size/members bookkeeping and must return the sums to a
+  /// membership-consistent state before any other keeper use.
   /// Bound ticks are untouched: a trial + rollback nets to zero, and an
   /// accepted local-search swap keeps each group's tick sum valid via
   /// ShiftBoundTicks.
-  void ApplyDelta(TaskIndex t, double delta, int new_size);
+  void ApplyDelta(TaskIndex t, double delta, int new_size,
+                  std::span<const WorkerIndex> members);
 
   /// Shifts task `t`'s bound-tick accumulator by `delta` ticks. Local
   /// search calls this on an accepted swap (departing worker's ticks
@@ -150,7 +163,16 @@ class ScoreKeeper {
   void ShiftBoundTicks(TaskIndex t, int64_t delta);
 
  private:
-  double GroupScoreFromSum(TaskIndex t, double pair_sum, int size) const;
+  /// Objective-routed score of task `t`'s (corrected) group: the live
+  /// assignment membership plus the extra/without corrections, with the
+  /// cooperation term precomputed as `pair_sum` over `size` members.
+  double GroupScoreFromSum(TaskIndex t, double pair_sum, int size,
+                           WorkerIndex extra, WorkerIndex without) const;
+
+  /// Same, but over an explicit membership span (trial moves whose
+  /// membership diverges from the attached assignment).
+  double ScoreFromSumWithMembers(TaskIndex t, double pair_sum, int size,
+                                 std::span<const WorkerIndex> members) const;
 
   /// Canonical-lane two-way affinity of `w` to `group`, skipping
   /// elements equal to `w` or `skip` (skipped elements do not advance

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "geo/point.h"
+#include "model/worker.h"
 
 namespace casc {
 
@@ -19,6 +20,7 @@ struct Task {
   double create_time = 0.0;   ///< timestamp phi_j of creation
   double deadline = 0.0;      ///< deadline tau_j
   int capacity = 0;           ///< maximum workers a_j
+  SkillMask required_skills = 0;  ///< skills the assigned group must cover
 };
 
 /// Renders a one-line description for logs.

@@ -20,6 +20,13 @@ inline constexpr TaskIndex kNoTask = -1;
 /// Sentinel for "no worker" (e.g. no one was crowded out).
 inline constexpr WorkerIndex kNoWorker = -1;
 
+/// Bitmask of up to 64 skill categories. Bit k set on a worker means the
+/// worker holds skill k; bit k set on a task's requirement means the
+/// assigned group must collectively hold skill k. Mask 0 means
+/// "unskilled" / "no requirement", which keeps every pre-skill workload
+/// byte-identical under the multi-skill objective.
+using SkillMask = uint64_t;
+
 /// A cooperation-aware moving worker (Definition 1).
 ///
 /// A worker appears in the system at `arrival_time` (phi_i) at `location`
@@ -33,6 +40,7 @@ struct Worker {
   double speed = 0.0;        ///< moving speed v_i
   double radius = 0.0;       ///< working-area radius r_i
   double arrival_time = 0.0; ///< timestamp phi_i of appearance
+  SkillMask skills = 0;      ///< skill categories this worker holds
 };
 
 /// Renders a one-line description for logs.

@@ -1,9 +1,11 @@
 #include "net/coordinator.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "common/check.h"
+#include "model/objective_model.h"
 
 namespace casc {
 
@@ -105,6 +107,7 @@ void CoordinatorNode::DispatchShard(NetContext& net, int s) {
   msg.attempt = state.attempt;
   msg.problem = std::shared_ptr<const ShardProblem>(
       problems_, &(*problems_)[static_cast<size_t>(s)]);
+  msg.objective_id = std::string(instance_->objective().Id());
   state.dispatch_time = net.now();
   net.Send(state.node, std::move(msg));
   TimerRecord retry;
@@ -198,6 +201,7 @@ void CoordinatorNode::EnterReconcile(NetContext& net) {
     stats_.shard_seconds[s] = state.solve_seconds;
     stats_.prune_evals += state.prune_evals;
     stats_.prune_skips += state.prune_skips;
+    stats_.feasibility_rejects += state.feasibility_rejects;
   }
 
   boundary_ = map_->boundary_workers();
@@ -324,6 +328,7 @@ void CoordinatorNode::OnMessage(NetContext& net, NodeId from,
       state.solve_seconds = msg.solve_seconds;
       state.prune_evals = msg.prune_evals;
       state.prune_skips = msg.prune_skips;
+      state.feasibility_rejects = msg.feasibility_rejects;
       net.CancelTimer(state.timer_token);
       rtt_.Add(net.now() - state.dispatch_time);
       --outstanding_shards_;

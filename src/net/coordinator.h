@@ -53,6 +53,7 @@ struct NetBatchStats {
   std::vector<double> shard_seconds;  ///< reported per-shard solve times
   int64_t prune_evals = 0;
   int64_t prune_skips = 0;
+  int64_t feasibility_rejects = 0;  ///< objective JoinFeasible rejections
 };
 
 /// The coordinator node of the distributed dispatch protocol. Owns the
@@ -126,6 +127,7 @@ class CoordinatorNode : public Node {
     double solve_seconds = 0.0;
     int64_t prune_evals = 0;
     int64_t prune_skips = 0;
+    int64_t feasibility_rejects = 0;
   };
 
   /// One acked broadcast round (reconcile pass delta or commit).

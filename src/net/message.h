@@ -57,6 +57,14 @@ struct Message {
   /// workers/tasks/valid pairs would cost.
   std::shared_ptr<const ShardProblem> problem;
 
+  /// kDispatch: registry id of the ObjectiveModel the shard must score
+  /// under (ObjectiveByName). A real wire transfer cannot ship the
+  /// objective's vtable, only its name — the receiving node re-resolves
+  /// it and CHECKs it matches the problem's instance, so a coordinator /
+  /// solver objective mismatch fails loudly instead of silently scoring
+  /// two different games.
+  std::string objective_id;
+
   /// kShardResult: the local assignment; kReconcile: the pass's placement
   /// delta ((w, kNoTask) encodes "left idle"); kCommit: the final pairs.
   std::vector<AssignedPair> pairs;
@@ -65,6 +73,7 @@ struct Message {
   double solve_seconds = 0.0;
   int64_t prune_evals = 0;
   int64_t prune_skips = 0;
+  int64_t feasibility_rejects = 0;
 
   /// Estimated wire size in bytes (header + payload), the quantity the
   /// simulator's byte counters accumulate.

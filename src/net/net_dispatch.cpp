@@ -1,10 +1,12 @@
 #include "net/net_dispatch.h"
 
 #include <cstdlib>
+#include <string>
 #include <utility>
 
 #include "common/check.h"
 #include "common/stopwatch.h"
+#include "model/objective_model.h"
 
 namespace casc {
 
@@ -86,6 +88,8 @@ Assignment NetShardedAssigner::Solve(const Instance& instance) {
   metrics_.shard_seconds = batch.shard_seconds;
   metrics_.prune_evals = batch.prune_evals;
   metrics_.prune_skips = batch.prune_skips;
+  metrics_.feasibility_rejects = batch.feasibility_rejects;
+  metrics_.objective = std::string(instance.objective().Id());
   metrics_.inserted_boundary = batch.reconcile.inserted;
   metrics_.seeded_boundary = batch.reconcile.seeded;
   metrics_.polish_moves = batch.reconcile.polish_moves;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "model/objective_model.h"
 
 namespace casc {
 
@@ -16,6 +17,17 @@ ShardSolverNode::ShardSolverNode(AssignerFactory factory, double solve_delay)
 void ShardSolverNode::HandleDispatch(NetContext& net, NodeId from,
                                      const Message& msg) {
   CASC_CHECK(msg.problem != nullptr);
+  // The wire contract ships the objective by registry id; re-resolve it
+  // and insist it matches the instance we were handed. A real deployment
+  // would deserialize the problem and then set_objective(resolved) —
+  // here the carried instance already points at the process-wide
+  // singleton, so resolution doubles as a version-skew check.
+  const ObjectiveModel* resolved = ObjectiveByName(msg.objective_id);
+  CASC_CHECK(resolved != nullptr)
+      << "dispatch for unknown objective '" << msg.objective_id << "'";
+  CASC_CHECK_EQ(resolved, &msg.problem->instance.objective())
+      << "dispatch objective '" << msg.objective_id
+      << "' does not match the shard problem's instance";
   const std::pair<int, int> key{msg.epoch, msg.shard};
   auto cached = cache_.find(key);
   const bool miss = cached == cache_.end();
@@ -26,6 +38,7 @@ void ShardSolverNode::HandleDispatch(NetContext& net, NodeId from,
         *msg.problem, factory_, &workspace_, &result.solve_seconds, &stats);
     result.prune_evals = stats.prune_candidates_evaluated;
     result.prune_skips = stats.prune_candidates_skipped;
+    result.feasibility_rejects = stats.feasibility_rejects;
     ++solves_;
     if (local.has_value()) {
       // ForEachPair order (task-major, group position) is exactly the
@@ -47,6 +60,7 @@ void ShardSolverNode::HandleDispatch(NetContext& net, NodeId from,
   reply.solve_seconds = cached->second.solve_seconds;
   reply.prune_evals = cached->second.prune_evals;
   reply.prune_skips = cached->second.prune_skips;
+  reply.feasibility_rejects = cached->second.feasibility_rejects;
   // A fresh solve occupies the modeled compute time before the result
   // hits the wire; a cache hit answers immediately (work already done).
   net.SendAfter(miss ? solve_delay_ : 0.0, from, std::move(reply));

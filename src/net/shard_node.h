@@ -48,6 +48,7 @@ class ShardSolverNode : public Node {
     double solve_seconds = 0.0;
     int64_t prune_evals = 0;
     int64_t prune_skips = 0;
+    int64_t feasibility_rejects = 0;
   };
 
   void HandleDispatch(NetContext& net, NodeId from, const Message& msg);

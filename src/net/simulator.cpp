@@ -18,8 +18,9 @@ int64_t Message::ByteSize() const {
     bytes += static_cast<int64_t>(problem->instance.num_tasks()) * 40;
     bytes += static_cast<int64_t>(problem->instance.NumValidPairs()) * 8;
   }
+  bytes += static_cast<int64_t>(objective_id.size());
   bytes += static_cast<int64_t>(pairs.size()) * 8;
-  if (type == MessageType::kShardResult) bytes += 24;  // stats trailer
+  if (type == MessageType::kShardResult) bytes += 32;  // stats trailer
   return bytes;
 }
 

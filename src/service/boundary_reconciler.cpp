@@ -5,6 +5,7 @@
 
 #include "algo/best_response.h"
 #include "common/check.h"
+#include "model/objective_model.h"
 
 namespace casc {
 namespace {
@@ -52,6 +53,8 @@ int BoundaryReconciler::PassInsert(const Instance& global,
     if (a.worker != b.worker) return a.worker > b.worker;
     return a.task > b.task;
   };
+  const ObjectiveModel& objective = global.objective();
+  const bool filter_joins = !objective.AlwaysJoinFeasible();
   const auto best_insertion = [&](WorkerIndex w) {
     Entry entry{0.0, w, kNoTask};
     double best_gain = kTolerance;
@@ -59,6 +62,10 @@ int BoundaryReconciler::PassInsert(const Instance& global,
       if (assignment->GroupSize(t) >=
           global.tasks()[static_cast<size_t>(t)].capacity) {
         continue;
+      }
+      if (filter_joins &&
+          !objective.JoinFeasible(global, t, keeper->GroupOf(t), w)) {
+        continue;  // objective forbids this join; its gain is never > 0
       }
       const double gain = keeper->GainIfJoined(w, t);
       if (gain > best_gain) {  // ties keep the lowest task index
@@ -122,15 +129,37 @@ int BoundaryReconciler::PassSeed(const Instance& global,
     }
     // Grow to exactly B by max two-way affinity (ties to the lowest
     // worker index — `pool` is ascending). B <= a_j always, so the
-    // capacity constraint cannot be hit here.
+    // capacity constraint cannot be hit here. Under an objective with a
+    // join predicate the filter is *soft*: feasible candidates (those
+    // holding a still-missing skill, or joining an already-covered
+    // group) are preferred, but when none exists the unfiltered best
+    // joins anyway — reaching B is this pass's contract, and an
+    // uncovered group merely scores 0 (exactly like a zero-affinity
+    // seed), it is never invalid.
+    const ObjectiveModel& objective = global.objective();
+    const bool filter_joins = !objective.AlwaysJoinFeasible();
     const std::span<const WorkerIndex> current = keeper->GroupOf(t);
     std::vector<WorkerIndex> members(current.begin(), current.end());
     std::vector<WorkerIndex> chosen;
     while (static_cast<int>(members.size()) < global.min_group_size()) {
       WorkerIndex best = kNoWorker;
       double best_affinity = -1.0;
+      bool best_feasible = false;
       for (const WorkerIndex w : pool) {
         if (!available[static_cast<size_t>(w)]) continue;
+        const bool feasible =
+            !filter_joins ||
+            objective.JoinFeasible(global, t, members, w);
+        // A feasible candidate always outranks an infeasible one;
+        // affinity breaks ties within each class (then the ascending
+        // pool order, keeping the pass deterministic).
+        if (feasible != best_feasible) {
+          if (!feasible) continue;
+          best_feasible = true;
+          best_affinity = Affinity(global.coop(), w, members);
+          best = w;
+          continue;
+        }
         const double affinity = Affinity(global.coop(), w, members);
         if (affinity > best_affinity) {
           best_affinity = affinity;

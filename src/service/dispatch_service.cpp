@@ -11,6 +11,7 @@
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "model/objective.h"
+#include "model/objective_model.h"
 #include "sim/streaming_plane.h"
 
 namespace casc {
@@ -60,6 +61,8 @@ std::string ServiceMetrics::ToJson() const {
       << ",\"queue_depth\":" << queue_depth
       << ",\"prune_evals\":" << prune_evals
       << ",\"prune_skips\":" << prune_skips
+      << ",\"objective\":\"" << objective << "\""
+      << ",\"feasibility_rejects\":" << feasibility_rejects
       << ",\"lost_shards\":" << lost_shards
       << ",\"net_messages\":" << net_messages
       << ",\"net_bytes\":" << net_bytes
@@ -133,9 +136,12 @@ Assignment ShardedAssigner::Run(const Instance& instance) {
   for (const AssignerStats& stats : shard_stats) {
     metrics_.prune_evals += stats.prune_candidates_evaluated;
     metrics_.prune_skips += stats.prune_candidates_skipped;
+    metrics_.feasibility_rejects += stats.feasibility_rejects;
   }
   stats_.prune_candidates_evaluated = metrics_.prune_evals;
   stats_.prune_candidates_skipped = metrics_.prune_skips;
+  stats_.feasibility_rejects = metrics_.feasibility_rejects;
+  metrics_.objective = std::string(instance.objective().Id());
 
   watch.Restart();
   const ReconcileStats reconcile =
@@ -160,6 +166,14 @@ DispatchService::DispatchService(DispatchConfig config,
   CASC_CHECK(global_coop_ != nullptr);
   CASC_CHECK_GE(config_.max_tasks_per_batch, 0);
   CASC_CHECK_GT(config_.batch_interval, 0.0);
+  if (config_.objective.empty()) {
+    objective_ = &ProcessDefaultObjective();
+  } else {
+    objective_ = ObjectiveByName(config_.objective);
+    CASC_CHECK(objective_ != nullptr)
+        << "DispatchConfig::objective names unknown objective '"
+        << config_.objective << "'";
+  }
   set_batch_solver(nullptr);  // default: the in-process engine
 }
 
@@ -199,6 +213,7 @@ DispatchResult DispatchService::RunBatch(std::vector<Worker> workers,
   Instance instance(std::move(workers), std::move(tasks),
                     global_coop_->View(std::move(ids)), now,
                     config_.min_group_size);
+  instance.set_objective(objective_);
   Stopwatch build_watch;
   instance.ComputeValidPairs(DefaultSpatialBackend(), &build_workspace_);
   const double index_build_seconds = build_watch.ElapsedSeconds();
@@ -314,6 +329,7 @@ RunSummary DispatchService::Run(const EventStream& stream) {
       Instance instance(batch_workers, batch_tasks,
                         global_coop_->View(std::move(ids)), now,
                         config_.min_group_size);
+      instance.set_objective(objective_);
       plane.BuildValidPairs(&instance, &build_workspace_);
       const double index_build_seconds = build_watch.ElapsedSeconds();
 

@@ -73,6 +73,16 @@ struct ServiceMetrics {
   int64_t prune_evals = 0;
   int64_t prune_skips = 0;
 
+  /// Registry id of the ObjectiveModel the batch was scored under
+  /// ("casc", "multiskill", ...).
+  std::string objective;
+
+  /// Candidate joins the objective's feasibility predicate rejected
+  /// across the phase-1 shard solvers (AssignerStats::feasibility_rejects;
+  /// always 0 under the default objective). Same phase-1-only scope as
+  /// the prune counters.
+  int64_t feasibility_rejects = 0;
+
   /// Shards whose phase-1 result was lost this batch — dropped by the
   /// fault hook on the in-process path, or declared unrecoverable after
   /// exhausting failover on the distributed path. The lost shards'
@@ -166,6 +176,13 @@ struct DispatchConfig {
 
   /// Minimum group size B per batch instance.
   int min_group_size = 3;
+
+  /// Registry id of the ObjectiveModel every batch instance scores
+  /// under ("casc", "multiskill", ...). Empty selects the process
+  /// default — CascObjective, overridable by the CASC_OBJECTIVE
+  /// environment variable (see ProcessDefaultObjective). An unknown id
+  /// CHECK-fails at service construction.
+  std::string objective;
 
   /// Wall-clock time between streaming batches.
   double batch_interval = 1.0;
@@ -276,6 +293,10 @@ class DispatchService {
  private:
   DispatchConfig config_;
   const CooperationMatrix* global_coop_;
+  /// Objective resolved from config_.objective at construction (process
+  /// default when the config id is empty); every batch instance is
+  /// stamped with it before solving. Not owned (registry singleton).
+  const ObjectiveModel* objective_ = nullptr;
   ShardedAssigner sharded_;
   ShardedBatchSolver* solver_ = nullptr;  ///< set in the constructor
   /// Double-buffered scratch: the build side pools the spatial scratch

@@ -38,6 +38,10 @@ ShardProblem BuildOne(const Instance& global, const ShardMap& map, int s,
   Instance local(std::move(workers), std::move(tasks),
                  global.coop().View(std::move(coop_ids)), global.now(),
                  global.min_group_size());
+  // The shard sub-problem scores under the same objective as the global
+  // instance (the Worker/Task copies above already carried the skill
+  // masks a variant objective reads).
+  local.set_objective(&global.objective());
 
   // Local valid pairs are the global lists filtered to this shard and
   // remapped, written straight into a (recycled) CSR index; ascending

@@ -12,12 +12,14 @@
 #include "gen/synthetic.h"
 #include "model/batch_workspace.h"
 #include "model/objective.h"
+#include "model/objective_model.h"
 
 namespace casc {
 namespace {
 
 Instance RandomInstance(int workers, int tasks, uint64_t seed,
-                        int capacity = 4, int min_group = 3) {
+                        int capacity = 4, int min_group = 3,
+                        int num_skills = 0) {
   Rng rng(seed);
   SyntheticInstanceConfig config;
   config.num_workers = workers;
@@ -28,6 +30,9 @@ Instance RandomInstance(int workers, int tasks, uint64_t seed,
   config.worker.radius_max = 0.50;
   config.worker.speed_min = 0.05;
   config.worker.speed_max = 0.15;
+  config.worker.num_skills = num_skills;
+  config.task.num_skills = num_skills;
+  config.task.skills_per_task = 2;
   return GenerateSyntheticInstance(config, 0.0, &rng);
 }
 
@@ -153,6 +158,75 @@ TEST(PruningFuzzTest, OnlineMatchesUnprunedOn50Instances) {
     if (pruned.stats().prune_candidates_skipped > 0) ++prunes_observed;
   }
   EXPECT_GT(prunes_observed, 25);
+}
+
+// ---------------------------------------------------------------------------
+// Objective-variant admissibility: the same neutrality claim must hold
+// under the multi-skill objective — its score only ever *discounts* the
+// cooperation term, so JoinBound's ceiling stays admissible (the
+// DESIGN.md section 13 proof obligation, enforced here by fuzz).
+// ---------------------------------------------------------------------------
+
+TEST(PruningFuzzTest, MultiskillGtMatchesUnprunedOn50Instances) {
+  int prunes_observed = 0;
+  int rejects_observed = 0;
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    const int workers = 40 + static_cast<int>(seed % 4) * 12;
+    const int tasks = 14 + static_cast<int>(seed % 3) * 4;
+    Instance instance = RandomInstance(workers, tasks, seed + 301,
+                                       /*capacity=*/4, /*min_group=*/3,
+                                       /*num_skills=*/8);
+    instance.set_objective(&GetMultiSkillObjective());
+
+    GtOptions options;
+    if (seed % 2 == 1) {
+      options.use_tsi = true;
+      options.use_lub = true;
+    }
+    GtOptions off_options = options;
+    options.use_pruning = true;
+    off_options.use_pruning = false;
+    GtAssigner pruned(options);
+    GtAssigner unpruned(off_options);
+    ExpectPruningNeutral(instance, pruned, unpruned, seed % 2 == 0,
+                         "multiskill gt seed=" + std::to_string(seed));
+    // Both scans filter the identical joins, so the reject counters must
+    // agree exactly too.
+    ASSERT_EQ(pruned.stats().feasibility_rejects,
+              unpruned.stats().feasibility_rejects)
+        << "seed " << seed;
+    if (pruned.stats().prune_candidates_skipped > 0) ++prunes_observed;
+    if (pruned.stats().feasibility_rejects > 0) ++rejects_observed;
+  }
+  // Neither the pruning branch nor the skill gate may be vacuous.
+  EXPECT_GT(prunes_observed, 20);
+  EXPECT_GT(rejects_observed, 20);
+}
+
+TEST(PruningFuzzTest, MultiskillOnlineMatchesUnprunedOn30Instances) {
+  int prunes_observed = 0;
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    const int workers = 50 + static_cast<int>(seed % 5) * 10;
+    const int tasks = 16 + static_cast<int>(seed % 3) * 6;
+    Instance instance = RandomInstance(workers, tasks, seed + 401,
+                                       /*capacity=*/4, /*min_group=*/3,
+                                       /*num_skills=*/8);
+    instance.set_objective(&GetMultiSkillObjective());
+
+    OnlineOptions on;
+    on.use_pruning = true;
+    OnlineOptions off = on;
+    off.use_pruning = false;
+    OnlineAssigner pruned(on);
+    OnlineAssigner unpruned(off);
+    ExpectPruningNeutral(instance, pruned, unpruned, seed % 2 == 0,
+                         "multiskill online seed=" + std::to_string(seed));
+    ASSERT_EQ(pruned.stats().feasibility_rejects,
+              unpruned.stats().feasibility_rejects)
+        << "seed " << seed;
+    if (pruned.stats().prune_candidates_skipped > 0) ++prunes_observed;
+  }
+  EXPECT_GT(prunes_observed, 10);
 }
 
 }  // namespace

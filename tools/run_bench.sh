@@ -22,8 +22,12 @@
 #        aborts unless the two are bit-identical -- plus retention,
 #        retries, failovers and RTT quantiles across a drop-rate sweep
 #        and a node-crash scenario)
+#   PR8  objective layer (ObjectiveModel seam overhead on the GT hot
+#        path -- the binary aborts unless a skill-free multiskill run is
+#        bit-identical to casc -- plus the multi-skill variant's score
+#        retention, coverage rate and join-gate rejects on skilled twins)
 #
-# Usage: tools/run_bench.sh [pr1|pr2|pr3|pr5|pr6|pr7|all] [OUT_JSON]
+# Usage: tools/run_bench.sh [pr1|pr2|pr3|pr5|pr6|pr7|pr8|all] [OUT_JSON]
 #   pr1|pr2|all  which suite to run (default all)
 #   OUT_JSON     output override for a single suite
 # Env:
@@ -90,6 +94,13 @@ run_pr7() {
   echo "wrote $out"
 }
 
+run_pr8() {
+  local out="${1:-BENCH_PR8.json}"
+  cmake --build "$BUILD_DIR" -j --target bench_objective >/dev/null
+  "$BUILD_DIR/bench/bench_objective" --json="$out" ${BENCH_ARGS:-}
+  echo "wrote $out"
+}
+
 case "$SUITE" in
   pr1) run_pr1 "${2:-}" ;;
   pr2) run_pr2 "${2:-}" ;;
@@ -97,6 +108,7 @@ case "$SUITE" in
   pr5) run_pr5 "${2:-}" ;;
   pr6) run_pr6 "${2:-}" ;;
   pr7) run_pr7 "${2:-}" ;;
+  pr8) run_pr8 "${2:-}" ;;
   all)
     run_pr1
     run_pr2
@@ -104,9 +116,10 @@ case "$SUITE" in
     run_pr5
     run_pr6
     run_pr7
+    run_pr8
     ;;
   *)
-    echo "usage: tools/run_bench.sh [pr1|pr2|pr3|pr5|pr6|pr7|all] [OUT_JSON]" >&2
+    echo "usage: tools/run_bench.sh [pr1|pr2|pr3|pr5|pr6|pr7|pr8|all] [OUT_JSON]" >&2
     exit 1
     ;;
 esac
