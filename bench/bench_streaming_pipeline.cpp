@@ -9,11 +9,19 @@
 //   ./bench_streaming_pipeline [--horizon 80] [--worker_rate 100]
 //                              [--task_rate 3] [--budget 6] [--threads 4]
 //                              [--seed 42] [--json BENCH_PR6.json]
-//                              [--soak_seconds 0]
+//                              [--soak_seconds 0] [--mode pr6]
 //
 // --soak_seconds > 0 switches to soak mode: the incremental+pipelined
 // configuration is re-run until the wall-clock budget is spent, checking
 // every iteration against the first — the TSan CI job drives this.
+//
+// --mode pr9 switches to the parallel-ingest scaling benchmark (PR9): a
+// sustained rush-hour trace (1M workers at the run_bench.sh settings)
+// streamed through a TraceCursor, run once on the serial PR-6 ingest
+// path (CASC_NO_PARALLEL_INGEST=1) and then swept over
+// CASC_INGEST_THREADS in {1,2,4,8} plus a pipelined run — all outputs
+// CHECKed identical — reporting the per-phase ingest split, per-batch
+// p50/p99 and the ingest speedup vs the serial path.
 
 #include <cstdio>
 #include <cstdlib>
@@ -156,6 +164,180 @@ double TotalOf(const ConfigResult& result,
   return sum;
 }
 
+/// Steady-state per-batch mean of one timing field, skipping the first
+/// quarter as warmup (the rush window floods the pool there).
+double SteadyMeanOf(const ConfigResult& result,
+                    double casc::BatchMetrics::*field) {
+  const auto& batches = result.summary.batches;
+  const size_t warmup = batches.size() / 4;
+  if (batches.size() <= warmup) return 0.0;
+  double sum = 0.0;
+  for (size_t i = warmup; i < batches.size(); ++i) sum += batches[i].*field;
+  return sum / static_cast<double>(batches.size() - warmup);
+}
+
+// ---------------------------------------------------------------------------
+// --mode pr9: parallel-ingest scaling on a 1M-worker rush-hour trace
+// ---------------------------------------------------------------------------
+
+/// Streams the pr9 rush-hour trace through a TraceCursor straight into
+/// the event-stream vectors: at 1M workers the full Trace struct is
+/// never materialized alongside the stream. Small working radii keep the
+/// valid pairs sparse, so the data plane — not the solver — dominates.
+casc::EventStream MakePr9Stream(double horizon, double worker_rate,
+                                double task_rate, uint64_t seed) {
+  casc::TraceConfig config;
+  config.horizon = horizon;
+  config.worker_rate = worker_rate;
+  config.task_rate = task_rate;
+  config.rush_windows.push_back({0.0, horizon * 0.15, 4.0});
+  config.worker.radius_min = 0.008;
+  config.worker.radius_max = 0.015;
+  config.worker.speed_min = 0.05;
+  config.worker.speed_max = 0.10;
+  config.task.remaining_time = 12.0;
+  config.task.capacity = 4;
+  casc::Rng rng(seed);
+  casc::TraceCursor cursor(config, &rng);
+  std::vector<casc::Worker> workers;
+  workers.reserve(static_cast<size_t>(cursor.num_workers()));
+  casc::Worker worker;
+  while (cursor.NextWorker(&worker)) workers.push_back(worker);
+  std::vector<casc::Task> tasks;
+  casc::Task task;
+  while (cursor.NextTask(&task)) tasks.push_back(task);
+  return casc::EventStream(std::move(workers), std::move(tasks));
+}
+
+int RunPr9(const casc::FlagParser& flags) {
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt64("seed"));
+  const int threads = static_cast<int>(flags.GetInt64("threads"));
+  const int budget = static_cast<int>(flags.GetInt64("budget"));
+  const casc::EventStream stream =
+      MakePr9Stream(flags.GetDouble("horizon"),
+                    flags.GetDouble("worker_rate"),
+                    flags.GetDouble("task_rate"), seed);
+  const casc::CooperationMatrix coop = casc::CooperationMatrix::Procedural(
+      static_cast<int>(stream.num_workers()), seed ^ 0x9E3779B9u);
+  std::printf("pr9 trace: %zu workers, %zu tasks over %.0f intervals\n",
+              stream.num_workers(), stream.num_tasks(),
+              flags.GetDouble("horizon"));
+  std::fflush(stdout);
+
+  struct Pr9Config {
+    const char* name;
+    int ingest_threads;  // 0 = serial kill switch
+    bool pipeline;
+  };
+  const Pr9Config configs[] = {
+      {"serial-pr6", 0, false}, {"threads-1", 1, false},
+      {"threads-2", 2, false},  {"threads-4", 4, false},
+      {"threads-8", 8, false},  {"pipelined-4", 4, true},
+  };
+
+  std::vector<ConfigResult> results;
+  for (const Pr9Config& config : configs) {
+    if (config.ingest_threads == 0) {
+      ::setenv("CASC_NO_PARALLEL_INGEST", "1", 1);
+      ::unsetenv("CASC_INGEST_THREADS");
+    } else {
+      ::unsetenv("CASC_NO_PARALLEL_INGEST");
+      ::setenv("CASC_INGEST_THREADS",
+               std::to_string(config.ingest_threads).c_str(), 1);
+    }
+    std::printf("running %s...\n", config.name);
+    std::fflush(stdout);
+    results.push_back(RunConfig(config.name, /*incremental=*/true,
+                                config.pipeline, stream, coop, threads,
+                                budget));
+    if (results.size() > 1) CheckIdentical(results.front(), results.back());
+  }
+  ::unsetenv("CASC_NO_PARALLEL_INGEST");
+  ::unsetenv("CASC_INGEST_THREADS");
+
+  const double serial_ingest =
+      TotalOf(results[0], &casc::BatchMetrics::ingest_seconds);
+  std::ostringstream json;
+  json.precision(std::numeric_limits<double>::max_digits10);
+  json << "{\"bench\":\"streaming_pipeline_pr9\",\"seed\":" << seed
+       << ",\"threads\":" << threads << ",\"budget\":" << budget
+       << ",\"workers\":" << stream.num_workers()
+       << ",\"tasks\":" << stream.num_tasks()
+       << ",\"batches\":" << results[0].summary.batches.size()
+       << ",\"serial_ingest_seconds\":" << serial_ingest << ",\"configs\":[";
+
+  std::printf("  %-13s %9s %9s %9s %9s %9s %9s %9s %9s\n", "config",
+              "ingest", "splice", "fresh", "spatial", "csr", "speedup",
+              "p50", "p99");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ConfigResult& result = results[i];
+    const Pr9Config& config = configs[i];
+    const double ingest =
+        TotalOf(result, &casc::BatchMetrics::ingest_seconds);
+    const double splice =
+        TotalOf(result, &casc::BatchMetrics::ingest_splice_seconds);
+    const double fresh =
+        TotalOf(result, &casc::BatchMetrics::ingest_fresh_rows_seconds);
+    const double spatial =
+        TotalOf(result, &casc::BatchMetrics::ingest_spatial_seconds);
+    const double csr_emit =
+        TotalOf(result, &casc::BatchMetrics::csr_emit_seconds);
+    const double speedup = ingest > 0.0 ? serial_ingest / ingest : 0.0;
+    const double steady_ingest =
+        SteadyMeanOf(result, &casc::BatchMetrics::ingest_seconds);
+    const double steady_solve =
+        SteadyMeanOf(result, &casc::BatchMetrics::seconds);
+    std::printf("  %-13s %8.2fs %8.2fs %8.2fs %8.2fs %8.2fs %8.2fx "
+                "%7.2fms %7.2fms\n",
+                result.name.c_str(), ingest, splice, fresh, spatial,
+                csr_emit, speedup, result.latency.p50_seconds * 1e3,
+                result.latency.p99_seconds * 1e3);
+
+    if (i > 0) json << ",";
+    json << "{\"name\":\"" << result.name
+         << "\",\"ingest_threads\":" << config.ingest_threads
+         << ",\"pipeline\":" << (config.pipeline ? 1 : 0)
+         << ",\"score\":" << result.summary.TotalScore()
+         << ",\"run_seconds\":" << result.run_seconds
+         << ",\"ingest_seconds\":" << ingest
+         << ",\"ingest_splice_seconds\":" << splice
+         << ",\"ingest_fresh_rows_seconds\":" << fresh
+         << ",\"ingest_spatial_seconds\":" << spatial
+         << ",\"csr_emit_seconds\":" << csr_emit
+         << ",\"index_build_seconds\":"
+         << TotalOf(result, &casc::BatchMetrics::index_build_seconds)
+         << ",\"solve_seconds\":"
+         << TotalOf(result, &casc::BatchMetrics::seconds)
+         << ",\"steady_ingest_seconds\":" << steady_ingest
+         << ",\"steady_solve_seconds\":" << steady_solve
+         << ",\"ingest_speedup_vs_serial\":" << speedup
+         << ",\"latency\":" << result.latency.ToJson() << "}";
+  }
+
+  // The acceptance comparison: at >= 4 ingest threads the data plane
+  // should no longer be the bottleneck relative to the solve.
+  const ConfigResult& four = results[3];
+  const double four_ingest =
+      SteadyMeanOf(four, &casc::BatchMetrics::ingest_seconds);
+  const double four_solve =
+      SteadyMeanOf(four, &casc::BatchMetrics::seconds);
+  json << "],\"steady_ingest_at_4_threads\":" << four_ingest
+       << ",\"steady_solve_at_4_threads\":" << four_solve
+       << ",\"ingest_le_solve_at_4_threads\":"
+       << (four_ingest <= four_solve ? 1 : 0) << "}";
+  std::printf("steady ingest at 4 threads: %.2fms/batch vs solve "
+              "%.2fms/batch\n",
+              four_ingest * 1e3, four_solve * 1e3);
+
+  const std::string path = flags.GetString("json");
+  if (!path.empty()) {
+    std::ofstream out(path);
+    out << json.str() << "\n";
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -169,6 +351,9 @@ int main(int argc, char** argv) {
   flags.DefineString("json", "BENCH_PR6.json", "JSON output path");
   flags.DefineInt64("soak_seconds", 0,
                     "soak mode: re-run the pipelined config this long");
+  flags.DefineString("mode", "pr6",
+                     "pr6: four {incremental,pipeline} combos; pr9: "
+                     "parallel-ingest thread-scaling sweep");
   const casc::Status status = flags.Parse(argc, argv);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
@@ -180,6 +365,10 @@ int main(int argc, char** argv) {
   ::unsetenv("CASC_NO_INCREMENTAL");
   ::unsetenv("CASC_NO_PIPELINE");
   ::unsetenv("CASC_STREAM_AUDIT");
+  // Ambient CASC_INGEST_THREADS / CASC_NO_PARALLEL_INGEST are left in
+  // place for pr6/soak (the TSan CI soak forces the fan-out through
+  // them); pr9 manages both itself per configuration.
+  if (flags.GetString("mode") == "pr9") return RunPr9(flags);
 
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt64("seed"));
   const int threads = static_cast<int>(flags.GetInt64("threads"));

@@ -28,9 +28,7 @@ int ThreadPool::DefaultThreads() {
 }
 
 void ThreadPool::RunChunk(int chunk_index) {
-  const int64_t threads = num_threads_;
-  const int64_t begin = count_ * chunk_index / threads;
-  const int64_t end = count_ * (chunk_index + 1) / threads;
+  const auto [begin, end] = ChunkBounds(count_, num_threads_, chunk_index);
   for (int64_t i = begin; i < end; ++i) (*fn_)(i);
 }
 

@@ -6,6 +6,7 @@
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace casc {
@@ -40,6 +41,19 @@ class ThreadPool {
 
   /// Runs fn(i) for every i in [0, count); returns once all are done.
   void ParallelFor(int64_t count, const std::function<void(int64_t)>& fn);
+
+  /// The contiguous sub-range of [0, count) that ParallelFor assigns to
+  /// chunk `chunk` of `chunks`: [count*chunk/chunks, count*(chunk+1)/chunks).
+  /// Callers that fan out one ParallelFor index per chunk (to keep
+  /// per-thread scratch) use this to partition exactly like the pool
+  /// itself, so a later pass over the same count realigns with the
+  /// per-chunk buffers of an earlier pass.
+  static std::pair<int64_t, int64_t> ChunkBounds(int64_t count, int chunks,
+                                                 int chunk) {
+    const int64_t begin = count * chunk / chunks;
+    const int64_t end = count * (chunk + 1) / chunks;
+    return {begin, end};
+  }
 
   /// The hardware concurrency, at least 1.
   static int DefaultThreads();

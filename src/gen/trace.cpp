@@ -44,33 +44,56 @@ double RateMultiplierAt(const TraceConfig& config, double t) {
   return multiplier;
 }
 
-Trace GenerateTrace(const TraceConfig& config, Rng* rng) {
-  CASC_CHECK(rng != nullptr);
-  CASC_CHECK_GT(config.horizon, 0.0);
-  CASC_CHECK_GE(config.worker_rate, 0.0);
-  CASC_CHECK_GE(config.task_rate, 0.0);
-  for (const RushWindow& window : config.rush_windows) {
+TraceCursor::TraceCursor(const TraceConfig& config, Rng* rng)
+    : config_(config), rng_(rng) {
+  CASC_CHECK(rng_ != nullptr);
+  CASC_CHECK_GT(config_.horizon, 0.0);
+  CASC_CHECK_GE(config_.worker_rate, 0.0);
+  CASC_CHECK_GE(config_.task_rate, 0.0);
+  for (const RushWindow& window : config_.rush_windows) {
     CASC_CHECK_LE(window.start, window.end);
     CASC_CHECK_GT(window.multiplier, 0.0);
   }
+  worker_times_ = PoissonArrivals(config_, config_.worker_rate, rng_);
+  num_workers_ = static_cast<int64_t>(worker_times_.size());
+}
 
+bool TraceCursor::NextWorker(Worker* out) {
+  CASC_CHECK(out != nullptr);
+  if (next_worker_ >= worker_times_.size()) return false;
+  *out = GenerateWorker(static_cast<int64_t>(next_worker_), config_.worker,
+                        worker_times_[next_worker_], rng_);
+  ++next_worker_;
+  return true;
+}
+
+bool TraceCursor::NextTask(Task* out) {
+  CASC_CHECK(out != nullptr);
+  if (!task_times_drawn_) {
+    CASC_CHECK_EQ(next_worker_, worker_times_.size())
+        << "drain the worker stream before the task stream: task arrival "
+           "times are drawn after the last worker attribute";
+    // The worker times are spent; release them before the task phase so
+    // the cursor never holds both vectors.
+    worker_times_ = std::vector<double>();
+    task_times_ = PoissonArrivals(config_, config_.task_rate, rng_);
+    task_times_drawn_ = true;
+  }
+  if (next_task_ >= task_times_.size()) return false;
+  *out = GenerateTask(static_cast<int64_t>(next_task_), config_.task,
+                      task_times_[next_task_], rng_);
+  ++next_task_;
+  return true;
+}
+
+Trace GenerateTrace(const TraceConfig& config, Rng* rng) {
+  TraceCursor cursor(config, rng);
   Trace trace;
-  const std::vector<double> worker_times =
-      PoissonArrivals(config, config.worker_rate, rng);
-  trace.workers.reserve(worker_times.size());
-  for (size_t i = 0; i < worker_times.size(); ++i) {
-    Worker worker = GenerateWorker(static_cast<int64_t>(i), config.worker,
-                                   worker_times[i], rng);
-    trace.workers.push_back(worker);
-  }
-
-  const std::vector<double> task_times =
-      PoissonArrivals(config, config.task_rate, rng);
-  trace.tasks.reserve(task_times.size());
-  for (size_t j = 0; j < task_times.size(); ++j) {
-    trace.tasks.push_back(GenerateTask(static_cast<int64_t>(j), config.task,
-                                       task_times[j], rng));
-  }
+  trace.workers.reserve(static_cast<size_t>(cursor.num_workers()));
+  Worker worker;
+  while (cursor.NextWorker(&worker)) trace.workers.push_back(worker);
+  Task task;
+  while (cursor.NextTask(&task)) trace.tasks.push_back(task);
   return trace;
 }
 

@@ -42,9 +42,49 @@ struct Trace {
 /// (product of all covering rush windows; 1.0 outside them).
 double RateMultiplierAt(const TraceConfig& config, double t);
 
+/// Streams a trace event by event instead of materializing the full
+/// Worker/Task vectors. Only the arrival-time vectors are held (8 bytes
+/// per event); each record's attributes are sampled on the call that
+/// yields it. Draw-for-draw identical to GenerateTrace for the same
+/// (config, rng state): the constructor replays its exact rng phase
+/// order — all worker arrival times (thinning draws included), then
+/// per-worker attributes in id order, then all task times, then
+/// per-task attributes — so draining the cursor reproduces the trace
+/// bit for bit. The 1M-worker benches stream arrivals straight into the
+/// event stream through this cursor.
+class TraceCursor {
+ public:
+  /// Validates `config` and draws the worker arrival times. `rng` must
+  /// outlive the cursor.
+  TraceCursor(const TraceConfig& config, Rng* rng);
+
+  /// Yields the next worker (ids 0..num_workers()-1, ascending arrival
+  /// time). Returns false when the worker stream is exhausted.
+  bool NextWorker(Worker* out);
+
+  /// Yields the next task. The worker stream must be exhausted first
+  /// (CHECK): task arrival times are drawn after the last worker
+  /// attribute, matching GenerateTrace's draw order. The worker-time
+  /// vector is released at that point.
+  bool NextTask(Task* out);
+
+  int64_t num_workers() const { return num_workers_; }
+
+ private:
+  TraceConfig config_;
+  Rng* rng_;
+  std::vector<double> worker_times_;
+  std::vector<double> task_times_;
+  int64_t num_workers_ = 0;
+  size_t next_worker_ = 0;
+  size_t next_task_ = 0;
+  bool task_times_drawn_ = false;
+};
+
 /// Samples a trace. Arrival times come from Poisson thinning against the
 /// peak rate, so rush windows genuinely concentrate arrivals.
-/// Deterministic for a given (config, rng state).
+/// Deterministic for a given (config, rng state). Implemented as a
+/// TraceCursor drain, so the two are equivalent by construction.
 Trace GenerateTrace(const TraceConfig& config, Rng* rng);
 
 }  // namespace casc

@@ -55,10 +55,7 @@ void ValidPairIndex::FinishWorker() {
   ++built_workers_;
 }
 
-void ValidPairIndex::FinishBuild() {
-  CASC_CHECK(building_);
-  CASC_CHECK_EQ(built_workers_, expected_workers_)
-      << "every worker's row must be finished before FinishBuild()";
+void ValidPairIndex::DeriveTaskMajor() {
   // Counting pass: worker_offsets_[t + 1] accumulates |candidates of t|,
   // then a prefix sum turns counts into CSR offsets.
   for (const TaskIndex t : task_flat_) {
@@ -80,6 +77,51 @@ void ValidPairIndex::FinishBuild() {
           static_cast<WorkerIndex>(w);
     }
   }
+}
+
+void ValidPairIndex::FinishBuild() {
+  CASC_CHECK(building_);
+  CASC_CHECK_EQ(built_workers_, expected_workers_)
+      << "every worker's row must be finished before FinishBuild()";
+  DeriveTaskMajor();
+  building_ = false;
+  ready_ = true;
+}
+
+int32_t* ValidPairIndex::StartParallelBuild(int num_workers, int num_tasks) {
+  CASC_CHECK_GE(num_workers, 0);
+  CASC_CHECK_GE(num_tasks, 0);
+  ready_ = false;
+  building_ = true;
+  expected_workers_ = num_workers;
+  built_workers_ = num_workers;  // the caller fills every row itself
+  NoteGrowth(task_offsets_, static_cast<size_t>(num_workers) + 1);
+  task_offsets_.resize(static_cast<size_t>(num_workers) + 1);
+  task_flat_.clear();
+  NoteGrowth(worker_offsets_, static_cast<size_t>(num_tasks) + 1);
+  worker_offsets_.assign(static_cast<size_t>(num_tasks) + 1, 0);
+  worker_flat_.clear();
+  return task_offsets_.data();
+}
+
+TaskIndex* ValidPairIndex::AllocateParallelFlat() {
+  CASC_CHECK(building_);
+  const size_t total = static_cast<size_t>(task_offsets_.back());
+  NoteGrowth(task_flat_, total);
+  task_flat_.resize(total);
+  return task_flat_.data();
+}
+
+void ValidPairIndex::FinishParallelBuild() {
+  CASC_CHECK(building_);
+  CASC_CHECK_EQ(task_flat_.size(), static_cast<size_t>(task_offsets_.back()))
+      << "AllocateParallelFlat() must run after the offsets are final";
+  for (size_t w = 1; w < task_offsets_.size(); ++w) {
+    CASC_CHECK_GE(task_offsets_[w], task_offsets_[w - 1])
+        << "parallel-built offsets must be monotone";
+  }
+  CASC_CHECK_EQ(task_offsets_.front(), 0);
+  DeriveTaskMajor();
   building_ = false;
   ready_ = true;
 }

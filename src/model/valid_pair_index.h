@@ -49,6 +49,33 @@ class ValidPairIndex {
   /// are scanned in ascending order.
   void FinishBuild();
 
+  /// Parallel build protocol (counting pass -> exclusive prefix sum ->
+  /// parallel fill), used by the streaming plane's fanned-out CSR
+  /// emission. The caller computes every row length up front, writes the
+  /// final worker-major offsets directly, then fills the flat array with
+  /// each worker's tasks (ascending per worker) through disjoint ranges —
+  /// safe from many threads because no two workers share a range:
+  ///
+  ///   int32_t* offsets = index.StartParallelBuild(W, T);
+  ///   offsets[0] = 0; offsets[w + 1] = offsets[w] + row_length(w);
+  ///   TaskIndex* flat = index.AllocateParallelFlat();
+  ///   // fill flat[offsets[w] .. offsets[w+1]) per worker, any order of
+  ///   // workers across threads
+  ///   index.FinishParallelBuild();
+  ///
+  /// The resulting arrays are byte-identical to a serial
+  /// BeginBuild/AppendValidTask/FinishWorker/FinishBuild sequence
+  /// appending the same rows.
+  int32_t* StartParallelBuild(int num_workers, int num_tasks);
+
+  /// Sizes the worker-major flat array to offsets[num_workers] (which the
+  /// caller must have filled) and returns it for parallel writing.
+  TaskIndex* AllocateParallelFlat();
+
+  /// Seals a StartParallelBuild() construction: checks the offsets are
+  /// monotone, derives the task-major direction and makes the index ready.
+  void FinishParallelBuild();
+
   /// True between FinishBuild() and the next Clear()/BeginBuild().
   bool ready() const { return ready_; }
 
@@ -82,6 +109,11 @@ class ValidPairIndex {
   static int64_t TotalReallocs();
 
  private:
+  /// Counting pass + prefix sum + cursor fill turning the worker-major
+  /// arrays into the task-major direction; shared tail of FinishBuild()
+  /// and FinishParallelBuild().
+  void DeriveTaskMajor();
+
   bool ready_ = false;
   bool building_ = false;
   int expected_workers_ = 0;

@@ -74,7 +74,12 @@ std::string ServiceMetrics::ToJson() const {
       << ",\"ingest_seconds\":" << ingest_seconds
       << ",\"index_build_seconds\":" << index_build_seconds
       << ",\"batch_seconds\":" << batch_seconds
-      << ",\"pipelined\":" << (pipelined ? 1 : 0) << "}";
+      << ",\"pipelined\":" << (pipelined ? 1 : 0)
+      << ",\"ingest_splice_seconds\":" << ingest_splice_seconds
+      << ",\"ingest_fresh_rows_seconds\":" << ingest_fresh_rows_seconds
+      << ",\"ingest_spatial_seconds\":" << ingest_spatial_seconds
+      << ",\"csr_emit_seconds\":" << csr_emit_seconds
+      << ",\"ingest_threads\":" << ingest_threads << "}";
   return out.str();
 }
 
@@ -266,6 +271,16 @@ RunSummary DispatchService::Run(const EventStream& stream) {
   plane_config.audit |= config_.audit_streaming;
   const bool pipeline = config_.enable_pipeline &&
                         std::getenv("CASC_NO_PIPELINE") == nullptr;
+  // Pool-slice policy: when the pipeline is on, ingest runs concurrently
+  // with the shard solvers, so the plane gets its own slice of the host
+  // (what the shard executor does not use) instead of competing for the
+  // same cores. An explicit CASC_INGEST_THREADS always wins.
+  if (plane_config.incremental && plane_config.parallel_ingest &&
+      plane_config.ingest_threads <= 0) {
+    const int hw = ThreadPool::DefaultThreads();
+    plane_config.ingest_threads =
+        pipeline ? std::max(1, hw - config_.sharded.num_threads) : hw;
+  }
 
   // Cross-batch pools and delta-maintained valid-pair rows.
   StreamingPlane plane(plane_config);
@@ -308,6 +323,11 @@ RunSummary DispatchService::Run(const EventStream& stream) {
       ingest_seconds = overlapped_ingest_seconds;
       ingested_ahead = false;
     }
+    // Snapshot the phase split before the overlap chunk's Ingest of the
+    // NEXT batch overwrites the plane's counters. When this batch's
+    // ingest rode along the previous solve, the plane still holds its
+    // stats (nothing ingested since), so the same snapshot covers both.
+    const StreamingIngestStats ingest_stats = plane.ingest_stats();
     plane.StageReleases(now);
     plane.FlushReleases();
     plane.Expire(now);
@@ -332,6 +352,7 @@ RunSummary DispatchService::Run(const EventStream& stream) {
       instance.set_objective(objective_);
       plane.BuildValidPairs(&instance, &build_workspace_);
       const double index_build_seconds = build_watch.ElapsedSeconds();
+      const StreamingEmitStats emit_stats = plane.emit_stats();
 
       const double next_now = now + config_.batch_interval;
       const bool overlap = pipeline && next_now < end;
@@ -378,6 +399,10 @@ RunSummary DispatchService::Run(const EventStream& stream) {
       }
       batch.ingest_seconds = ingest_seconds;
       batch.index_build_seconds = index_build_seconds;
+      batch.ingest_splice_seconds = ingest_stats.splice_seconds;
+      batch.ingest_fresh_rows_seconds = ingest_stats.fresh_rows_seconds;
+      batch.ingest_spatial_seconds = ingest_stats.spatial_insert_seconds;
+      batch.csr_emit_seconds = emit_stats.csr_emit_seconds;
 
       // Commit: groups reaching B start now; everyone else carries over,
       // together with the admission queue's deferred overflow.
@@ -389,6 +414,11 @@ RunSummary DispatchService::Run(const EventStream& stream) {
       metrics.queue_depth = plane.queue_depth_after_commit();
       metrics.ingest_seconds = ingest_seconds;
       metrics.index_build_seconds = index_build_seconds;
+      metrics.ingest_splice_seconds = ingest_stats.splice_seconds;
+      metrics.ingest_fresh_rows_seconds = ingest_stats.fresh_rows_seconds;
+      metrics.ingest_spatial_seconds = ingest_stats.spatial_insert_seconds;
+      metrics.csr_emit_seconds = emit_stats.csr_emit_seconds;
+      metrics.ingest_threads = plane.ingest_threads();
       metrics.pipelined = was_overlapped;
       // Critical path: ingest counts only when it did not ride along a
       // previous solve.

@@ -66,6 +66,18 @@ struct ServiceMetrics {
   double batch_seconds = 0.0;
   bool pipelined = false;  ///< ingest ran overlapped with the prior solve
 
+  /// Split of the incremental data-plane work (all zero in scratch
+  /// mode): delta splice into known rows, fresh rows for new workers and
+  /// the persistent spatial batch insert are parts of ingest_seconds;
+  /// csr_emit_seconds is the parallel CSR emission inside
+  /// index_build_seconds. `ingest_threads` is the plane's resolved
+  /// fan-out width (1 = serial / CASC_NO_PARALLEL_INGEST).
+  double ingest_splice_seconds = 0.0;
+  double ingest_fresh_rows_seconds = 0.0;
+  double ingest_spatial_seconds = 0.0;
+  double csr_emit_seconds = 0.0;
+  int ingest_threads = 1;
+
   /// Candidate-pruning work across the phase-1 shard solvers: exact
   /// marginal evaluations performed vs. skipped via upper bounds (see
   /// AssignerStats::prune_candidates_*). Phase-2 polishing is not

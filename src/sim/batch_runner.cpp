@@ -141,6 +141,12 @@ RunSummary BatchRunner::RunStreaming(const EventStream& stream,
                        round, now, &assignment);
       metrics.ingest_seconds = ingest_seconds;
       metrics.index_build_seconds = index_build_seconds;
+      metrics.ingest_splice_seconds = plane.ingest_stats().splice_seconds;
+      metrics.ingest_fresh_rows_seconds =
+          plane.ingest_stats().fresh_rows_seconds;
+      metrics.ingest_spatial_seconds =
+          plane.ingest_stats().spatial_insert_seconds;
+      metrics.csr_emit_seconds = plane.emit_stats().csr_emit_seconds;
       summary.batches.push_back(metrics);
 
       // Commit: tasks reaching B start now and occupy their workers for

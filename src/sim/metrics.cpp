@@ -30,7 +30,12 @@ std::string ToJson(const BatchMetrics& metrics) {
       << ",\"completed_tasks\":" << metrics.completed_tasks
       << ",\"gt_rounds\":" << metrics.gt_rounds
       << ",\"ingest_seconds\":" << metrics.ingest_seconds
-      << ",\"index_build_seconds\":" << metrics.index_build_seconds << "}";
+      << ",\"index_build_seconds\":" << metrics.index_build_seconds
+      << ",\"ingest_splice_seconds\":" << metrics.ingest_splice_seconds
+      << ",\"ingest_fresh_rows_seconds\":"
+      << metrics.ingest_fresh_rows_seconds
+      << ",\"ingest_spatial_seconds\":" << metrics.ingest_spatial_seconds
+      << ",\"csr_emit_seconds\":" << metrics.csr_emit_seconds << "}";
   return out.str();
 }
 

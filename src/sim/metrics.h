@@ -27,6 +27,16 @@ struct BatchMetrics {
   /// previous batch's solve, so it is reported but off the critical path.
   double ingest_seconds = 0.0;
   double index_build_seconds = 0.0;
+
+  /// Where the incremental plane spent the ingest/build time (all zero in
+  /// scratch mode): delta splice into known rows, fresh rows for new
+  /// workers, the persistent spatial-index batch insert, and the CSR
+  /// emission inside the valid-pair build. The first three are parts of
+  /// ingest_seconds; csr_emit_seconds is part of index_build_seconds.
+  double ingest_splice_seconds = 0.0;
+  double ingest_fresh_rows_seconds = 0.0;
+  double ingest_spatial_seconds = 0.0;
+  double csr_emit_seconds = 0.0;
 };
 
 /// Aggregate of a multi-batch run.

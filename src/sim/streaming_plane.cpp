@@ -5,6 +5,8 @@
 #include <cstdlib>
 
 #include "common/check.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "geo/reachability.h"
 #include "spatial/grid_index.h"
 #include "spatial/linear_scan.h"
@@ -18,7 +20,13 @@ namespace {
 /// do (identical query results); this only tunes the constant.
 std::unique_ptr<SpatialIndex> MakeDeltaIndex(
     const std::vector<SpatialItem>& items) {
-  if (items.size() < 64) {
+  // The probe index is queried once per known worker, so at 1M workers
+  // even a 40-item delta deserves cell pruning: the grid pays off as
+  // soon as it beats a linear scan per probe, which happens well below
+  // the old 64-item cutoff for the small working radii large worlds
+  // use. Backend choice never affects outputs (all backends return
+  // ascending ids).
+  if (items.size() < 16) {
     auto linear = std::make_unique<LinearScan>();
     linear->Build(items);
     return linear;
@@ -30,6 +38,10 @@ std::unique_ptr<SpatialIndex> MakeDeltaIndex(
   return grid;
 }
 
+/// Below this many rows a loop runs inline: the fan-out costs more than
+/// the work it distributes.
+constexpr size_t kMinRowsPerChunk = 256;
+
 }  // namespace
 
 StreamingPlaneConfig StreamingPlaneConfig::FromEnv() {
@@ -39,6 +51,10 @@ StreamingPlaneConfig StreamingPlaneConfig::FromEnv() {
   // between runs in one process.
   config.incremental = std::getenv("CASC_NO_INCREMENTAL") == nullptr;
   config.audit = std::getenv("CASC_STREAM_AUDIT") != nullptr;
+  config.parallel_ingest = std::getenv("CASC_NO_PARALLEL_INGEST") == nullptr;
+  if (const char* threads = std::getenv("CASC_INGEST_THREADS")) {
+    config.ingest_threads = std::max(0, std::atoi(threads));
+  }
   return config;
 }
 
@@ -61,17 +77,49 @@ StreamingPlane::StreamingPlane(StreamingPlaneConfig config)
         break;
     }
     CASC_CHECK(task_index_ != nullptr);
+    if (config_.parallel_ingest) {
+      ingest_threads_ = config_.ingest_threads > 0
+                            ? config_.ingest_threads
+                            : ThreadPool::DefaultThreads();
+      ingest_threads_ = std::max(1, ingest_threads_);
+    }
+    if (ingest_threads_ > 1) {
+      ingest_pool_ = std::make_unique<ThreadPool>(ingest_threads_);
+    }
   }
+  slots_.resize(static_cast<size_t>(std::max(1, ingest_threads_)));
 }
 
 StreamingPlane::~StreamingPlane() = default;
 
+int StreamingPlane::ChunksFor(size_t count) const {
+  if (ingest_threads_ <= 1 || count < 2 * kMinRowsPerChunk) return 1;
+  const size_t by_grain = std::max<size_t>(count / kMinRowsPerChunk, 1);
+  return static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(ingest_threads_), by_grain));
+}
+
+void StreamingPlane::RunOnChunks(
+    size_t count, int chunks,
+    const std::function<void(int, size_t, size_t)>& fn) {
+  if (chunks <= 1 || ingest_pool_ == nullptr) {
+    fn(0, 0, count);
+    return;
+  }
+  ingest_pool_->ParallelFor(chunks, [&](int64_t chunk) {
+    const auto [begin, end] = ThreadPool::ChunkBounds(
+        static_cast<int64_t>(count), chunks, static_cast<int>(chunk));
+    fn(static_cast<int>(chunk), static_cast<size_t>(begin),
+       static_cast<size_t>(end));
+  });
+}
+
 void StreamingPlane::SpliceRow(int32_t handle, const SpatialIndex& tasks,
-                               double now) {
+                               double now, IngestSlot* scratch) {
   const Worker& worker = worker_store_[static_cast<size_t>(handle)];
   std::vector<int32_t>& row = rows_[static_cast<size_t>(handle)];
-  for (const int64_t task_handle :
-       tasks.CircleQuery(worker.location, worker.radius)) {
+  tasks.CircleQueryInto(worker.location, worker.radius, &scratch->query);
+  for (const int64_t task_handle : scratch->query) {
     const int32_t slot = slot_of_handle_[static_cast<size_t>(task_handle)];
     const Task& task = pool_tasks_[static_cast<size_t>(slot)];
     // The circle query already established the working-area condition
@@ -79,61 +127,103 @@ void StreamingPlane::SpliceRow(int32_t handle, const SpatialIndex& tasks,
     // pass it later, so it is correct to never record it.
     if (!CanArriveByDeadline(worker.location, worker.speed, task.location,
                              now, task.deadline)) {
+      ++scratch->rejects;
       continue;
     }
     row.push_back(static_cast<int32_t>(task_handle));
+    ++scratch->appended;
   }
 }
 
 void StreamingPlane::Ingest(double now, std::span<const Worker> workers,
                             std::span<const Task> tasks) {
+  ingest_stats_ = StreamingIngestStats{};
   const size_t known_workers = worker_store_.size();
 
-  // Tasks first: new workers' rows below must see them.
+  // Tasks first: new workers' rows below must see them. Pool bookkeeping
+  // stays serial (it is O(arrivals) pointer pushes).
   for (const Task& task : tasks) {
     const int32_t handle = static_cast<int32_t>(slot_of_handle_.size());
     slot_of_handle_.push_back(static_cast<int32_t>(pool_tasks_.size()));
     pool_task_handles_.push_back(handle);
     pool_tasks_.push_back(task);
-    if (config_.incremental) {
-      task_index_->Insert(SpatialItem{handle, task.location});
-    }
   }
 
-  if (config_.incremental) {
-    // Splice the arrivals into every known worker's row — including busy
-    // workers, so a returning worker's row is already current. One probe
-    // query per worker against just the delta keeps this O(delta)-ish.
-    if (!tasks.empty() && known_workers > 0) {
-      rebuild_items_.clear();
-      for (size_t i = 0; i < tasks.size(); ++i) {
-        const int32_t handle = static_cast<int32_t>(
-            slot_of_handle_.size() - tasks.size() + i);
-        rebuild_items_.push_back(SpatialItem{handle, tasks[i].location});
-      }
-      const std::unique_ptr<SpatialIndex> delta =
-          MakeDeltaIndex(rebuild_items_);
-      for (size_t h = 0; h < known_workers; ++h) {
-        SpliceRow(static_cast<int32_t>(h), *delta, now);
-      }
-    }
-    // New workers: one full circle query each against the persistent
-    // index (which now includes this window's tasks).
-    for (const Worker& worker : workers) {
-      const int32_t handle = static_cast<int32_t>(worker_store_.size());
-      worker_store_.push_back(worker);
-      rows_.emplace_back();
-      SpliceRow(handle, *task_index_, now);
-      pool_worker_handles_.push_back(handle);
-    }
-  } else {
+  if (!config_.incremental) {
     for (const Worker& worker : workers) {
       const int32_t handle = static_cast<int32_t>(worker_store_.size());
       worker_store_.push_back(worker);
       rows_.emplace_back();
       pool_worker_handles_.push_back(handle);
+    }
+    return;
+  }
+
+  Stopwatch phase;
+  if (!tasks.empty()) {
+    rebuild_items_.clear();
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      const int32_t handle =
+          static_cast<int32_t>(slot_of_handle_.size() - tasks.size() + i);
+      rebuild_items_.push_back(SpatialItem{handle, tasks[i].location});
+    }
+    task_index_->InsertBatch(rebuild_items_, ingest_pool_.get());
+  }
+  ingest_stats_.spatial_insert_seconds = phase.ElapsedSeconds();
+
+  // Splice the arrivals into every known worker's row — including busy
+  // workers, so a returning worker's row is already current. One probe
+  // query per worker against just the delta keeps this O(delta)-ish.
+  // Each chunk writes only its own contiguous handle range's rows, so
+  // the fan-out is race-free and the per-row outcome is exactly the
+  // serial loop's; counters merge in fixed chunk order below.
+  phase.Restart();
+  if (!tasks.empty() && known_workers > 0) {
+    const std::unique_ptr<SpatialIndex> delta = MakeDeltaIndex(rebuild_items_);
+    const int chunks = ChunksFor(known_workers);
+    RunOnChunks(known_workers, chunks, [&](int chunk, size_t begin,
+                                           size_t end) {
+      IngestSlot& scratch = slots_[static_cast<size_t>(chunk)];
+      scratch.appended = 0;
+      scratch.rejects = 0;
+      for (size_t h = begin; h < end; ++h) {
+        SpliceRow(static_cast<int32_t>(h), *delta, now, &scratch);
+      }
+    });
+    for (int c = 0; c < chunks; ++c) {
+      ingest_stats_.spliced_entries += slots_[static_cast<size_t>(c)].appended;
+      ingest_stats_.splice_rejects += slots_[static_cast<size_t>(c)].rejects;
     }
   }
+  ingest_stats_.splice_seconds = phase.ElapsedSeconds();
+
+  // New workers: one full circle query each against the persistent index
+  // (which now includes this window's tasks). The stores are resized
+  // up front so the parallel fill never reallocates under other chunks.
+  phase.Restart();
+  if (!workers.empty()) {
+    worker_store_.insert(worker_store_.end(), workers.begin(), workers.end());
+    rows_.resize(worker_store_.size());
+    const int chunks = ChunksFor(workers.size());
+    RunOnChunks(workers.size(), chunks, [&](int chunk, size_t begin,
+                                            size_t end) {
+      IngestSlot& scratch = slots_[static_cast<size_t>(chunk)];
+      scratch.appended = 0;
+      scratch.rejects = 0;
+      for (size_t i = begin; i < end; ++i) {
+        SpliceRow(static_cast<int32_t>(known_workers + i), *task_index_, now,
+                  &scratch);
+      }
+    });
+    for (int c = 0; c < chunks; ++c) {
+      ingest_stats_.fresh_entries += slots_[static_cast<size_t>(c)].appended;
+      ingest_stats_.fresh_rejects += slots_[static_cast<size_t>(c)].rejects;
+    }
+    for (size_t i = 0; i < workers.size(); ++i) {
+      pool_worker_handles_.push_back(static_cast<int32_t>(known_workers + i));
+    }
+  }
+  ingest_stats_.fresh_rows_seconds = phase.ElapsedSeconds();
 }
 
 void StreamingPlane::StageReleases(double now) {
@@ -252,6 +342,48 @@ void StreamingPlane::MaterializeAdmittedTasks(std::vector<Task>* out) const {
   }
 }
 
+void StreamingPlane::EmitWorkerRow(size_t w, double now, IngestSlot* scratch) {
+  const int32_t handle = pool_worker_handles_[w];
+  const Worker& worker = worker_store_[static_cast<size_t>(handle)];
+  if (worker.arrival_time > now) {
+    // Not present yet (sub-epsilon window edge): empty row, exactly as
+    // ComputeValidPairs() treats it. Keep the maintained row untouched.
+    row_lengths_[w] = 0;
+    return;
+  }
+  std::vector<int32_t>& row = rows_[static_cast<size_t>(handle)];
+  const size_t emit_begin = scratch->emit.size();
+  size_t keep = 0;
+  for (const int32_t task_handle : row) {
+    const int32_t slot = slot_of_handle_[static_cast<size_t>(task_handle)];
+    if (slot < 0) {
+      ++scratch->dropped;  // task left the pool: drop the entry
+      continue;
+    }
+    const Task& task = pool_tasks_[static_cast<size_t>(slot)];
+    if (!CanArriveByDeadline(worker.location, worker.speed, task.location,
+                             now, task.deadline)) {
+      // Monotone in now: the pair is dead forever, drop the entry.
+      ++scratch->dropped;
+      continue;
+    }
+    row[keep++] = task_handle;
+    ++scratch->retained;
+    const int32_t instance_index =
+        instance_index_of_slot_[static_cast<size_t>(slot)];
+    if (instance_index < 0) continue;     // alive but deferred this batch
+    if (task.create_time > now) continue;  // sub-epsilon window edge
+    scratch->emit.push_back(instance_index);
+  }
+  row.resize(keep);
+  // Rows are kept in splice order (handle-ish); the CSR contract wants
+  // ascending instance indices. Equal sets sorted the same way means
+  // the emitted arrays are byte-identical to a from-scratch build.
+  std::sort(scratch->emit.begin() + static_cast<ptrdiff_t>(emit_begin),
+            scratch->emit.end());
+  row_lengths_[w] = static_cast<int32_t>(scratch->emit.size() - emit_begin);
+}
+
 void StreamingPlane::BuildValidPairs(Instance* instance,
                                      BatchWorkspace* workspace) {
   CASC_CHECK(instance != nullptr);
@@ -273,46 +405,48 @@ void StreamingPlane::BuildValidPairs(Instance* instance,
     instance_index_of_slot_[static_cast<size_t>(admitted_[i])] = i;
   }
 
-  index.BeginBuild(instance->num_workers(), instance->num_tasks());
-  for (size_t w = 0; w < pool_worker_handles_.size(); ++w) {
-    const int32_t handle = pool_worker_handles_[w];
-    const Worker& worker = worker_store_[static_cast<size_t>(handle)];
-    std::vector<int32_t>& row = rows_[static_cast<size_t>(handle)];
-    if (worker.arrival_time > now) {
-      // Not present yet (sub-epsilon window edge): empty row, exactly as
-      // ComputeValidPairs() treats it. Keep the maintained row untouched.
-      index.FinishWorker();
-      continue;
-    }
-    emit_row_.clear();
-    size_t keep = 0;
-    for (const int32_t task_handle : row) {
-      const int32_t slot = slot_of_handle_[static_cast<size_t>(task_handle)];
-      if (slot < 0) continue;  // task left the pool: drop the entry
-      const Task& task = pool_tasks_[static_cast<size_t>(slot)];
-      if (!CanArriveByDeadline(worker.location, worker.speed, task.location,
-                               now, task.deadline)) {
-        // Monotone in now: the pair is dead forever, drop the entry.
-        continue;
-      }
-      row[keep++] = task_handle;
-      const int32_t instance_index =
-          instance_index_of_slot_[static_cast<size_t>(slot)];
-      if (instance_index < 0) continue;   // alive but deferred this batch
-      if (task.create_time > now) continue;  // sub-epsilon window edge
-      emit_row_.push_back(instance_index);
-    }
-    row.resize(keep);
-    // Rows are kept in splice order (handle-ish); the CSR contract wants
-    // ascending instance indices. Equal sets sorted the same way means
-    // the emitted arrays are byte-identical to a from-scratch build.
-    std::sort(emit_row_.begin(), emit_row_.end());
-    for (const int32_t instance_index : emit_row_) {
-      index.AppendValidTask(instance_index);
-    }
-    index.FinishWorker();
+  // Fanned-out two-pass emission. Pass 1: each chunk prunes its own
+  // contiguous range of worker slots in place and collects the emitted
+  // (already sorted) rows into its slot's buffer, recording per-row
+  // lengths. A serial prefix sum turns the lengths into final CSR
+  // offsets, then pass 2 — split into the *same* chunks, so each chunk's
+  // buffer walk realigns — copies every row into its disjoint flat
+  // range. Row w's content never depends on any other row, so the arrays
+  // are byte-identical to the serial build for any chunk count.
+  Stopwatch emit_watch;
+  emit_stats_ = StreamingEmitStats{};
+  const size_t num_workers = pool_worker_handles_.size();
+  const int chunks = ChunksFor(num_workers);
+  row_lengths_.assign(num_workers, 0);
+  RunOnChunks(num_workers, chunks, [&](int chunk, size_t begin, size_t end) {
+    IngestSlot& scratch = slots_[static_cast<size_t>(chunk)];
+    scratch.emit.clear();
+    scratch.retained = 0;
+    scratch.dropped = 0;
+    for (size_t w = begin; w < end; ++w) EmitWorkerRow(w, now, &scratch);
+  });
+  int32_t* offsets = index.StartParallelBuild(instance->num_workers(),
+                                              instance->num_tasks());
+  offsets[0] = 0;
+  for (size_t w = 0; w < num_workers; ++w) {
+    offsets[w + 1] = offsets[w] + row_lengths_[w];
   }
-  index.FinishBuild();
+  TaskIndex* flat = index.AllocateParallelFlat();
+  RunOnChunks(num_workers, chunks, [&](int chunk, size_t begin, size_t end) {
+    const IngestSlot& scratch = slots_[static_cast<size_t>(chunk)];
+    size_t src = 0;
+    for (size_t w = begin; w < end; ++w) {
+      const size_t n = static_cast<size_t>(row_lengths_[w]);
+      std::copy_n(scratch.emit.data() + src, n, flat + offsets[w]);
+      src += n;
+    }
+  });
+  index.FinishParallelBuild();
+  for (int c = 0; c < chunks; ++c) {
+    emit_stats_.retained_entries += slots_[static_cast<size_t>(c)].retained;
+    emit_stats_.dropped_entries += slots_[static_cast<size_t>(c)].dropped;
+  }
+  emit_stats_.csr_emit_seconds = emit_watch.ElapsedSeconds();
 
   if (config_.audit) {
     instance->ComputeValidPairs(config_.backend, nullptr);

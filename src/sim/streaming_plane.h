@@ -2,6 +2,7 @@
 #define CASC_SIM_STREAMING_PLANE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <utility>
@@ -17,6 +18,7 @@
 namespace casc {
 
 class RTree;
+class ThreadPool;
 
 /// Configuration of the incremental streaming data plane.
 struct StreamingPlaneConfig {
@@ -44,10 +46,45 @@ struct StreamingPlaneConfig {
   /// rebuilds the persistent index from the live pool.
   double rtree_rebuild_fraction = 0.25;
 
+  /// Fan the per-worker splice, fresh-row and CSR-emission loops out over
+  /// an owned thread pool. Outputs are bit-identical on or off (the
+  /// partition only decides where a worker's row is processed, never what
+  /// it contains); kill switch: CASC_NO_PARALLEL_INGEST.
+  bool parallel_ingest = true;
+
+  /// Thread count for the ingest pool; 0 means pick automatically (the
+  /// dispatch service reserves the solver's shard threads and hands
+  /// ingest the rest; standalone planes use the hardware concurrency).
+  /// Ignored when parallel_ingest is false. Env: CASC_INGEST_THREADS.
+  int ingest_threads = 0;
+
   /// Defaults plus the process-wide runtime switches: backend from
   /// DefaultSpatialBackend(), incremental off when CASC_NO_INCREMENTAL is
-  /// set, audit on when CASC_STREAM_AUDIT is set.
+  /// set, audit on when CASC_STREAM_AUDIT is set, parallel ingest off
+  /// when CASC_NO_PARALLEL_INGEST is set, thread count from
+  /// CASC_INGEST_THREADS when positive.
   static StreamingPlaneConfig FromEnv();
+};
+
+/// Where one Ingest() call's wall time went, plus its splice counters.
+/// Reset at the start of every Ingest(); the pipelined service loop
+/// snapshots this right after the overlapped ingest returns.
+struct StreamingIngestStats {
+  double splice_seconds = 0.0;        ///< delta splice into known rows
+  double fresh_rows_seconds = 0.0;    ///< full queries for new workers
+  double spatial_insert_seconds = 0.0;  ///< persistent-index batch insert
+  int64_t spliced_entries = 0;   ///< entries appended to known rows
+  int64_t splice_rejects = 0;    ///< splice-time deadline rejects (known)
+  int64_t fresh_entries = 0;     ///< entries appended to new workers' rows
+  int64_t fresh_rejects = 0;     ///< splice-time deadline rejects (new)
+};
+
+/// Where one BuildValidPairs() call's emission time went (incremental
+/// mode only), plus its retention counters.
+struct StreamingEmitStats {
+  double csr_emit_seconds = 0.0;  ///< prune + sort + parallel CSR fill
+  int64_t retained_entries = 0;   ///< row entries still alive
+  int64_t dropped_entries = 0;    ///< departed-task / dead-deadline drops
 };
 
 /// The cross-batch state of a streaming run (Algorithm 1), maintained
@@ -98,6 +135,17 @@ struct StreamingPlaneConfig {
 /// Commit()'s stable compaction reproduces the sequential pool order
 /// [survivors][arrivals][earlier releases][just-returned workers]
 /// exactly; overlapping therefore never changes any output.
+///
+/// Parallel ingest (config.parallel_ingest): the splice, fresh-row and
+/// CSR-emission loops fan out over an owned pool, each thread processing
+/// a deterministic contiguous range of worker slots and writing only its
+/// own rows / flat ranges; counters merge in fixed chunk order after the
+/// join. Every per-row computation is independent of every other row, so
+/// the outputs are bit-identical to the serial loops for any thread
+/// count. The plane owns all its ingest scratch (per-thread slots) — it
+/// never touches the service's BatchWorkspaces, which is what lets an
+/// overlapped Ingest(N+1) run concurrently with solve(N) without sharing
+/// a single allocation.
 ///
 /// Not thread-safe beyond that contract: at most one mutating call at a
 /// time.
@@ -187,7 +235,29 @@ class StreamingPlane {
   /// Tombstone-triggered rebuilds of the persistent R-tree so far.
   int64_t spatial_rebuilds() const { return spatial_rebuilds_; }
 
+  /// Resolved ingest-pool width (1 when parallel ingest is off or the
+  /// plane is in scratch mode).
+  int ingest_threads() const { return ingest_threads_; }
+
+  /// Phase timings/counters of the most recent Ingest() call.
+  const StreamingIngestStats& ingest_stats() const { return ingest_stats_; }
+
+  /// Emission timings/counters of the most recent BuildValidPairs() call
+  /// (zeroed in scratch mode).
+  const StreamingEmitStats& emit_stats() const { return emit_stats_; }
+
  private:
+  /// Per-thread ingest scratch. Chunk k of a fanned-out loop owns
+  /// slots_[k] exclusively; nothing here outlives the join.
+  struct IngestSlot {
+    std::vector<int64_t> query;    ///< CircleQueryInto result buffer
+    std::vector<TaskIndex> emit;   ///< emission pass-1 instance indexes
+    int64_t appended = 0;
+    int64_t rejects = 0;
+    int64_t retained = 0;
+    int64_t dropped = 0;
+  };
+
   /// Removes one task from the persistent index and invalidates its
   /// handle. Row entries referencing it die lazily at the next emission.
   void RemoveTask(int32_t slot);
@@ -200,8 +270,27 @@ class StreamingPlane {
   void MaybeRebuildSpatialIndex();
 
   /// Appends the row entries valid for `worker` at `now` among `tasks`
-  /// (a probe index keyed by task handle) into rows_[handle].
-  void SpliceRow(int32_t handle, const SpatialIndex& tasks, double now);
+  /// (a probe index keyed by task handle) into rows_[handle], using and
+  /// updating `scratch` (the calling chunk's slot).
+  void SpliceRow(int32_t handle, const SpatialIndex& tasks, double now,
+                 IngestSlot* scratch);
+
+  /// Prunes rows_[handle of worker slot w] in place and appends the
+  /// emitted instance indexes (sorted ascending) to scratch->emit;
+  /// records the emitted length in row_lengths_[w].
+  void EmitWorkerRow(size_t w, double now, IngestSlot* scratch);
+
+  /// Runs fn(chunk, begin, end) over [0, count) split into `chunks`
+  /// deterministic contiguous ranges (ThreadPool::ChunkBounds); inline
+  /// when chunks <= 1, on the ingest pool otherwise. Both emission passes
+  /// call this with the same chunk count, so pass 2 realigns with the
+  /// per-chunk buffers pass 1 filled.
+  void RunOnChunks(size_t count, int chunks,
+                   const std::function<void(int, size_t, size_t)>& fn);
+
+  /// Chunk count for a loop over `count` rows: capped by the pool width
+  /// and a minimum grain so tiny batches stay inline.
+  int ChunksFor(size_t count) const;
 
   StreamingPlaneConfig config_;
 
@@ -241,6 +330,16 @@ class StreamingPlane {
   std::vector<SpatialItem> rebuild_items_;
   std::vector<Task> scratch_tasks_;
   std::vector<int32_t> scratch_handles_;
+
+  /// Parallel-ingest machinery: an owned pool (null when the resolved
+  /// width is 1), one scratch slot per chunk, and the per-worker emitted
+  /// row lengths feeding the prefix sum of the parallel CSR build.
+  int ingest_threads_ = 1;
+  std::unique_ptr<ThreadPool> ingest_pool_;
+  std::vector<IngestSlot> slots_;
+  std::vector<int32_t> row_lengths_;
+  StreamingIngestStats ingest_stats_;
+  StreamingEmitStats emit_stats_;
 };
 
 }  // namespace casc

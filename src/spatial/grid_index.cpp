@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace casc {
 
@@ -51,6 +52,40 @@ void GridIndex::Build(const std::vector<SpatialItem>& items) {
   for (const auto& item : items) Insert(item);
 }
 
+void GridIndex::InsertBatch(const std::vector<SpatialItem>& items,
+                            ThreadPool* pool) {
+  const int threads = pool != nullptr ? pool->num_threads() : 1;
+  if (threads <= 1 || items.size() < 1024) {
+    for (const auto& item : items) Insert(item);
+    return;
+  }
+  // Two-pass fan-out: precompute each item's cell, then give every thread
+  // a contiguous range of cells; each thread scans the whole batch and
+  // appends only the items landing in its own cells, in batch order. No
+  // two threads touch the same cell, and in-cell order equals the serial
+  // Insert loop's, so the layout (not just query results) is identical on
+  // any thread count.
+  batch_cells_.resize(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    const int cx = CellOf(items[i].location.x);
+    const int cy = CellOf(items[i].location.y);
+    batch_cells_[i] = static_cast<int32_t>(cy * cells_per_side_ + cx);
+  }
+  const int64_t num_cells =
+      static_cast<int64_t>(cells_per_side_) * cells_per_side_;
+  pool->ParallelFor(threads, [&](int64_t chunk) {
+    const auto [cell_begin, cell_end] =
+        ThreadPool::ChunkBounds(num_cells, threads, static_cast<int>(chunk));
+    for (size_t i = 0; i < items.size(); ++i) {
+      const int32_t cell = batch_cells_[i];
+      if (cell >= cell_begin && cell < cell_end) {
+        cells_[static_cast<size_t>(cell)].push_back(items[i]);
+      }
+    }
+  });
+  size_ += items.size();
+}
+
 std::vector<int64_t> GridIndex::RangeQuery(const Rect& rect) const {
   std::vector<int64_t> out;
   if (rect.IsEmpty()) return out;
@@ -72,7 +107,14 @@ std::vector<int64_t> GridIndex::RangeQuery(const Rect& rect) const {
 std::vector<int64_t> GridIndex::CircleQuery(const Point& center,
                                             double radius) const {
   std::vector<int64_t> out;
-  if (radius < 0.0) return out;
+  CircleQueryInto(center, radius, &out);
+  return out;
+}
+
+void GridIndex::CircleQueryInto(const Point& center, double radius,
+                                std::vector<int64_t>* out) const {
+  out->clear();
+  if (radius < 0.0) return;
   const Rect box = Rect::FromCircle(center, radius);
   const double r2 = radius * radius;
   const int x_lo = CellOf(box.min_x);
@@ -83,13 +125,12 @@ std::vector<int64_t> GridIndex::CircleQuery(const Point& center,
     for (int cx = x_lo; cx <= x_hi; ++cx) {
       for (const auto& item : Cell(cx, cy)) {
         if (SquaredDistance(center, item.location) <= r2) {
-          out.push_back(item.id);
+          out->push_back(item.id);
         }
       }
     }
   }
-  std::sort(out.begin(), out.end());
-  return out;
+  std::sort(out->begin(), out->end());
 }
 
 std::vector<int64_t> GridIndex::Knn(const Point& center, size_t k) const {

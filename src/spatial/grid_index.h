@@ -19,7 +19,10 @@ namespace casc {
 /// cell each, so a streaming caller maintaining the index across batches
 /// pays O(delta) per batch instead of an O(n) rebuild. Cell order is not
 /// part of the contract (queries sort their results by id), which lets
-/// Remove use swap-with-last eviction.
+/// Remove use swap-with-last eviction. InsertBatch fans a large batch out
+/// over a pool with each thread owning a contiguous cell range, appending
+/// its items in batch order — the resulting cell contents are exactly
+/// those of a serial Insert loop, on any thread count.
 class GridIndex : public SpatialIndex {
  public:
   /// Creates a `cells_per_side` x `cells_per_side` grid.
@@ -29,9 +32,13 @@ class GridIndex : public SpatialIndex {
   void Insert(const SpatialItem& item) override;
   bool Remove(const SpatialItem& item) override;
   void Build(const std::vector<SpatialItem>& items) override;
+  void InsertBatch(const std::vector<SpatialItem>& items,
+                   ThreadPool* pool) override;
   std::vector<int64_t> RangeQuery(const Rect& rect) const override;
   std::vector<int64_t> CircleQuery(const Point& center,
                                    double radius) const override;
+  void CircleQueryInto(const Point& center, double radius,
+                       std::vector<int64_t>* out) const override;
   std::vector<int64_t> Knn(const Point& center, size_t k) const override;
   size_t Size() const override { return size_; }
 
@@ -42,6 +49,7 @@ class GridIndex : public SpatialIndex {
   int cells_per_side_;
   std::vector<std::vector<SpatialItem>> cells_;
   size_t size_ = 0;
+  std::vector<int32_t> batch_cells_;  // InsertBatch scratch: cell per item
 };
 
 }  // namespace casc

@@ -33,13 +33,19 @@ std::vector<int64_t> LinearScan::RangeQuery(const Rect& rect) const {
 
 std::vector<int64_t> LinearScan::CircleQuery(const Point& center,
                                              double radius) const {
-  const double r2 = radius * radius;
   std::vector<int64_t> out;
-  for (const auto& item : items_) {
-    if (SquaredDistance(center, item.location) <= r2) out.push_back(item.id);
-  }
-  std::sort(out.begin(), out.end());
+  CircleQueryInto(center, radius, &out);
   return out;
+}
+
+void LinearScan::CircleQueryInto(const Point& center, double radius,
+                                 std::vector<int64_t>* out) const {
+  const double r2 = radius * radius;
+  out->clear();
+  for (const auto& item : items_) {
+    if (SquaredDistance(center, item.location) <= r2) out->push_back(item.id);
+  }
+  std::sort(out->begin(), out->end());
 }
 
 std::vector<int64_t> LinearScan::Knn(const Point& center, size_t k) const {

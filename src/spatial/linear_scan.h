@@ -18,6 +18,8 @@ class LinearScan : public SpatialIndex {
   std::vector<int64_t> RangeQuery(const Rect& rect) const override;
   std::vector<int64_t> CircleQuery(const Point& center,
                                    double radius) const override;
+  void CircleQueryInto(const Point& center, double radius,
+                       std::vector<int64_t>* out) const override;
   std::vector<int64_t> Knn(const Point& center, size_t k) const override;
   size_t Size() const override { return items_.size(); }
 

@@ -217,6 +217,32 @@ void RTree::Insert(const SpatialItem& item) {
   }
 }
 
+void RTree::CollectInto(const RTree::Node* node,
+                        std::vector<SpatialItem>* out) {
+  if (node->is_leaf) {
+    out->insert(out->end(), node->items.begin(), node->items.end());
+    return;
+  }
+  for (const auto& child : node->children) CollectInto(child.get(), out);
+}
+
+void RTree::InsertBatch(const std::vector<SpatialItem>& items,
+                        ThreadPool* pool) {
+  (void)pool;  // Guttman descents are inherently serial; the rebuild path
+               // is already bulk. Parallel spatial ingest happens one
+               // level up (GridIndex fan-out / per-worker row splice).
+  if (items.empty()) return;
+  if (size_ > 0 && items.size() < size_ / 2) {
+    for (const auto& item : items) Insert(item);
+    return;
+  }
+  std::vector<SpatialItem> all;
+  all.reserve(size_ + items.size());
+  if (root_) CollectInto(root_.get(), &all);
+  all.insert(all.end(), items.begin(), items.end());
+  Build(all);
+}
+
 bool RTree::RemoveFrom(RTree::Node* node, const SpatialItem& item) {
   if (!node->bounds.Contains(item.location)) return false;
   if (node->is_leaf) {
@@ -370,10 +396,22 @@ std::vector<int64_t> RTree::RangeQuery(const Rect& rect) const {
 std::vector<int64_t> RTree::CircleQuery(const Point& center,
                                         double radius) const {
   std::vector<int64_t> out;
-  if (!root_ || radius < 0.0) return out;
+  CircleQueryInto(center, radius, &out);
+  return out;
+}
+
+void RTree::CircleQueryInto(const Point& center, double radius,
+                            std::vector<int64_t>* out) const {
+  out->clear();
+  if (!root_ || radius < 0.0) return;
   const Rect box = Rect::FromCircle(center, radius);
   const double r2 = radius * radius;
-  std::vector<const RTree::Node*> stack = {root_.get()};
+  // Per-thread traversal stack: parallel streaming splice issues this
+  // query concurrently from many threads, each needing its own stack;
+  // thread_local keeps the hot path allocation-free after warm-up.
+  static thread_local std::vector<const RTree::Node*> stack;
+  stack.clear();
+  stack.push_back(root_.get());
   while (!stack.empty()) {
     const RTree::Node* node = stack.back();
     stack.pop_back();
@@ -382,15 +420,14 @@ std::vector<int64_t> RTree::CircleQuery(const Point& center,
     if (node->is_leaf) {
       for (const auto& item : node->items) {
         if (SquaredDistance(center, item.location) <= r2) {
-          out.push_back(item.id);
+          out->push_back(item.id);
         }
       }
     } else {
       for (const auto& child : node->children) stack.push_back(child.get());
     }
   }
-  std::sort(out.begin(), out.end());
-  return out;
+  std::sort(out->begin(), out->end());
 }
 
 std::vector<int64_t> RTree::Knn(const Point& center, size_t k) const {

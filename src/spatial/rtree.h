@@ -43,9 +43,19 @@ class RTree : public SpatialIndex {
   void Insert(const SpatialItem& item) override;
   bool Remove(const SpatialItem& item) override;
   void Build(const std::vector<SpatialItem>& items) override;
+  /// Guttman-inserts small batches; once the batch reaches half the live
+  /// size, collects the tree and STR-rebuilds over old + new instead
+  /// (cheaper than n/2 one-by-one descents, and it resets any loose
+  /// bounds accumulated by removals). Either path yields the same query
+  /// results — all queries sort by id — so callers never observe which
+  /// one ran.
+  void InsertBatch(const std::vector<SpatialItem>& items,
+                   ThreadPool* pool) override;
   std::vector<int64_t> RangeQuery(const Rect& rect) const override;
   std::vector<int64_t> CircleQuery(const Point& center,
                                    double radius) const override;
+  void CircleQueryInto(const Point& center, double radius,
+                       std::vector<int64_t>* out) const override;
   std::vector<int64_t> Knn(const Point& center, size_t k) const override;
   size_t Size() const override { return size_; }
 
@@ -66,6 +76,9 @@ class RTree : public SpatialIndex {
   /// Removes one (id, location) match under `node`; returns true when
   /// found. Prunes children that become empty.
   bool RemoveFrom(Node* node, const SpatialItem& item);
+
+  /// Appends every stored item under `node` to `out` (traversal order).
+  static void CollectInto(const Node* node, std::vector<SpatialItem>* out);
 
   std::unique_ptr<Node> root_;
   int max_entries_;

@@ -9,6 +9,8 @@
 
 namespace casc {
 
+class ThreadPool;
+
 /// An indexed point with an opaque caller-owned identifier (a task or
 /// worker index in the model layer).
 struct SpatialItem {
@@ -41,6 +43,15 @@ class SpatialIndex {
   /// override with something faster than repeated Insert().
   virtual void Build(const std::vector<SpatialItem>& items);
 
+  /// Inserts `items` as one batch, keeping current contents. The default
+  /// is a serial Insert() loop; mutation-capable backends may override
+  /// with a bulk or deterministically parallel path (fanning out on
+  /// `pool`, which may be null). Because every query sorts its results by
+  /// id, the internal layout an override produces never changes what any
+  /// later query returns relative to serial insertion.
+  virtual void InsertBatch(const std::vector<SpatialItem>& items,
+                           ThreadPool* pool);
+
   /// Returns ids of all items inside `rect` (boundary inclusive),
   /// in ascending id order.
   virtual std::vector<int64_t> RangeQuery(const Rect& rect) const = 0;
@@ -49,6 +60,15 @@ class SpatialIndex {
   /// inclusive), in ascending id order.
   virtual std::vector<int64_t> CircleQuery(const Point& center,
                                            double radius) const = 0;
+
+  /// CircleQuery() into a caller-owned buffer: `out` is cleared and
+  /// refilled (ascending id order), reusing its capacity. Hot streaming
+  /// paths issue one circle query per worker per batch; routing them
+  /// through a reused buffer removes that allocation churn entirely. The
+  /// default copies through CircleQuery(); the shipped backends override
+  /// it allocation-free.
+  virtual void CircleQueryInto(const Point& center, double radius,
+                               std::vector<int64_t>* out) const;
 
   /// Returns the `k` nearest items to `center`, closest first; ties broken
   /// by ascending id. Returns fewer when the index holds fewer items.

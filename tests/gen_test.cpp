@@ -385,6 +385,61 @@ TEST(TraceTest, DeterministicForSeed) {
   }
 }
 
+TEST(TraceTest, CursorMatchesGenerateTraceBitForBit) {
+  TraceConfig config;
+  config.horizon = 8.0;
+  config.worker_rate = 25.0;
+  config.task_rate = 10.0;
+  config.rush_windows.push_back({3.0, 5.0, 3.0});
+  Rng trace_rng(36), cursor_rng(36);
+  const Trace trace = GenerateTrace(config, &trace_rng);
+
+  TraceCursor cursor(config, &cursor_rng);
+  ASSERT_EQ(cursor.num_workers(),
+            static_cast<int64_t>(trace.workers.size()));
+  Worker worker;
+  size_t w = 0;
+  while (cursor.NextWorker(&worker)) {
+    ASSERT_LT(w, trace.workers.size());
+    EXPECT_EQ(worker.id, trace.workers[w].id);
+    EXPECT_EQ(worker.location, trace.workers[w].location);
+    EXPECT_DOUBLE_EQ(worker.radius, trace.workers[w].radius);
+    EXPECT_DOUBLE_EQ(worker.speed, trace.workers[w].speed);
+    EXPECT_DOUBLE_EQ(worker.arrival_time, trace.workers[w].arrival_time);
+    ++w;
+  }
+  EXPECT_EQ(w, trace.workers.size());
+
+  Task task;
+  size_t t = 0;
+  while (cursor.NextTask(&task)) {
+    ASSERT_LT(t, trace.tasks.size());
+    EXPECT_EQ(task.id, trace.tasks[t].id);
+    EXPECT_EQ(task.location, trace.tasks[t].location);
+    EXPECT_DOUBLE_EQ(task.create_time, trace.tasks[t].create_time);
+    EXPECT_DOUBLE_EQ(task.deadline, trace.tasks[t].deadline);
+    EXPECT_EQ(task.capacity, trace.tasks[t].capacity);
+    ++t;
+  }
+  EXPECT_EQ(t, trace.tasks.size());
+
+  // Both consumers leave the rng in the same state: the next draws agree.
+  EXPECT_DOUBLE_EQ(trace_rng.Uniform(), cursor_rng.Uniform());
+}
+
+TEST(TraceTest, CursorHandlesEmptyStreams) {
+  TraceConfig config;
+  config.worker_rate = 0.0;
+  config.task_rate = 0.0;
+  Rng rng(37);
+  TraceCursor cursor(config, &rng);
+  EXPECT_EQ(cursor.num_workers(), 0);
+  Worker worker;
+  EXPECT_FALSE(cursor.NextWorker(&worker));
+  Task task;
+  EXPECT_FALSE(cursor.NextTask(&task));
+}
+
 // ---------------------------------------------------------------------------
 // InstanceSource implementations
 // ---------------------------------------------------------------------------

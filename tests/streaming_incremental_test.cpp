@@ -330,6 +330,107 @@ TEST(StreamingIncrementalTest, KillSwitchesDisablePipelineAndIncremental) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Parallel ingest: thread-count sweep x pipeline (200+ batches, audited)
+// ---------------------------------------------------------------------------
+
+TEST(ParallelIngestTest, ThreadSweepBitIdenticalAcrossPipelineCombos) {
+  const StreamFixture fixture = MakeLongFixture(605);
+  ASSERT_FALSE(fixture.trace.workers.empty());
+  ASSERT_FALSE(fixture.trace.tasks.empty());
+  const EventStream stream(fixture.trace.workers, fixture.trace.tasks);
+  ScopedEnv no_inc("CASC_NO_INCREMENTAL", nullptr);
+  ScopedEnv no_pipe("CASC_NO_PIPELINE", nullptr);
+  // Audit mode CHECKs every incrementally-built CSR index byte-for-byte
+  // against a from-scratch build inside each run, so a sweep pass means
+  // the parallel emission produced the exact serial bytes.
+  ScopedEnv audit("CASC_STREAM_AUDIT", "1");
+
+  auto run = [&](bool pipeline, std::vector<ServiceMetrics>* service_out) {
+    DispatchConfig config;
+    config.sharded.shards_per_side = 2;
+    config.min_group_size = 3;
+    config.task_duration = 2.0;
+    config.max_tasks_per_batch = 4;  // exercise deferral carry-over
+    config.enable_incremental = true;
+    config.enable_pipeline = pipeline;
+    DispatchService service(config, &fixture.coop,
+                            [] { return std::make_unique<GtAssigner>(); });
+    RunSummary summary = service.Run(stream);
+    if (service_out != nullptr) *service_out = service.batch_metrics();
+    return summary;
+  };
+
+  // Serial reference: the fan-out disabled outright by the kill switch.
+  RunSummary serial;
+  std::vector<ServiceMetrics> serial_service;
+  {
+    ScopedEnv off("CASC_NO_PARALLEL_INGEST", "1");
+    serial = run(false, &serial_service);
+  }
+  ASSERT_GE(serial.batches.size(), 200u) << "trace too short for the test";
+  for (const ServiceMetrics& metrics : serial_service) {
+    ASSERT_EQ(metrics.ingest_threads, 1);
+  }
+
+  ScopedEnv on("CASC_NO_PARALLEL_INGEST", nullptr);
+  for (const int threads : {1, 2, 4, 8}) {
+    const std::string value = std::to_string(threads);
+    ScopedEnv thread_env("CASC_INGEST_THREADS", value.c_str());
+    for (const bool pipeline : {false, true}) {
+      const std::string label =
+          "ingest_threads=" + value + " pipe=" + (pipeline ? "1" : "0");
+      std::vector<ServiceMetrics> service_metrics;
+      const RunSummary actual = run(pipeline, &service_metrics);
+      ExpectIdenticalBatches(serial, actual, label);
+      ASSERT_EQ(service_metrics.size(), serial_service.size()) << label;
+      for (const ServiceMetrics& metrics : service_metrics) {
+        ASSERT_EQ(metrics.ingest_threads, threads) << label;
+      }
+    }
+  }
+}
+
+TEST(ParallelIngestTest, IngestPhaseSplitReported) {
+  const StreamFixture fixture = MakeLongFixture(606, /*horizon=*/30.0);
+  ASSERT_FALSE(fixture.trace.workers.empty());
+  ASSERT_FALSE(fixture.trace.tasks.empty());
+  const EventStream stream(fixture.trace.workers, fixture.trace.tasks);
+  ScopedEnv no_inc("CASC_NO_INCREMENTAL", nullptr);
+  ScopedEnv parallel("CASC_NO_PARALLEL_INGEST", nullptr);
+  ScopedEnv threads("CASC_INGEST_THREADS", "4");
+
+  DispatchConfig config;
+  config.sharded.shards_per_side = 1;
+  config.min_group_size = 3;
+  config.enable_incremental = true;
+  config.enable_pipeline = false;  // splits nest inside ingest_seconds
+  DispatchService service(config, &fixture.coop,
+                          [] { return std::make_unique<GtAssigner>(); });
+  (void)service.Run(stream);
+
+  ASSERT_FALSE(service.batch_metrics().empty());
+  for (const ServiceMetrics& metrics : service.batch_metrics()) {
+    EXPECT_EQ(metrics.ingest_threads, 4);
+    EXPECT_GE(metrics.ingest_splice_seconds, 0.0);
+    EXPECT_GE(metrics.ingest_fresh_rows_seconds, 0.0);
+    EXPECT_GE(metrics.ingest_spatial_seconds, 0.0);
+    EXPECT_GE(metrics.csr_emit_seconds, 0.0);
+    // The three ingest phases are timed inside the ingest stopwatch, the
+    // CSR emission inside the index-build stopwatch (monotonic clock, so
+    // nested intervals cannot exceed the enclosing one).
+    EXPECT_LE(metrics.ingest_splice_seconds +
+                  metrics.ingest_fresh_rows_seconds +
+                  metrics.ingest_spatial_seconds,
+              metrics.ingest_seconds + 1e-9);
+    EXPECT_LE(metrics.csr_emit_seconds,
+              metrics.index_build_seconds + 1e-9);
+    const std::string json = metrics.ToJson();
+    EXPECT_NE(json.find("\"ingest_splice_seconds\""), std::string::npos);
+    EXPECT_NE(json.find("\"ingest_threads\""), std::string::npos);
+  }
+}
+
 TEST(StreamingIncrementalTest, RunLatencyStatsSummarizeBatchSeconds) {
   const StreamFixture fixture = MakeLongFixture(604, /*horizon=*/30.0);
   ASSERT_FALSE(fixture.trace.workers.empty());

@@ -26,8 +26,13 @@
 #        path -- the binary aborts unless a skill-free multiskill run is
 #        bit-identical to casc -- plus the multi-skill variant's score
 #        retention, coverage rate and join-gate rejects on skilled twins)
+#   PR9  parallel incremental ingest (sustained 1M-worker rush-hour
+#        trace: serial PR-6 ingest vs CASC_INGEST_THREADS in {1,2,4,8}
+#        plus a pipelined run, per-phase ingest split and per-batch
+#        p50/p99; the binary aborts if any configuration changes a
+#        batch output)
 #
-# Usage: tools/run_bench.sh [pr1|pr2|pr3|pr5|pr6|pr7|pr8|all] [OUT_JSON]
+# Usage: tools/run_bench.sh [pr1|pr2|pr3|pr5|pr6|pr7|pr8|pr9|all] [OUT_JSON]
 #   pr1|pr2|all  which suite to run (default all)
 #   OUT_JSON     output override for a single suite
 # Env:
@@ -101,6 +106,17 @@ run_pr8() {
   echo "wrote $out"
 }
 
+run_pr9() {
+  local out="${1:-BENCH_PR9.json}"
+  cmake --build "$BUILD_DIR" -j --target bench_streaming_pipeline >/dev/null
+  # ~1M workers: the opening rush window (4x over 15% of the horizon)
+  # lifts the base rate's horizon integral to ~58 intervals.
+  "$BUILD_DIR/bench/bench_streaming_pipeline" \
+    --mode pr9 --horizon 40 --worker_rate 17500 --task_rate 40 \
+    --budget 200 --json="$out" ${BENCH_ARGS:-}
+  echo "wrote $out"
+}
+
 case "$SUITE" in
   pr1) run_pr1 "${2:-}" ;;
   pr2) run_pr2 "${2:-}" ;;
@@ -109,6 +125,7 @@ case "$SUITE" in
   pr6) run_pr6 "${2:-}" ;;
   pr7) run_pr7 "${2:-}" ;;
   pr8) run_pr8 "${2:-}" ;;
+  pr9) run_pr9 "${2:-}" ;;
   all)
     run_pr1
     run_pr2
@@ -117,9 +134,10 @@ case "$SUITE" in
     run_pr6
     run_pr7
     run_pr8
+    run_pr9
     ;;
   *)
-    echo "usage: tools/run_bench.sh [pr1|pr2|pr3|pr5|pr6|pr7|pr8|all] [OUT_JSON]" >&2
+    echo "usage: tools/run_bench.sh [pr1|pr2|pr3|pr5|pr6|pr7|pr8|pr9|all] [OUT_JSON]" >&2
     exit 1
     ;;
 esac
