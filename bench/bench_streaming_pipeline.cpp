@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "algo/gt_assigner.h"
 #include "algo/tpg_assigner.h"
 #include "common/check.h"
 #include "common/flags.h"
@@ -338,6 +339,271 @@ int RunPr9(const casc::FlagParser& flags) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// --mode pr10: cross-batch warm-start solve on a carry-over-heavy trace
+// ---------------------------------------------------------------------------
+
+/// The pr10 trace is a carry-over-heavy regime built around a
+/// feasibility gap: tasks demand 5-of-64 skills while workers carry 2,
+/// so a steady share of tasks stand unstaffable for many batches amid a
+/// large idle candidate pool (workers never leave while idle, 40-unit
+/// deadlines keep standing tasks alive). A cold solve re-runs the
+/// O(candidates^2) group seeding for every standing task every batch;
+/// the warm start re-seeds only the dirty frontier plus the bounded-
+/// staleness retry slice, which is where the steady-state win comes
+/// from. The solver is the GT game under the multiskill objective — this
+/// mode measures the solve, not the data plane.
+casc::Trace MakePr10Trace(double horizon, double worker_rate,
+                          double task_rate, uint64_t seed) {
+  casc::TraceConfig config;
+  config.horizon = horizon;
+  config.worker_rate = worker_rate;
+  config.task_rate = task_rate;
+  config.rush_windows.push_back({0.0, horizon * 0.15, 4.0});
+  config.worker.radius_min = 0.07;
+  config.worker.radius_max = 0.12;
+  config.worker.speed_min = 0.05;
+  config.worker.speed_max = 0.10;
+  config.task.remaining_time = 40.0;
+  config.task.capacity = 4;
+  config.worker.num_skills = 64;
+  config.worker.skills_per_worker = 2;
+  config.task.num_skills = 64;
+  config.task.skills_per_task = 5;
+  casc::Rng rng(seed);
+  return casc::GenerateTrace(config, &rng);
+}
+
+ConfigResult RunPr10Config(const std::string& name, bool warm,
+                           bool pipeline, int threads,
+                           const casc::EventStream& stream,
+                           const casc::CooperationMatrix& coop, int budget) {
+  casc::DispatchConfig config;
+  config.sharded.shards_per_side = 2;
+  config.sharded.num_threads = threads;
+  config.min_group_size = 3;
+  config.batch_interval = 1.0;
+  config.task_duration = 2.0;
+  config.max_tasks_per_batch = budget;
+  config.enable_incremental = true;
+  config.enable_pipeline = pipeline;
+  config.enable_warm_start = warm;
+  config.objective = "multiskill";
+  casc::DispatchService service(config, &coop, [] {
+    return std::make_unique<casc::GtAssigner>();
+  });
+
+  ConfigResult result;
+  result.name = name;
+  result.incremental = true;
+  result.pipeline = pipeline;
+  casc::Stopwatch watch;
+  result.summary = service.Run(stream);
+  result.run_seconds = watch.ElapsedSeconds();
+  result.latency = service.run_latency();
+  result.service = service.batch_metrics();
+  return result;
+}
+
+/// CheckIdentical plus the solver convergence telemetry: the warm family
+/// (any thread count, either pipeline mode) must agree batch for batch.
+void CheckIdenticalSolve(const ConfigResult& expected,
+                         const ConfigResult& actual) {
+  CheckIdentical(expected, actual);
+  for (size_t i = 0; i < expected.summary.batches.size(); ++i) {
+    const casc::BatchMetrics& e = expected.summary.batches[i];
+    const casc::BatchMetrics& a = actual.summary.batches[i];
+    CASC_CHECK_EQ(e.gt_rounds, a.gt_rounds)
+        << expected.name << " vs " << actual.name << " batch " << i;
+    CASC_CHECK_EQ(e.solve_moves, a.solve_moves)
+        << expected.name << " vs " << actual.name << " batch " << i;
+    CASC_CHECK_EQ(e.dirty_workers, a.dirty_workers)
+        << expected.name << " vs " << actual.name << " batch " << i;
+    CASC_CHECK_EQ(e.warm_started, a.warm_started)
+        << expected.name << " vs " << actual.name << " batch " << i;
+  }
+}
+
+/// Steady-state mean of one ServiceMetrics field, warmup skipped like
+/// SteadyMeanOf.
+template <typename T>
+double SteadyServiceMean(const ConfigResult& result,
+                         T casc::ServiceMetrics::*field) {
+  const size_t warmup = result.service.size() / 4;
+  if (result.service.size() <= warmup) return 0.0;
+  double sum = 0.0;
+  for (size_t i = warmup; i < result.service.size(); ++i) {
+    sum += static_cast<double>(result.service[i].*field);
+  }
+  return sum / static_cast<double>(result.service.size() - warmup);
+}
+
+int RunPr10(const casc::FlagParser& flags) {
+  // Each shard materializes its sub-matrix per batch, so while a
+  // shard's pool is under the tile ceiling the dense CoopTile is
+  // rebuilt O(m^2) every batch — an orthogonal precompute that dwarfs
+  // the phase-1 solve equally in both configs. This mode measures the
+  // solve, so it pins tiling off (must happen before the first solve:
+  // the ceiling is read once per process).
+  ::setenv("CASC_TILE_MAX_WORKERS", "0", 1);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt64("seed"));
+  const int budget = static_cast<int>(flags.GetInt64("budget"));
+  // The pr10 regime is a tuned geometry (feasibility gap + standing
+  // pool); the generic rate flags belong to the pr6/pr9 rush trace, so
+  // this mode pins its own arrival rates.
+  constexpr double kPr10WorkerRate = 60.0;
+  constexpr double kPr10TaskRate = 25.0;
+  const casc::Trace trace =
+      MakePr10Trace(flags.GetDouble("horizon"), kPr10WorkerRate,
+                    kPr10TaskRate, seed);
+  const casc::CooperationMatrix coop = casc::CooperationMatrix::Procedural(
+      static_cast<int>(trace.workers.size()), seed ^ 0x9E3779B9u);
+  const casc::EventStream stream(trace.workers, trace.tasks);
+  std::printf("pr10 trace: %zu workers, %zu tasks over %.0f intervals\n",
+              trace.workers.size(), trace.tasks.size(),
+              flags.GetDouble("horizon"));
+  std::fflush(stdout);
+
+  // Soak: re-run the warm pipelined GT config until the wall-clock
+  // budget is spent, checking solver-level bit-identity across
+  // iterations. This is the TSan target for the warm solve racing the
+  // pipelined ingest — the pr6 soak uses the TPG solver and never
+  // consumes a SolveDelta.
+  if (flags.GetInt64("soak_seconds") > 0) {
+    const double soak_budget =
+        static_cast<double>(flags.GetInt64("soak_seconds"));
+    casc::Stopwatch soak_watch;
+    ConfigResult first;
+    int iterations = 0;
+    while (iterations == 0 || soak_watch.ElapsedSeconds() < soak_budget) {
+      ConfigResult current =
+          RunPr10Config("warm-soak", /*warm=*/true, /*pipeline=*/true,
+                        /*threads=*/4, stream, coop, budget);
+      if (iterations == 0) {
+        first = std::move(current);
+      } else {
+        CheckIdenticalSolve(first, current);
+      }
+      ++iterations;
+      std::printf("warm soak iteration %d ok (%.1fs elapsed)\n", iterations,
+                  soak_watch.ElapsedSeconds());
+      std::fflush(stdout);
+    }
+    std::printf("warm soak passed: %d identical pipelined runs\n",
+                iterations);
+    return 0;
+  }
+
+  struct Pr10Config {
+    const char* name;
+    bool warm;
+    bool pipeline;
+    int threads;
+  };
+  const Pr10Config configs[] = {
+      {"cold-seq-t4", false, false, 4}, {"warm-seq-t4", true, false, 4},
+      {"warm-seq-t1", true, false, 1},  {"warm-seq-t2", true, false, 2},
+      {"warm-seq-t8", true, false, 8},  {"warm-pipelined-t4", true, true, 4},
+  };
+
+  std::vector<ConfigResult> results;
+  size_t warm_reference = 0;  // 0 = none yet (index 0 is the cold run)
+  for (const Pr10Config& config : configs) {
+    std::printf("running %s...\n", config.name);
+    std::fflush(stdout);
+    results.push_back(RunPr10Config(config.name, config.warm,
+                                    config.pipeline, config.threads, stream,
+                                    coop, budget));
+    if (config.warm) {
+      // Warm runs are bit-identical across thread counts and pipeline
+      // modes — the frontier, rounds and moves included.
+      if (warm_reference == 0) {
+        warm_reference = results.size() - 1;
+      } else {
+        CheckIdenticalSolve(results[warm_reference], results.back());
+      }
+    }
+  }
+
+  const ConfigResult& cold = results[0];
+  const ConfigResult& warm = results[1];
+  // The warm start attacks the phase-1 game solve (init + best-response
+  // rounds); partitioning and reconciliation are the same either way, so
+  // the headline number is the steady-state phase-1 time.
+  const double cold_steady =
+      SteadyServiceMean(cold, &casc::ServiceMetrics::phase1_seconds);
+  const double warm_steady =
+      SteadyServiceMean(warm, &casc::ServiceMetrics::phase1_seconds);
+  const double speedup = warm_steady > 0.0 ? cold_steady / warm_steady : 0.0;
+  // Warm and cold reach different equilibria of the same game; a large
+  // quality gap would mean the warm path converged somewhere degenerate.
+  CASC_CHECK_GT(warm.summary.TotalScore(),
+                0.8 * cold.summary.TotalScore())
+      << "warm solution quality collapsed vs cold";
+
+  std::ostringstream json;
+  json.precision(std::numeric_limits<double>::max_digits10);
+  json << "{\"bench\":\"streaming_pipeline_pr10\",\"seed\":" << seed
+       << ",\"budget\":" << budget << ",\"workers\":" << trace.workers.size()
+       << ",\"tasks\":" << trace.tasks.size()
+       << ",\"batches\":" << cold.summary.batches.size() << ",\"configs\":[";
+
+  std::printf("  %-18s %9s %10s %8s %8s %8s %8s %10s %8s\n", "config",
+              "score", "steady/b", "rounds50", "rounds99", "dirty", "warm#",
+              "evals/b", "total");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ConfigResult& result = results[i];
+    const Pr10Config& config = configs[i];
+    const double steady =
+        SteadyServiceMean(result, &casc::ServiceMetrics::phase1_seconds);
+    const double dirty =
+        SteadyServiceMean(result, &casc::ServiceMetrics::dirty_fraction);
+    int warm_batches = 0;
+    for (const casc::BatchMetrics& batch : result.summary.batches) {
+      if (batch.warm_started) ++warm_batches;
+    }
+    const double evals =
+        SteadyServiceMean(result, &casc::ServiceMetrics::prune_evals);
+    std::printf(
+        "  %-18s %9.1f %8.2fms %8.1f %8.1f %7.1f%% %8d %10.0f %7.2fs\n",
+        result.name.c_str(), result.summary.TotalScore(), steady * 1e3,
+        result.latency.solve_rounds_p50, result.latency.solve_rounds_p99,
+        dirty * 100.0, warm_batches, evals, result.run_seconds);
+
+    if (i > 0) json << ",";
+    json << "{\"name\":\"" << result.name
+         << "\",\"warm\":" << (config.warm ? 1 : 0)
+         << ",\"pipeline\":" << (config.pipeline ? 1 : 0)
+         << ",\"threads\":" << config.threads
+         << ",\"score\":" << result.summary.TotalScore()
+         << ",\"run_seconds\":" << result.run_seconds
+         << ",\"steady_solve_seconds\":" << steady
+         << ",\"solve_seconds\":"
+         << TotalOf(result, &casc::BatchMetrics::seconds)
+         << ",\"steady_batch_solve_seconds\":"
+         << SteadyMeanOf(result, &casc::BatchMetrics::seconds)
+         << ",\"steady_dirty_fraction\":" << dirty
+         << ",\"steady_prune_evals\":" << evals
+         << ",\"warm_batches\":" << warm_batches
+         << ",\"latency\":" << result.latency.ToJson() << "}";
+  }
+  json << "],\"steady_solve_cold\":" << cold_steady
+       << ",\"steady_solve_warm\":" << warm_steady
+       << ",\"warm_speedup\":" << speedup
+       << ",\"meets_2x\":" << (speedup >= 2.0 ? 1 : 0) << "}";
+  std::printf("steady-state solve: cold %.2fms/batch vs warm %.2fms/batch "
+              "(%.2fx)\n",
+              cold_steady * 1e3, warm_steady * 1e3, speedup);
+
+  const std::string path = flags.GetString("json");
+  if (!path.empty()) {
+    std::ofstream out(path);
+    out << json.str() << "\n";
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -353,7 +619,8 @@ int main(int argc, char** argv) {
                     "soak mode: re-run the pipelined config this long");
   flags.DefineString("mode", "pr6",
                      "pr6: four {incremental,pipeline} combos; pr9: "
-                     "parallel-ingest thread-scaling sweep");
+                     "parallel-ingest thread-scaling sweep; pr10: warm vs "
+                     "cold cross-batch solve");
   const casc::Status status = flags.Parse(argc, argv);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
@@ -365,10 +632,12 @@ int main(int argc, char** argv) {
   ::unsetenv("CASC_NO_INCREMENTAL");
   ::unsetenv("CASC_NO_PIPELINE");
   ::unsetenv("CASC_STREAM_AUDIT");
+  ::unsetenv("CASC_NO_WARM_START");
   // Ambient CASC_INGEST_THREADS / CASC_NO_PARALLEL_INGEST are left in
   // place for pr6/soak (the TSan CI soak forces the fan-out through
   // them); pr9 manages both itself per configuration.
   if (flags.GetString("mode") == "pr9") return RunPr9(flags);
+  if (flags.GetString("mode") == "pr10") return RunPr10(flags);
 
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt64("seed"));
   const int threads = static_cast<int>(flags.GetInt64("threads"));

@@ -10,6 +10,7 @@
 #include "model/batch_workspace.h"
 #include "model/instance.h"
 #include "model/score_keeper.h"
+#include "model/solve_delta.h"
 
 namespace casc {
 
@@ -41,6 +42,13 @@ struct AssignerStats {
   /// True when the GT loop reached a verified Nash equilibrium (as
   /// opposed to stopping early via TSI or the round cap).
   bool converged = true;
+  /// True when the run was seeded from a prior-batch equilibrium skeleton
+  /// (cross-batch warm start) rather than a cold init.
+  bool warm_started = false;
+  /// Workers adopted from the skeleton on a warm start (0 when cold).
+  int64_t seeded_workers = 0;
+  /// Size of the initial dirty frontier on a warm start (0 when cold).
+  int64_t dirty_workers = 0;
   /// Objective value after each best-response round (GT family): the
   /// potential-function trajectory of Lemma V.1. Empty for single-pass
   /// algorithms.
@@ -72,6 +80,15 @@ class Assigner {
   void set_workspace(BatchWorkspace* workspace) { workspace_ = workspace; }
   BatchWorkspace* workspace() const { return workspace_; }
 
+  /// Optional cross-batch warm-start delta. Solvers that understand it
+  /// (the GT family) seed from the carried skeleton and narrow their
+  /// first rounds to the dirty frontier; every other assigner ignores it.
+  /// The delta must stay alive for the duration of Run(); pass nullptr to
+  /// detach (streaming drivers re-attach a fresh delta every batch). Not
+  /// owned.
+  void set_solve_delta(const SolveDelta* delta) { solve_delta_ = delta; }
+  const SolveDelta* solve_delta() const { return solve_delta_; }
+
  protected:
   /// Empty assignment for `instance`, pooled when a workspace is set.
   Assignment MakeAssignment(const Instance& instance) {
@@ -96,6 +113,7 @@ class Assigner {
 
   AssignerStats stats_;
   BatchWorkspace* workspace_ = nullptr;
+  const SolveDelta* solve_delta_ = nullptr;
 };
 
 }  // namespace casc

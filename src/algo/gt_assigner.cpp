@@ -207,9 +207,37 @@ Assignment GtAssigner::Run(const Instance& instance) {
       << "GT requires Instance::ComputeValidPairs()";
   stats_ = AssignerStats{};
 
+  // Cross-batch warm start: when the streaming driver attached a usable
+  // SolveDelta, adopt the previous equilibrium's skeleton instead of a
+  // cold init — sound from any profile (Theorem V.1). A null or empty
+  // delta (first batch, zero carry-over, CASC_NO_WARM_START) takes the
+  // cold path below bit-identically.
+  const SolveDelta* delta = solve_delta();
+  const bool warm = delta != nullptr && delta->num_carried > 0 &&
+                    static_cast<int>(delta->seed_task.size()) ==
+                        instance.num_workers();
+
   // Algorithm 3, line 1: initialize the joint strategy.
   Assignment assignment;
-  switch (options_.init) {
+  if (warm) {
+    assignment = MakeAssignment(instance);
+    assignment.AdoptSkeleton(delta->seed_task);
+    // Best-response dynamics cannot staff a task from idle workers (the
+    // GtInit::kEmpty trap: a solo join scores 0 below B), so the tasks
+    // that are new or lost group members get the cold init's greedy
+    // group formation, restricted to them. Only dirty workers can be
+    // consumed here: every candidate of a dirty task is dirty, so the
+    // pass never touches a clean worker's certified strategy.
+    if (delta->num_dirty_tasks > 0) {
+      TpgAssigner patch;
+      patch.SeedTasks(instance, &delta->dirty_task, &assignment);
+    }
+    stats_.warm_started = true;
+    stats_.seeded_workers = delta->num_seeded;
+    stats_.dirty_workers = delta->num_dirty;
+  } else {
+    switch (options_.init) {
+    case GtInit::kWarmStart:  // no usable delta: cold-fall back to TPG
     case GtInit::kTpg: {
       TpgAssigner tpg;
       tpg.set_workspace(workspace());
@@ -234,6 +262,7 @@ Assignment GtAssigner::Run(const Instance& instance) {
     case GtInit::kEmpty:
       assignment = MakeAssignment(instance);
       break;
+    }
   }
 
   // The keeper delta-evaluates every utility from here on; it is kept in
@@ -246,9 +275,24 @@ Assignment GtAssigner::Run(const Instance& instance) {
     pool = std::make_unique<ThreadPool>(options_.num_threads);
   }
 
+  // A warm start reuses the LUB machinery even when LUB is off: the
+  // delta's dirty frontier plays the role of the all-dirty first round,
+  // and the zero-move verification pass below still certifies the
+  // equilibrium, so an under-marked frontier can cost rounds but never
+  // correctness.
+  const bool use_dirty = options_.use_lub || warm;
   std::vector<bool> dirty;
-  if (options_.use_lub) {
-    dirty.assign(static_cast<size_t>(instance.num_workers()), true);
+  if (use_dirty) {
+    if (warm) {
+      dirty.assign(static_cast<size_t>(instance.num_workers()), false);
+      for (WorkerIndex w = 0; w < instance.num_workers(); ++w) {
+        if (delta->dirty[static_cast<size_t>(w)] != 0) {
+          dirty[static_cast<size_t>(w)] = true;
+        }
+      }
+    } else {
+      dirty.assign(static_cast<size_t>(instance.num_workers()), true);
+    }
   }
 
   std::vector<WorkerIndex> order(
@@ -264,7 +308,7 @@ Assignment GtAssigner::Run(const Instance& instance) {
     ++stats_.rounds;
     if (options_.order == GtOrder::kShuffled) order_rng.Shuffle(order);
     int64_t moves;
-    if (options_.use_lub) {
+    if (use_dirty) {
       moves = Round(instance, order, &assignment, &keeper, pool.get(),
                     &dirty);
       if (moves == 0) {

@@ -24,6 +24,18 @@ enum class GtInit {
   /// equilibrium (no unilateral move crosses the B-threshold), so the
   /// dynamic never moves; kept for the initialization ablation.
   kEmpty,
+  /// Seed from the previous batch's equilibrium skeleton carried in the
+  /// attached SolveDelta (see Assigner::set_solve_delta), re-form groups
+  /// on the dirty tasks with a restricted TPG pass, and run the first
+  /// rounds over the dirty frontier only. Sound because the CA-SC game
+  /// is a potential game (Theorem V.1): best-response dynamics converge
+  /// from any initial profile, and the full verification pass still
+  /// certifies the equilibrium. Falls back to kTpg when no usable delta
+  /// is attached (first batch, zero carry-over, kill switch), so
+  /// zero-carry-over batches are bit-identical to a cold run. Note any
+  /// init warm-starts when a delta is attached; this value just states
+  /// the intent explicitly for streaming drivers.
+  kWarmStart,
 };
 
 /// Order in which workers are offered their best response within a round.

@@ -91,10 +91,29 @@ Assignment TpgAssigner::Run(const Instance& instance) {
       << "TPG requires Instance::ComputeValidPairs()";
   stats_ = AssignerStats{};
   Assignment assignment = MakeAssignment(instance);
+  SeedTasks(instance, nullptr, &assignment);
+  stats_.final_score = TotalScore(instance, assignment);
+  return assignment;
+}
+
+void TpgAssigner::SeedTasks(const Instance& instance,
+                            const std::vector<uint8_t>* task_mask,
+                            Assignment* assignment_ptr) {
+  CASC_CHECK(instance.valid_pairs_ready())
+      << "TPG requires Instance::ComputeValidPairs()";
+  CASC_CHECK(assignment_ptr != nullptr);
+  Assignment& assignment = *assignment_ptr;
   const int num_tasks = instance.num_tasks();
+  const auto masked = [&](TaskIndex t) {
+    return task_mask == nullptr || (*task_mask)[static_cast<size_t>(t)] != 0;
+  };
 
   std::vector<bool> worker_available(
-      static_cast<size_t>(instance.num_workers()), true);
+      static_cast<size_t>(instance.num_workers()));
+  for (WorkerIndex w = 0; w < instance.num_workers(); ++w) {
+    worker_available[static_cast<size_t>(w)] =
+        assignment.TaskOf(w) == kNoTask;
+  }
 
   // ---------------------------------------------------------------------
   // Stage 1 (Algorithm 2, lines 2-13): seed each task with its best
@@ -127,14 +146,16 @@ Assignment TpgAssigner::Run(const Instance& instance) {
   };
 
   if (run_stage_one) {
-    for (TaskIndex t = 0; t < num_tasks; ++t) refresh_seed(t);
+    for (TaskIndex t = 0; t < num_tasks; ++t) {
+      if (masked(t)) refresh_seed(t);
+    }
   }
 
   while (run_stage_one) {
     // Find the globally best fresh seed set.
     double best_score = -1.0;
     for (TaskIndex t = 0; t < num_tasks; ++t) {
-      if (task_seeded[static_cast<size_t>(t)]) continue;
+      if (task_seeded[static_cast<size_t>(t)] || !masked(t)) continue;
       if (!seed_fresh[static_cast<size_t>(t)]) refresh_seed(t);
       best_score = std::max(best_score, seeds[static_cast<size_t>(t)].score);
     }
@@ -146,7 +167,7 @@ Assignment TpgAssigner::Run(const Instance& instance) {
     TaskIndex chosen = kNoTask;
     int chosen_potential = -1;
     for (TaskIndex t = 0; t < num_tasks; ++t) {
-      if (task_seeded[static_cast<size_t>(t)]) continue;
+      if (task_seeded[static_cast<size_t>(t)] || !masked(t)) continue;
       if (seeds[static_cast<size_t>(t)].score != best_score) continue;
       const int potential = available_candidates(t);
       if (potential > chosen_potential) {
@@ -200,7 +221,7 @@ Assignment TpgAssigner::Run(const Instance& instance) {
   for (WorkerIndex w = 0; w < instance.num_workers(); ++w) {
     if (!worker_available[static_cast<size_t>(w)]) continue;
     for (const TaskIndex t : instance.ValidTasks(w)) {
-      if (!task_open(t)) continue;
+      if (!masked(t) || !task_open(t)) continue;
       heap.push(GainEntry{pair_gain(w, t), w, t,
                           task_version[static_cast<size_t>(t)]});
     }
@@ -240,9 +261,6 @@ Assignment TpgAssigner::Run(const Instance& instance) {
     worker_available[static_cast<size_t>(top.worker)] = false;
     ++task_version[static_cast<size_t>(top.task)];
   }
-
-  stats_.final_score = TotalScore(instance, assignment);
-  return assignment;
 }
 
 }  // namespace casc

@@ -46,6 +46,17 @@ class TpgAssigner : public Assigner {
   }
   Assignment Run(const Instance& instance) override;
 
+  /// Runs both greedy stages on top of an existing (possibly non-empty)
+  /// `assignment`, restricted to the tasks flagged in `task_mask` (null =
+  /// every task, which is exactly Run() from an empty assignment).
+  /// Already-assigned workers are unavailable; masked-out tasks are never
+  /// seeded or extended. The cross-batch warm start uses this to re-form
+  /// groups on just the dirty tasks while the adopted equilibrium
+  /// skeleton stays untouched.
+  void SeedTasks(const Instance& instance,
+                 const std::vector<uint8_t>* task_mask,
+                 Assignment* assignment);
+
   /// The greedy best B-worker seed set for one task, exposed for tests.
   /// `available` flags workers that may be used. Returns an empty vector
   /// when fewer than B candidates are available.

@@ -38,6 +38,14 @@ void Assignment::Unassign(WorkerIndex w) {
   --num_assigned_;
 }
 
+void Assignment::AdoptSkeleton(std::span<const TaskIndex> seed_task) {
+  CASC_CHECK_EQ(static_cast<int>(seed_task.size()), num_workers());
+  for (WorkerIndex w = 0; w < num_workers(); ++w) {
+    const TaskIndex t = seed_task[static_cast<size_t>(w)];
+    if (t != kNoTask) Assign(w, t);
+  }
+}
+
 TaskIndex Assignment::TaskOf(WorkerIndex w) const {
   CASC_CHECK_GE(w, 0);
   CASC_CHECK_LT(w, num_workers());

@@ -52,6 +52,16 @@ class Assignment {
   /// Makes worker `w` idle. No-op if already idle.
   void Unassign(WorkerIndex w);
 
+  /// Adopts a prior-batch assignment skeleton: assigns every worker `w`
+  /// with `seed_task[w] != kNoTask` to that task, in ascending worker
+  /// order, on top of the current (normally empty) state. Group insertion
+  /// order is therefore ascending worker index — deterministic regardless
+  /// of the order the previous equilibrium built its groups in, which is
+  /// what keeps warm-started runs bit-identical across thread counts and
+  /// pipeline modes. The caller guarantees capacity feasibility (seeds
+  /// are subsets of previously feasible groups).
+  void AdoptSkeleton(std::span<const TaskIndex> seed_task);
+
   /// Task currently served by `w`, or kNoTask.
   TaskIndex TaskOf(WorkerIndex w) const;
 

@@ -8,6 +8,7 @@
 #include "model/objective_model.h"
 #include "spatial/grid_index.h"
 #include "spatial/linear_scan.h"
+#include "spatial/probe_index.h"
 #include "spatial/rtree.h"
 
 namespace casc {
@@ -101,9 +102,12 @@ void Instance::ComputeValidPairs(SpatialBackend backend,
   pairs_.BeginBuild(num_workers(), num_tasks());
 
   // Index task locations once, then answer one working-area circle query
-  // per worker (Algorithm 1 lines 4-5).
+  // per worker (Algorithm 1 lines 4-5). The grid backend sizes itself
+  // with the same documented heuristic as the streaming splice's probe
+  // index (spatial/probe_index.h) instead of a second ad-hoc constant;
+  // cell count never changes query results, only speed.
   RTree rtree;
-  GridIndex grid;
+  GridIndex grid(ProbeGridCells(tasks_.size()));
   LinearScan linear;
   SpatialIndex* task_index = nullptr;
   switch (backend) {

@@ -43,7 +43,7 @@ int CoordinatorNode::num_suspected() const {
 void CoordinatorNode::StartBatch(
     NetContext& net, const Instance* instance, const ShardMap* map,
     std::shared_ptr<const std::vector<ShardProblem>> problems,
-    Assignment assignment) {
+    Assignment assignment, const SolveDelta* delta) {
   CASC_CHECK(phase_ == Phase::kIdle || phase_ == Phase::kDone)
       << "a batch is still in flight";
   CASC_CHECK(instance != nullptr);
@@ -52,6 +52,11 @@ void CoordinatorNode::StartBatch(
   ++epoch_;
   instance_ = instance;
   map_ = map;
+  delta_ = delta != nullptr && delta->num_carried > 0 &&
+                   static_cast<int>(delta->seed_task.size()) ==
+                       instance->num_workers()
+               ? delta
+               : nullptr;
   problems_ = std::move(problems);
   assignment_ = std::move(assignment);
   keeper_.reset();
@@ -108,6 +113,9 @@ void CoordinatorNode::DispatchShard(NetContext& net, int s) {
   msg.problem = std::shared_ptr<const ShardProblem>(
       problems_, &(*problems_)[static_cast<size_t>(s)]);
   msg.objective_id = std::string(instance_->objective().Id());
+  // Warm batches stamp the skeleton epoch; a shard that failed over goes
+  // out cold (see ShardState::cold).
+  msg.skeleton_epoch = delta_ != nullptr && !state.cold ? epoch_ : -1;
   state.dispatch_time = net.now();
   net.Send(state.node, std::move(msg));
   TimerRecord retry;
@@ -181,6 +189,7 @@ void CoordinatorNode::FailoverShard(NetContext& net, int s) {
   }
   state.node = target;
   state.attempt = 0;
+  state.cold = true;  // replacement solves from scratch (see header)
   ++stats_.failovers;
   DispatchShard(net, s);
 }
@@ -202,6 +211,10 @@ void CoordinatorNode::EnterReconcile(NetContext& net) {
     stats_.prune_evals += state.prune_evals;
     stats_.prune_skips += state.prune_skips;
     stats_.feasibility_rejects += state.feasibility_rejects;
+    stats_.solve_rounds = std::max(stats_.solve_rounds, state.solve_rounds);
+    stats_.solve_moves += state.solve_moves;
+    stats_.dirty_workers += state.dirty_workers;
+    stats_.warm_started = stats_.warm_started || state.warm_started;
   }
 
   boundary_ = map_->boundary_workers();
@@ -226,11 +239,20 @@ void CoordinatorNode::EnterReconcile(NetContext& net) {
   keeper_->Sync(assignment_);
 
   phase_ = Phase::kInsert;
-  std::vector<AssignedPair> delta;
+  std::vector<AssignedPair> placements;
+  // Warm batches re-seat idle boundary workers on their retained groups
+  // before the greedy insertion — the same pass order as the in-process
+  // Reconcile, with the adoptions riding the insert-stage broadcast (no
+  // extra round trip).
+  if (delta_ != nullptr) {
+    stats_.reconcile.adopted = reconciler_.PassAdopt(
+        *instance_, boundary_, *delta_, &assignment_, &*keeper_,
+        &placements);
+  }
   stats_.reconcile.inserted = reconciler_.PassInsert(
-      *instance_, boundary_, &assignment_, &*keeper_, &delta);
+      *instance_, boundary_, &assignment_, &*keeper_, &placements);
   Broadcast(net, MessageType::kReconcile, kStageReconcileInsert,
-            std::move(delta));
+            std::move(placements));
 }
 
 void CoordinatorNode::Broadcast(NetContext& net, MessageType type, int stage,
@@ -329,6 +351,10 @@ void CoordinatorNode::OnMessage(NetContext& net, NodeId from,
       state.prune_evals = msg.prune_evals;
       state.prune_skips = msg.prune_skips;
       state.feasibility_rejects = msg.feasibility_rejects;
+      state.solve_rounds = msg.solve_rounds;
+      state.solve_moves = msg.solve_moves;
+      state.dirty_workers = msg.dirty_workers;
+      state.warm_started = msg.warm_started;
       net.CancelTimer(state.timer_token);
       rtt_.Add(net.now() - state.dispatch_time);
       --outstanding_shards_;

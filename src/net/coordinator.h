@@ -54,6 +54,14 @@ struct NetBatchStats {
   int64_t prune_evals = 0;
   int64_t prune_skips = 0;
   int64_t feasibility_rejects = 0;  ///< objective JoinFeasible rejections
+
+  /// Solver convergence telemetry reported by the shard nodes (same
+  /// aggregation as the in-process ShardedAssigner: rounds max over
+  /// shards, moves/dirty summed, warm if any shard warm-started).
+  int solve_rounds = 0;
+  int64_t solve_moves = 0;
+  int64_t dirty_workers = 0;
+  bool warm_started = false;
 };
 
 /// The coordinator node of the distributed dispatch protocol. Owns the
@@ -90,11 +98,17 @@ class CoordinatorNode : public Node {
   /// Kicks off one batch (driver API, called between simulator events
   /// via MakeContext). `instance`, `map` must outlive the batch;
   /// `problems` is shared so in-flight dispatches can never dangle.
-  /// `assignment` is the (empty, pooled) output the batch fills.
+  /// `assignment` is the (empty, pooled) output the batch fills. A
+  /// non-null `delta` (the batch's cross-batch warm-start export over
+  /// the global instance; must outlive the batch) warm-dispatches the
+  /// shards — each kDispatch stamps the skeleton epoch so the nodes use
+  /// the problems' pre-sliced deltas — and drives the reconciler's
+  /// adoption pass at the coordinator. Shards re-dispatched after a
+  /// failover fall back to a cold solve (skeleton epoch -1).
   void StartBatch(NetContext& net, const Instance* instance,
                   const ShardMap* map,
                   std::shared_ptr<const std::vector<ShardProblem>> problems,
-                  Assignment assignment);
+                  Assignment assignment, const SolveDelta* delta = nullptr);
 
   /// True once the commit round of the current batch is acked.
   bool done() const { return phase_ == Phase::kDone; }
@@ -121,6 +135,10 @@ class CoordinatorNode : public Node {
     bool resolved = false;
     bool lost = false;
     bool empty = false;  ///< no workers or no tasks; nothing to solve
+    /// Failed over at least once: re-dispatches go out cold (skeleton
+    /// epoch -1) so the replacement node's solve never depends on a warm
+    /// cache entry the original assignee may or may not have built.
+    bool cold = false;
     uint64_t timer_token = 0;
     double dispatch_time = 0.0;  ///< latest transmission (for RTT)
     std::vector<AssignedPair> pairs;  ///< buffered local result
@@ -128,6 +146,10 @@ class CoordinatorNode : public Node {
     int64_t prune_evals = 0;
     int64_t prune_skips = 0;
     int64_t feasibility_rejects = 0;
+    int solve_rounds = 0;
+    int64_t solve_moves = 0;
+    int64_t dirty_workers = 0;
+    bool warm_started = false;
   };
 
   /// One acked broadcast round (reconcile pass delta or commit).
@@ -185,6 +207,7 @@ class CoordinatorNode : public Node {
   int epoch_ = -1;
   const Instance* instance_ = nullptr;
   const ShardMap* map_ = nullptr;
+  const SolveDelta* delta_ = nullptr;  ///< warm-start export; null = cold
   std::shared_ptr<const std::vector<ShardProblem>> problems_;
   Assignment assignment_;
   std::optional<ScoreKeeper> keeper_;

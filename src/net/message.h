@@ -50,6 +50,16 @@ struct Message {
   int stage = 0;    ///< kReconcile: pass; kAck: stage being acked
   int attempt = 0;  ///< retransmission counter (diagnostics only)
 
+  /// kDispatch: epoch of the previous-equilibrium skeleton the carried
+  /// problem's warm-start slice (ShardProblem::delta) was derived from,
+  /// or -1 to demand a cold solve. The coordinator sends -1 for cold
+  /// batches and for shards re-dispatched after a failover — a node that
+  /// rejoined mid-batch must not serve a cached warm result the
+  /// coordinator no longer expects — and the node keys its result cache
+  /// on this value so warm and cold solves of the same (epoch, shard)
+  /// never alias.
+  int skeleton_epoch = -1;
+
   /// kDispatch: the shard's sub-instance — an aliasing shared_ptr into
   /// the coordinator's per-batch problem table, so a straggler dispatch
   /// still queued when the batch ends keeps the table alive instead of
@@ -74,6 +84,14 @@ struct Message {
   int64_t prune_evals = 0;
   int64_t prune_skips = 0;
   int64_t feasibility_rejects = 0;
+
+  /// kShardResult: solver convergence telemetry (best-response rounds,
+  /// strategy moves, the warm-start dirty frontier, and whether the
+  /// shard seeded from the dispatched skeleton slice).
+  int solve_rounds = 0;
+  int64_t solve_moves = 0;
+  int64_t dirty_workers = 0;
+  bool warm_started = false;
 
   /// Estimated wire size in bytes (header + payload), the quantity the
   /// simulator's byte counters accumulate.

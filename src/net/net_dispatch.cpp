@@ -44,6 +44,15 @@ Assignment NetShardedAssigner::Solve(const Instance& instance) {
   CASC_CHECK(instance.valid_pairs_ready());
   metrics_ = ServiceMetrics{};
 
+  // Same staleness guard as the in-process ShardedAssigner: a delta that
+  // does not match this instance degrades to a cold batch.
+  const SolveDelta* delta = delta_;
+  if (delta != nullptr &&
+      (delta->num_carried == 0 ||
+       static_cast<int>(delta->seed_task.size()) != instance.num_workers())) {
+    delta = nullptr;
+  }
+
   Stopwatch watch;
   ShardMapConfig map_config;
   map_config.shards_per_side = options_.shards_per_side;
@@ -55,7 +64,7 @@ Assignment NetShardedAssigner::Solve(const Instance& instance) {
     executor_.RecycleProblems(problems_.get());
   }
   problems_ = std::make_shared<std::vector<ShardProblem>>(
-      executor_.BuildProblems(instance, map));
+      executor_.BuildProblems(instance, map, delta));
   metrics_.partition_seconds = watch.ElapsedSeconds();
 
   const ShardLoadStats load = map.LoadStats();
@@ -72,7 +81,7 @@ Assignment NetShardedAssigner::Solve(const Instance& instance) {
   NodeContext context = sim_.MakeContext(kCoordinatorNode);
   watch.Restart();
   coordinator_.StartBatch(context, &instance, &map, problems_,
-                          std::move(assignment));
+                          std::move(assignment), delta);
   const bool finished = sim_.RunUntil(
       [this] { return coordinator_.done(); }, config_.max_events_per_batch);
   CASC_CHECK(finished)
@@ -90,9 +99,19 @@ Assignment NetShardedAssigner::Solve(const Instance& instance) {
   metrics_.prune_skips = batch.prune_skips;
   metrics_.feasibility_rejects = batch.feasibility_rejects;
   metrics_.objective = std::string(instance.objective().Id());
+  metrics_.adopted_boundary = batch.reconcile.adopted;
   metrics_.inserted_boundary = batch.reconcile.inserted;
   metrics_.seeded_boundary = batch.reconcile.seeded;
   metrics_.polish_moves = batch.reconcile.polish_moves;
+  metrics_.solve_rounds = batch.solve_rounds;
+  metrics_.solve_moves = batch.solve_moves;
+  metrics_.dirty_workers = batch.dirty_workers;
+  metrics_.dirty_fraction =
+      instance.num_workers() > 0
+          ? static_cast<double>(batch.dirty_workers) /
+                static_cast<double>(instance.num_workers())
+          : 0.0;
+  metrics_.warm_started = batch.warm_started;
   metrics_.lost_shards = batch.lost_shards;
   metrics_.net_retries = batch.retries;
   metrics_.net_failovers = batch.failovers;

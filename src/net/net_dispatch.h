@@ -61,6 +61,7 @@ class NetShardedAssigner : public ShardedBatchSolver {
   void AttachWorkspace(BatchWorkspace* workspace) override {
     workspace_ = workspace;
   }
+  void SetSolveDelta(const SolveDelta* delta) override { delta_ = delta; }
 
   /// Cumulative wire statistics across all batches so far.
   const NetStats& net_stats() const { return sim_.stats(); }
@@ -89,6 +90,11 @@ class NetShardedAssigner : public ShardedBatchSolver {
   /// again the sole owner.
   std::shared_ptr<std::vector<ShardProblem>> problems_;
   ServiceMetrics metrics_;
+  /// Next batch's cross-batch warm-start export (null = cold); sliced
+  /// per shard into the problem table, stamped on every kDispatch and
+  /// driven through the coordinator's adoption pass. Not owned; the
+  /// streaming loop re-attaches a fresh delta every batch.
+  const SolveDelta* delta_ = nullptr;
 };
 
 /// DispatchService with the distributed mode wired in: when `dist` is

@@ -28,17 +28,25 @@ void ShardSolverNode::HandleDispatch(NetContext& net, NodeId from,
   CASC_CHECK_EQ(resolved, &msg.problem->instance.objective())
       << "dispatch objective '" << msg.objective_id
       << "' does not match the shard problem's instance";
-  const std::pair<int, int> key{msg.epoch, msg.shard};
+  const std::tuple<int, int, int> key{msg.epoch, msg.shard,
+                                      msg.skeleton_epoch};
   auto cached = cache_.find(key);
   const bool miss = cached == cache_.end();
   if (miss) {
     CachedResult result;
     AssignerStats stats;
+    // skeleton_epoch < 0 demands a cold solve of the dispatched problem
+    // even when it carries a warm-start slice (failover fallback).
     std::optional<Assignment> local = ShardExecutor::SolveProblem(
-        *msg.problem, factory_, &workspace_, &result.solve_seconds, &stats);
+        *msg.problem, factory_, &workspace_, &result.solve_seconds, &stats,
+        /*use_delta=*/msg.skeleton_epoch >= 0);
     result.prune_evals = stats.prune_candidates_evaluated;
     result.prune_skips = stats.prune_candidates_skipped;
     result.feasibility_rejects = stats.feasibility_rejects;
+    result.solve_rounds = stats.rounds;
+    result.solve_moves = stats.moves;
+    result.dirty_workers = stats.dirty_workers;
+    result.warm_started = stats.warm_started;
     ++solves_;
     if (local.has_value()) {
       // ForEachPair order (task-major, group position) is exactly the
@@ -61,6 +69,10 @@ void ShardSolverNode::HandleDispatch(NetContext& net, NodeId from,
   reply.prune_evals = cached->second.prune_evals;
   reply.prune_skips = cached->second.prune_skips;
   reply.feasibility_rejects = cached->second.feasibility_rejects;
+  reply.solve_rounds = cached->second.solve_rounds;
+  reply.solve_moves = cached->second.solve_moves;
+  reply.dirty_workers = cached->second.dirty_workers;
+  reply.warm_started = cached->second.warm_started;
   // A fresh solve occupies the modeled compute time before the result
   // hits the wire; a cache hit answers immediately (work already done).
   net.SendAfter(miss ? solve_delay_ : 0.0, from, std::move(reply));
@@ -89,7 +101,7 @@ void ShardSolverNode::OnMessage(NetContext& net, NodeId from,
         // Results for committed (or older) epochs can never be asked for
         // again; trim the cache so a long run stays bounded.
         for (auto it = cache_.begin(); it != cache_.end();) {
-          it = it->first.first <= msg.epoch ? cache_.erase(it) : ++it;
+          it = std::get<0>(it->first) <= msg.epoch ? cache_.erase(it) : ++it;
         }
       }
       Message ack;

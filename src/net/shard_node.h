@@ -3,7 +3,7 @@
 
 #include <cstdint>
 #include <map>
-#include <utility>
+#include <tuple>
 #include <vector>
 
 #include "model/batch_workspace.h"
@@ -18,10 +18,15 @@ namespace casc {
 /// the reply doubles as the dispatch ack. Reconcile and commit broadcasts
 /// are applied to the node's view of the batch and acked.
 ///
-/// Results are cached by (epoch, shard): a retransmitted dispatch — the
-/// coordinator timing out on a lost result — is answered from the cache
-/// instead of re-solving, so retries cost wire time, not compute. The
-/// cache is volatile: a crash clears it (OnCrash), and a re-dispatch
+/// Results are cached by (epoch, shard, skeleton_epoch): a retransmitted
+/// dispatch — the coordinator timing out on a lost result — is answered
+/// from the cache instead of re-solving, so retries cost wire time, not
+/// compute. The skeleton epoch is part of the key because the same
+/// (epoch, shard) can legitimately be asked for both warm (the original
+/// dispatch) and cold (a re-dispatch after this node rejoined following
+/// a failover elsewhere) — the two solves may differ, and serving the
+/// stale warm result for a cold request would desynchronize the fold.
+/// The cache is volatile: a crash clears it (OnCrash), and a re-dispatch
 /// after restart re-solves from scratch, producing the identical result
 /// because the solver is deterministic.
 class ShardSolverNode : public Node {
@@ -49,6 +54,10 @@ class ShardSolverNode : public Node {
     int64_t prune_evals = 0;
     int64_t prune_skips = 0;
     int64_t feasibility_rejects = 0;
+    int solve_rounds = 0;
+    int64_t solve_moves = 0;
+    int64_t dirty_workers = 0;
+    bool warm_started = false;
   };
 
   void HandleDispatch(NetContext& net, NodeId from, const Message& msg);
@@ -56,8 +65,8 @@ class ShardSolverNode : public Node {
   AssignerFactory factory_;
   double solve_delay_;
   BatchWorkspace workspace_;
-  /// (epoch, shard) -> solved result; trimmed at each commit.
-  std::map<std::pair<int, int>, CachedResult> cache_;
+  /// (epoch, shard, skeleton_epoch) -> solved result; trimmed at commit.
+  std::map<std::tuple<int, int, int>, CachedResult> cache_;
   /// The node's view of the committed global assignment (volatile).
   std::vector<AssignedPair> committed_pairs_;
   int committed_epoch_ = -1;

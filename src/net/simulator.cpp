@@ -9,7 +9,8 @@
 namespace casc {
 
 int64_t Message::ByteSize() const {
-  // Fixed header: type, epoch, shard, stage, attempt + framing.
+  // Fixed header: type, epoch, shard, stage, attempt, skeleton_epoch +
+  // framing.
   int64_t bytes = 32;
   if (problem != nullptr) {
     // A real transfer would ship the shard's workers, tasks and valid
@@ -17,10 +18,18 @@ int64_t Message::ByteSize() const {
     bytes += static_cast<int64_t>(problem->instance.num_workers()) * 48;
     bytes += static_cast<int64_t>(problem->instance.num_tasks()) * 40;
     bytes += static_cast<int64_t>(problem->instance.NumValidPairs()) * 8;
+    if (skeleton_epoch >= 0) {
+      // Warm dispatch additionally ships the shard's skeleton slice:
+      // one seed task id (4 bytes) and one dirty flag per local worker,
+      // plus one dirty flag per local task.
+      bytes += static_cast<int64_t>(problem->delta.seed_task.size()) * 4;
+      bytes += static_cast<int64_t>(problem->delta.dirty.size());
+      bytes += static_cast<int64_t>(problem->delta.dirty_task.size());
+    }
   }
   bytes += static_cast<int64_t>(objective_id.size());
   bytes += static_cast<int64_t>(pairs.size()) * 8;
-  if (type == MessageType::kShardResult) bytes += 32;  // stats trailer
+  if (type == MessageType::kShardResult) bytes += 56;  // stats trailer
   return bytes;
 }
 

@@ -29,6 +29,43 @@ double Affinity(const CooperationMatrix& coop, WorkerIndex w,
 BoundaryReconciler::BoundaryReconciler(ReconcileOptions options)
     : options_(options) {}
 
+int BoundaryReconciler::PassAdopt(const Instance& global,
+                                  const std::vector<WorkerIndex>& boundary,
+                                  const SolveDelta& delta,
+                                  Assignment* assignment, ScoreKeeper* keeper,
+                                  std::vector<AssignedPair>* placed) const {
+  CASC_CHECK(assignment != nullptr);
+  CASC_CHECK(keeper != nullptr);
+  CASC_CHECK_EQ(static_cast<int>(delta.seed_task.size()),
+                global.num_workers());
+  const ObjectiveModel& objective = global.objective();
+  const bool filter_joins = !objective.AlwaysJoinFeasible();
+  int adopted = 0;
+  // Ascending worker order: the pass is a function of the delta and the
+  // phase-1 fold alone, so it is deterministic and shard-independent.
+  // Seeds are global valid pairs by BuildSolveDelta's construction; the
+  // capacity check guards against phase 1 having filled the group from
+  // its own shard's candidates in the meantime.
+  for (const WorkerIndex w : boundary) {
+    if (assignment->TaskOf(w) != kNoTask) continue;
+    const TaskIndex t = delta.seed_task[static_cast<size_t>(w)];
+    if (t == kNoTask) continue;
+    if (assignment->GroupSize(t) >=
+        global.tasks()[static_cast<size_t>(t)].capacity) {
+      continue;
+    }
+    if (filter_joins &&
+        !objective.JoinFeasible(global, t, keeper->GroupOf(t), w)) {
+      continue;
+    }
+    assignment->Assign(w, t);
+    keeper->Add(w, t);
+    if (placed != nullptr) placed->push_back({w, t});
+    ++adopted;
+  }
+  return adopted;
+}
+
 int BoundaryReconciler::PassInsert(const Instance& global,
                                    const std::vector<WorkerIndex>& boundary,
                                    Assignment* assignment, ScoreKeeper* keeper,
@@ -232,7 +269,7 @@ int BoundaryReconciler::PassPolish(const Instance& global,
 
 ReconcileStats BoundaryReconciler::Reconcile(
     const Instance& global, const std::vector<WorkerIndex>& boundary,
-    Assignment* assignment) const {
+    Assignment* assignment, const SolveDelta* delta) const {
   CASC_CHECK(assignment != nullptr);
   CASC_CHECK(global.valid_pairs_ready())
       << "compute the global valid pairs before reconciling";
@@ -240,6 +277,9 @@ ReconcileStats BoundaryReconciler::Reconcile(
   ScoreKeeper keeper(global);
   keeper.Sync(*assignment);
 
+  if (delta != nullptr && delta->num_seeded > 0) {
+    stats.adopted = PassAdopt(global, boundary, *delta, assignment, &keeper);
+  }
   stats.inserted = PassInsert(global, boundary, assignment, &keeper);
   if (options_.seed_underfilled) {
     stats.seeded = PassSeed(global, boundary, assignment, &keeper);

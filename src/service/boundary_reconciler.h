@@ -6,6 +6,7 @@
 #include "model/assignment.h"
 #include "model/instance.h"
 #include "model/score_keeper.h"
+#include "model/solve_delta.h"
 
 namespace casc {
 
@@ -30,6 +31,7 @@ struct ReconcileOptions {
 
 /// What phase 2 did, for ServiceMetrics.
 struct ReconcileStats {
+  int adopted = 0;       ///< boundary workers re-seated on retained seeds
   int inserted = 0;      ///< workers placed by best-marginal insertion
   int seeded = 0;        ///< workers placed by under-B seeding
   int polish_moves = 0;  ///< strategy changes in the polish pass
@@ -63,13 +65,32 @@ class BoundaryReconciler {
   /// Merges `boundary` (ascending global worker indices; members may be
   /// idle or already placed) into `assignment`. Requires global valid
   /// pairs. Equivalent to creating a keeper synced to `assignment` and
-  /// running PassInsert / PassSeed / PassPolish in order — the
-  /// message-driven coordinator calls the passes individually so it can
-  /// interleave them with network round-trips, and both paths produce
-  /// bit-identical assignments by construction.
+  /// running PassAdopt (warm batches only) / PassInsert / PassSeed /
+  /// PassPolish in order — the message-driven coordinator calls the
+  /// passes individually so it can interleave them with network
+  /// round-trips, and both paths produce bit-identical assignments by
+  /// construction. A non-null `delta` (the batch's cross-batch
+  /// warm-start export over the global instance) re-seats idle boundary
+  /// workers on their retained groups before the greedy passes.
   ReconcileStats Reconcile(const Instance& global,
                            const std::vector<WorkerIndex>& boundary,
-                           Assignment* assignment) const;
+                           Assignment* assignment,
+                           const SolveDelta* delta = nullptr) const;
+
+  /// Pass 0 (warm-start adoption): re-seats each still-idle boundary
+  /// worker on its retained previous-equilibrium task (ascending worker
+  /// order) when the group is below capacity and the objective's join
+  /// predicate allows it. Restores the cross-shard memberships the
+  /// per-shard phase 1 cannot carry (an off-shard seed is invisible to
+  /// the home shard's solver), so warm batches start phase 2 from the
+  /// previous equilibrium instead of re-deriving it greedily. Returns
+  /// the number of adoptions. Call only for warm batches
+  /// (delta.num_seeded > 0).
+  int PassAdopt(const Instance& global,
+                const std::vector<WorkerIndex>& boundary,
+                const SolveDelta& delta, Assignment* assignment,
+                ScoreKeeper* keeper,
+                std::vector<AssignedPair>* placed = nullptr) const;
 
   /// Pass 1 (greedy best-marginal insertion) against a live keeper.
   /// Returns the number of insertions; a non-null `placed` receives each

@@ -50,9 +50,15 @@ std::string ServiceMetrics::ToJson() const {
   AppendDoubleArray(out, "shard_seconds", shard_seconds);
   out << ",\"interior_workers\":" << interior_workers
       << ",\"boundary_workers\":" << boundary_workers
+      << ",\"adopted_boundary\":" << adopted_boundary
       << ",\"inserted_boundary\":" << inserted_boundary
       << ",\"seeded_boundary\":" << seeded_boundary
       << ",\"polish_moves\":" << polish_moves
+      << ",\"solve_rounds\":" << solve_rounds
+      << ",\"solve_moves\":" << solve_moves
+      << ",\"dirty_workers\":" << dirty_workers
+      << ",\"dirty_fraction\":" << dirty_fraction
+      << ",\"warm_started\":" << (warm_started ? 1 : 0)
       << ",\"partition_seconds\":" << partition_seconds
       << ",\"phase1_seconds\":" << phase1_seconds
       << ",\"phase2_seconds\":" << phase2_seconds
@@ -89,7 +95,9 @@ std::string RunLatencyStats::ToJson() const {
   out << "{\"batches\":" << batches << ",\"mean_seconds\":" << mean_seconds
       << ",\"p50_seconds\":" << p50_seconds
       << ",\"p99_seconds\":" << p99_seconds
-      << ",\"max_seconds\":" << max_seconds << "}";
+      << ",\"max_seconds\":" << max_seconds
+      << ",\"solve_rounds_p50\":" << solve_rounds_p50
+      << ",\"solve_rounds_p99\":" << solve_rounds_p99 << "}";
   return out.str();
 }
 
@@ -113,13 +121,24 @@ Assignment ShardedAssigner::Run(const Instance& instance) {
   stats_ = AssignerStats{};
   metrics_ = ServiceMetrics{};
 
+  // Cross-batch warm start: a usable attached delta is sliced per shard
+  // (phase 1 adopts in-shard seeds) and handed to the reconciler (phase 2
+  // re-seats boundary workers whose seeds phase 1 could not keep). A
+  // stale or absent delta degrades to the cold path.
+  const SolveDelta* delta = solve_delta();
+  if (delta != nullptr &&
+      (delta->num_carried == 0 ||
+       static_cast<int>(delta->seed_task.size()) != instance.num_workers())) {
+    delta = nullptr;
+  }
+
   Stopwatch watch;
   ShardMapConfig map_config;
   map_config.shards_per_side = options_.shards_per_side;
   map_config.world = options_.world;
   const ShardMap map(instance.workers(), instance.tasks(), map_config);
   std::vector<ShardProblem> problems =
-      executor_.BuildProblems(instance, map);
+      executor_.BuildProblems(instance, map, delta);
   metrics_.partition_seconds = watch.ElapsedSeconds();
 
   const ShardLoadStats load = map.LoadStats();
@@ -142,16 +161,31 @@ Assignment ShardedAssigner::Run(const Instance& instance) {
     metrics_.prune_evals += stats.prune_candidates_evaluated;
     metrics_.prune_skips += stats.prune_candidates_skipped;
     metrics_.feasibility_rejects += stats.feasibility_rejects;
+    // Rounds aggregate as the max (shards run in parallel — the critical
+    // path); moves and the dirty frontier as sums.
+    metrics_.solve_rounds = std::max(metrics_.solve_rounds, stats.rounds);
+    metrics_.solve_moves += stats.moves;
+    metrics_.dirty_workers += stats.dirty_workers;
+    metrics_.warm_started = metrics_.warm_started || stats.warm_started;
   }
+  metrics_.dirty_fraction =
+      instance.num_workers() > 0
+          ? static_cast<double>(metrics_.dirty_workers) /
+                static_cast<double>(instance.num_workers())
+          : 0.0;
   stats_.prune_candidates_evaluated = metrics_.prune_evals;
   stats_.prune_candidates_skipped = metrics_.prune_skips;
   stats_.feasibility_rejects = metrics_.feasibility_rejects;
+  stats_.rounds = metrics_.solve_rounds;
+  stats_.dirty_workers = metrics_.dirty_workers;
+  stats_.warm_started = metrics_.warm_started;
   metrics_.objective = std::string(instance.objective().Id());
 
   watch.Restart();
-  const ReconcileStats reconcile =
-      reconciler_.Reconcile(instance, map.boundary_workers(), &assignment);
+  const ReconcileStats reconcile = reconciler_.Reconcile(
+      instance, map.boundary_workers(), &assignment, delta);
   metrics_.phase2_seconds = watch.ElapsedSeconds();
+  metrics_.adopted_boundary = reconcile.adopted;
   metrics_.inserted_boundary = reconcile.inserted;
   metrics_.seeded_boundary = reconcile.seeded;
   metrics_.polish_moves = reconcile.polish_moves;
@@ -229,6 +263,9 @@ DispatchResult DispatchService::RunBatch(std::vector<Worker> workers,
   batch.num_tasks = instance.num_tasks();
   batch.valid_pairs = static_cast<int64_t>(instance.NumValidPairs());
   Stopwatch watch;
+  // One-shot batches have no previous equilibrium to seed from; clear any
+  // delta a prior streaming Run() left attached.
+  solver_->SetSolveDelta(nullptr);
   Assignment assignment = solver_->Solve(instance);
   batch.seconds = watch.ElapsedSeconds();
   batch.score = TotalScore(instance, assignment);
@@ -242,6 +279,11 @@ DispatchResult DispatchService::RunBatch(std::vector<Worker> workers,
   batch.index_build_seconds = index_build_seconds;
 
   ServiceMetrics metrics = solver_->metrics();
+  batch.gt_rounds = metrics.solve_rounds;
+  batch.solve_moves = metrics.solve_moves;
+  batch.dirty_workers = metrics.dirty_workers;
+  batch.dirty_fraction = metrics.dirty_fraction;
+  batch.warm_started = metrics.warm_started;
   metrics.admitted_tasks = num_admitted;
   metrics.deferred_tasks = static_cast<int>(deferred.size());
   metrics.queue_depth = static_cast<int>(deferred.size());
@@ -269,6 +311,7 @@ RunSummary DispatchService::Run(const EventStream& stream) {
   StreamingPlaneConfig plane_config = StreamingPlaneConfig::FromEnv();
   plane_config.incremental &= config_.enable_incremental;
   plane_config.audit |= config_.audit_streaming;
+  plane_config.warm_start &= config_.enable_warm_start;
   const bool pipeline = config_.enable_pipeline &&
                         std::getenv("CASC_NO_PIPELINE") == nullptr;
   // Pool-slice policy: when the pipeline is on, ingest runs concurrently
@@ -354,6 +397,15 @@ RunSummary DispatchService::Run(const EventStream& stream) {
       const double index_build_seconds = build_watch.ElapsedSeconds();
       const StreamingEmitStats emit_stats = plane.emit_stats();
 
+      // Cross-batch warm start: export the previous equilibrium's
+      // retained skeleton plus the dirty frontier (null when cold —
+      // first batch, zero carry-over, CASC_NO_WARM_START). Built
+      // serially here, before the overlap below: the pipelined ingest of
+      // batch N+1 mutates only the plane's pools, never the exported
+      // delta (a self-contained snapshot), so the solver may read it
+      // concurrently.
+      solver_->SetSolveDelta(plane.BuildSolveDelta(instance));
+
       const double next_now = now + config_.batch_interval;
       const bool overlap = pipeline && next_now < end;
       Assignment assignment;
@@ -382,6 +434,7 @@ RunSummary DispatchService::Run(const EventStream& stream) {
         assignment = solver_->Solve(instance);
         solve_seconds = solve_watch.ElapsedSeconds();
       }
+      solver_->SetSolveDelta(nullptr);
 
       BatchMetrics batch;
       batch.round = round;
@@ -409,6 +462,15 @@ RunSummary DispatchService::Run(const EventStream& stream) {
       plane.Commit(instance, assignment, now + config_.task_duration);
 
       ServiceMetrics metrics = solver_->metrics();
+      // Per-batch solver convergence telemetry: invariant across thread
+      // counts and pipeline modes (the delta is mode-independent and the
+      // shard solves deterministic), so the combo-identity tests may
+      // compare it.
+      batch.gt_rounds = metrics.solve_rounds;
+      batch.solve_moves = metrics.solve_moves;
+      batch.dirty_workers = metrics.dirty_workers;
+      batch.dirty_fraction = metrics.dirty_fraction;
+      batch.warm_started = metrics.warm_started;
       metrics.admitted_tasks = instance.num_tasks();
       metrics.deferred_tasks = plane.num_deferred();
       metrics.queue_depth = plane.queue_depth_after_commit();
@@ -447,8 +509,10 @@ RunSummary DispatchService::Run(const EventStream& stream) {
       total += metrics.batch_seconds;
     }
     Histogram histogram(0.0, std::max(worst * (1.0 + 1e-9), 1e-9), 1000);
+    QuantileSketch rounds_sketch;
     for (const ServiceMetrics& metrics : batch_metrics_) {
       histogram.Add(metrics.batch_seconds);
+      rounds_sketch.Add(static_cast<double>(metrics.solve_rounds));
     }
     run_latency_.batches = static_cast<int64_t>(batch_metrics_.size());
     run_latency_.mean_seconds =
@@ -456,6 +520,8 @@ RunSummary DispatchService::Run(const EventStream& stream) {
     run_latency_.p50_seconds = histogram.Quantile(0.5);
     run_latency_.p99_seconds = histogram.Quantile(0.99);
     run_latency_.max_seconds = worst;
+    run_latency_.solve_rounds_p50 = rounds_sketch.Quantile(0.5);
+    run_latency_.solve_rounds_p99 = rounds_sketch.Quantile(0.99);
   }
   return summary;
 }

@@ -45,9 +45,21 @@ struct ServiceMetrics {
   std::vector<double> shard_seconds; ///< per-shard solver wall time
   int interior_workers = 0;
   int boundary_workers = 0;
+  int adopted_boundary = 0;   ///< phase-2 warm-start re-seatings
   int inserted_boundary = 0;  ///< phase-2 marginal insertions
   int seeded_boundary = 0;    ///< phase-2 under-B seedings
   int polish_moves = 0;       ///< phase-2 best-response moves
+
+  /// Phase-1 solver convergence telemetry (GT family; zero for
+  /// single-pass shard solvers): best-response rounds (max over shards —
+  /// the parallel critical path), strategy moves (sum), the warm-start
+  /// dirty frontier and whether any shard seeded from the previous
+  /// equilibrium's skeleton.
+  int solve_rounds = 0;          ///< max best-response rounds over shards
+  int64_t solve_moves = 0;       ///< strategy changes summed over shards
+  int64_t dirty_workers = 0;     ///< initial dirty frontier (warm only)
+  double dirty_fraction = 0.0;   ///< dirty_workers / batch workers
+  bool warm_started = false;     ///< any shard seeded from the skeleton
   double partition_seconds = 0.0;  ///< shard map + problem building
   double phase1_seconds = 0.0;     ///< parallel per-shard assignment
   double phase2_seconds = 0.0;     ///< boundary reconciliation
@@ -136,6 +148,13 @@ class ShardedBatchSolver {
 
   /// Lets the service lend its pooled solve-side workspace (may be null).
   virtual void AttachWorkspace(BatchWorkspace* workspace) = 0;
+
+  /// Attaches the next Solve()'s cross-batch warm-start delta (may be
+  /// null = cold). The delta must stay alive for the duration of that
+  /// Solve(); the streaming loop re-attaches a fresh one every batch.
+  /// Default: ignore it (a cold solver stays correct — the warm start is
+  /// purely an optimization).
+  virtual void SetSolveDelta(const SolveDelta* delta) { (void)delta; }
 };
 
 /// The sharded dispatch engine as a drop-in Assigner (Algorithm 1 line
@@ -164,6 +183,9 @@ class ShardedAssigner : public Assigner, public ShardedBatchSolver {
   }
   void AttachWorkspace(BatchWorkspace* workspace) override {
     set_workspace(workspace);
+  }
+  void SetSolveDelta(const SolveDelta* delta) override {
+    set_solve_delta(delta);
   }
 
   /// Shard/phase observability of the most recent Run(). Admission
@@ -226,6 +248,16 @@ struct DispatchConfig {
   /// Differentially check every incrementally-built valid-pair index
   /// against a from-scratch build (or'ed with CASC_STREAM_AUDIT).
   bool audit_streaming = false;
+
+  /// Seed each streaming batch's solve from the previous batch's
+  /// committed equilibrium restricted to the still-present players, and
+  /// converge only the dirty frontier (fresh workers / changed tasks).
+  /// Anded with the CASC_NO_WARM_START kill switch at Run() time; either
+  /// side restores the cold per-batch solve exactly. The warm output is
+  /// still a certified Nash equilibrium (the GT family's full
+  /// verification pass runs unchanged), and batches with zero carry-over
+  /// are bit-identical to the cold path.
+  bool enable_warm_start = true;
 };
 
 /// Run-level latency distribution of a streaming Run(): per-batch
@@ -237,6 +269,12 @@ struct RunLatencyStats {
   double p50_seconds = 0.0;
   double p99_seconds = 0.0;
   double max_seconds = 0.0;
+
+  /// Rounds-to-convergence distribution over the run's batches
+  /// (ServiceMetrics::solve_rounds through a QuantileSketch): the
+  /// quantity the cross-batch warm start shrinks in steady state.
+  double solve_rounds_p50 = 0.0;
+  double solve_rounds_p99 = 0.0;
 
   /// Compact JSON object (bench/monitoring output).
   std::string ToJson() const;

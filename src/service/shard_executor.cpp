@@ -17,7 +17,7 @@ namespace {
 ShardProblem BuildOne(const Instance& global, const ShardMap& map, int s,
                       const std::vector<int>& task_shard,
                       const std::vector<int>& task_local,
-                      BatchWorkspace* workspace) {
+                      const SolveDelta* delta, BatchWorkspace* workspace) {
   const std::vector<WorkerIndex>& global_workers = map.HomeWorkersOf(s);
   const std::vector<TaskIndex>& global_tasks = map.TasksOf(s);
 
@@ -74,7 +74,51 @@ ShardProblem BuildOne(const Instance& global, const ShardMap& map, int s,
   csr.FinishBuild();
   local.AdoptValidPairs(std::move(csr));
 
-  return ShardProblem{std::move(local), global_workers, global_tasks};
+  ShardProblem problem{std::move(local), global_workers, global_tasks, {}};
+  // Slice the batch's warm-start delta to this shard: remap retained
+  // seeds to local task indices, keep the global dirty flags, and treat
+  // an off-shard seed as lost (seedless + dirty) — the restriction of a
+  // capacity-feasible global skeleton to a worker subset stays
+  // capacity-feasible, and the local seed is a local valid pair because
+  // the CSR above keeps exactly the home-shard tasks of each worker's
+  // global valid list. Deterministic per shard, so the warm sharded path
+  // stays independent of thread count and scheduling.
+  if (delta != nullptr && delta->num_carried > 0) {
+    SolveDelta& sliced = problem.delta;
+    const size_t local_workers = problem.global_workers.size();
+    sliced.seed_task.assign(local_workers, kNoTask);
+    sliced.dirty.assign(local_workers, 0);
+    for (size_t lw = 0; lw < local_workers; ++lw) {
+      const size_t gw = static_cast<size_t>(problem.global_workers[lw]);
+      sliced.dirty[lw] = delta->dirty[gw];
+      const TaskIndex gseed = delta->seed_task[gw];
+      if (gseed == kNoTask) continue;
+      if (task_shard[static_cast<size_t>(gseed)] == s) {
+        sliced.seed_task[lw] =
+            static_cast<TaskIndex>(task_local[static_cast<size_t>(gseed)]);
+        ++sliced.num_seeded;
+      } else {
+        sliced.dirty[lw] = 1;  // seed lost to another shard: re-solve
+      }
+    }
+    // Locally carried = clean or still seeded. (A carried worker whose
+    // seed died reads as fresh here — conservative, and deterministic for
+    // any shard layout.)
+    for (size_t lw = 0; lw < local_workers; ++lw) {
+      sliced.num_dirty += sliced.dirty[lw];
+      if (sliced.dirty[lw] == 0 || sliced.seed_task[lw] != kNoTask) {
+        ++sliced.num_carried;
+      }
+    }
+    const size_t local_tasks = problem.global_tasks.size();
+    sliced.dirty_task.assign(local_tasks, 0);
+    for (size_t lt = 0; lt < local_tasks; ++lt) {
+      const size_t gt = static_cast<size_t>(problem.global_tasks[lt]);
+      sliced.dirty_task[lt] = delta->dirty_task[gt];
+      sliced.num_dirty_tasks += sliced.dirty_task[lt];
+    }
+  }
+  return problem;
 }
 
 }  // namespace
@@ -88,7 +132,7 @@ void ShardExecutor::EnsureWorkspaces(int count) {
 }
 
 std::vector<ShardProblem> ShardExecutor::BuildProblems(
-    const Instance& global, const ShardMap& map) {
+    const Instance& global, const ShardMap& map, const SolveDelta* delta) {
   CASC_CHECK(global.valid_pairs_ready())
       << "compute the global valid pairs before sharding";
   const int num_shards = map.num_shards();
@@ -112,7 +156,7 @@ std::vector<ShardProblem> ShardExecutor::BuildProblems(
   pool_.ParallelFor(num_shards, [&](int64_t s) {
     built[static_cast<size_t>(s)] =
         BuildOne(global, map, static_cast<int>(s), task_shard, task_local,
-                 workspaces_[static_cast<size_t>(s)].get());
+                 delta, workspaces_[static_cast<size_t>(s)].get());
   });
 
   std::vector<ShardProblem> problems;
@@ -135,7 +179,8 @@ void ShardExecutor::RecycleProblems(std::vector<ShardProblem>* problems) {
 
 std::optional<Assignment> ShardExecutor::SolveProblem(
     const ShardProblem& problem, const AssignerFactory& factory,
-    BatchWorkspace* workspace, double* seconds, AssignerStats* stats) {
+    BatchWorkspace* workspace, double* seconds, AssignerStats* stats,
+    bool use_delta) {
   CASC_CHECK(factory != nullptr);
   if (problem.instance.num_workers() == 0 ||
       problem.instance.num_tasks() == 0) {
@@ -144,6 +189,9 @@ std::optional<Assignment> ShardExecutor::SolveProblem(
   Stopwatch watch;
   const std::unique_ptr<Assigner> solver = factory();
   solver->set_workspace(workspace);
+  if (use_delta && problem.delta.num_carried > 0) {
+    solver->set_solve_delta(&problem.delta);
+  }
   std::optional<Assignment> local = solver->Run(problem.instance);
   if (seconds != nullptr) *seconds = watch.ElapsedSeconds();
   if (stats != nullptr) *stats = solver->stats();

@@ -10,6 +10,7 @@
 #include "model/assignment.h"
 #include "model/batch_workspace.h"
 #include "model/instance.h"
+#include "model/solve_delta.h"
 #include "service/shard_map.h"
 
 namespace casc {
@@ -38,6 +39,15 @@ struct ShardProblem {
   Instance instance;                        ///< local, valid pairs ready
   std::vector<WorkerIndex> global_workers;  ///< local w -> global w
   std::vector<TaskIndex> global_tasks;      ///< local t -> global t
+
+  /// Shard-local slice of the batch's cross-batch warm-start delta
+  /// (empty / num_carried == 0 when the batch is cold): global seeds are
+  /// remapped to local task indices; a worker whose retained seed lives
+  /// in another shard loses the seed here and joins the dirty frontier
+  /// (phase 2 re-arbitrates it). SolveProblem attaches this to the shard
+  /// solver, so the simulated shard nodes warm-start from the dispatched
+  /// problem alone — no coordinator state needed.
+  SolveDelta delta;
 };
 
 /// Phase-1 engine of the sharded dispatch service: materializes the
@@ -61,9 +71,12 @@ class ShardExecutor {
 
   /// Builds one ShardProblem per shard of `map` (in parallel). Requires
   /// `global.valid_pairs_ready()`; `map` must have been built from the
-  /// same worker/task vectors.
+  /// same worker/task vectors. A non-null `delta` (the plane's
+  /// cross-batch warm-start export over the global instance) is sliced
+  /// per shard into each problem's `delta`; null leaves every shard cold.
   std::vector<ShardProblem> BuildProblems(const Instance& global,
-                                          const ShardMap& map);
+                                          const ShardMap& map,
+                                          const SolveDelta* delta = nullptr);
 
   /// Runs a factory-made assigner over every problem in parallel and
   /// folds the local assignments into a global assignment (ascending
@@ -93,12 +106,16 @@ class ShardExecutor {
   /// for an empty shard (no workers or no tasks). Thread-safe given a
   /// private `workspace` (may be null). Run() is equivalent to
   /// SolveProblem on every shard (any order/concurrency) followed by
-  /// FoldProblem in ascending shard order.
+  /// FoldProblem in ascending shard order. When `use_delta` is set (the
+  /// default) and the problem carries a non-empty warm-start slice, the
+  /// slice is attached to the solver; `use_delta = false` forces a cold
+  /// solve of the same problem (the net layer's failover fallback).
   static std::optional<Assignment> SolveProblem(const ShardProblem& problem,
                                                 const AssignerFactory& factory,
                                                 BatchWorkspace* workspace,
                                                 double* seconds = nullptr,
-                                                AssignerStats* stats = nullptr);
+                                                AssignerStats* stats = nullptr,
+                                                bool use_delta = true);
 
   /// Folds one shard's local assignment into the global assignment using
   /// the problem's index maps (local insertion order, so folding shards

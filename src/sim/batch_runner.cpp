@@ -39,6 +39,14 @@ BatchMetrics MeasureBatch(const Instance& instance, Assigner* assigner,
     }
   }
   metrics.gt_rounds = assigner->stats().rounds;
+  metrics.solve_moves = assigner->stats().moves;
+  metrics.dirty_workers = assigner->stats().dirty_workers;
+  metrics.dirty_fraction =
+      instance.num_workers() > 0
+          ? static_cast<double>(assigner->stats().dirty_workers) /
+                static_cast<double>(instance.num_workers())
+          : 0.0;
+  metrics.warm_started = assigner->stats().warm_started;
   if (compute_upper) {
     metrics.upper_bound = ComputeUpperBound(instance);
   }
@@ -135,10 +143,17 @@ RunSummary BatchRunner::RunStreaming(const EventStream& stream,
       plane.BuildValidPairs(&instance, &workspace);
       const double index_build_seconds = build_watch.ElapsedSeconds();
 
+      // Cross-batch warm start: hand the solver the previous
+      // equilibrium's skeleton plus the dirty frontier (null on the cold
+      // path — first batch, zero carry-over, CASC_NO_WARM_START).
+      // Warm-oblivious assigners ignore the attachment entirely.
+      assigner->set_solve_delta(plane.BuildSolveDelta(instance));
+
       Assignment assignment;
       BatchMetrics metrics =
           MeasureBatch(instance, assigner, config_.compute_upper_bound,
                        round, now, &assignment);
+      assigner->set_solve_delta(nullptr);
       metrics.ingest_seconds = ingest_seconds;
       metrics.index_build_seconds = index_build_seconds;
       metrics.ingest_splice_seconds = plane.ingest_stats().splice_seconds;

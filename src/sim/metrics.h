@@ -21,6 +21,14 @@ struct BatchMetrics {
   int completed_tasks = 0;     ///< tasks reaching >= B workers
   int gt_rounds = 0;           ///< best-response rounds (GT family)
 
+  /// Solver convergence telemetry (GT family; zero for single-pass
+  /// algorithms): strategy moves applied, the warm-start dirty frontier
+  /// and whether the batch seeded from the previous equilibrium.
+  int64_t solve_moves = 0;       ///< strategy changes applied
+  int64_t dirty_workers = 0;     ///< initial dirty frontier (warm only)
+  double dirty_fraction = 0.0;   ///< dirty_workers / num_workers
+  bool warm_started = false;     ///< seeded from the prior equilibrium
+
   /// Streaming-mode data-plane timings: pool/arrival ingest (including
   /// incremental index maintenance) and valid-pair build for this batch.
   /// In the pipelined dispatch service the ingest portion overlaps the

@@ -4,39 +4,19 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "model/objective.h"
+
 #include "common/check.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "geo/reachability.h"
 #include "spatial/grid_index.h"
 #include "spatial/linear_scan.h"
+#include "spatial/probe_index.h"
 #include "spatial/rtree.h"
 
 namespace casc {
 namespace {
-
-/// Probe index over one ingest window's task arrivals: brute force for
-/// small deltas, a grid sized to the delta otherwise. Any backend would
-/// do (identical query results); this only tunes the constant.
-std::unique_ptr<SpatialIndex> MakeDeltaIndex(
-    const std::vector<SpatialItem>& items) {
-  // The probe index is queried once per known worker, so at 1M workers
-  // even a 40-item delta deserves cell pruning: the grid pays off as
-  // soon as it beats a linear scan per probe, which happens well below
-  // the old 64-item cutoff for the small working radii large worlds
-  // use. Backend choice never affects outputs (all backends return
-  // ascending ids).
-  if (items.size() < 16) {
-    auto linear = std::make_unique<LinearScan>();
-    linear->Build(items);
-    return linear;
-  }
-  const int cells = std::clamp(
-      static_cast<int>(std::sqrt(static_cast<double>(items.size()))), 8, 64);
-  auto grid = std::make_unique<GridIndex>(cells);
-  grid->Build(items);
-  return grid;
-}
 
 /// Below this many rows a loop runs inline: the fan-out costs more than
 /// the work it distributes.
@@ -54,6 +34,10 @@ StreamingPlaneConfig StreamingPlaneConfig::FromEnv() {
   config.parallel_ingest = std::getenv("CASC_NO_PARALLEL_INGEST") == nullptr;
   if (const char* threads = std::getenv("CASC_INGEST_THREADS")) {
     config.ingest_threads = std::max(0, std::atoi(threads));
+  }
+  config.warm_start = std::getenv("CASC_NO_WARM_START") == nullptr;
+  if (const char* epoch = std::getenv("CASC_WARM_RETRY_EPOCH")) {
+    config.warm_retry_epoch = std::max(1, std::atoi(epoch));
   }
   return config;
 }
@@ -179,7 +163,10 @@ void StreamingPlane::Ingest(double now, std::span<const Worker> workers,
   // serial loop's; counters merge in fixed chunk order below.
   phase.Restart();
   if (!tasks.empty() && known_workers > 0) {
-    const std::unique_ptr<SpatialIndex> delta = MakeDeltaIndex(rebuild_items_);
+    // The probe index is queried once per known worker, so at 1M workers
+    // even a 40-item delta deserves cell pruning; the shared heuristic
+    // (spatial/probe_index.h) picks linear scan vs sized grid.
+    const std::unique_ptr<SpatialIndex> delta = MakeProbeIndex(rebuild_items_);
     const int chunks = ChunksFor(known_workers);
     RunOnChunks(known_workers, chunks, [&](int chunk, size_t begin,
                                            size_t end) {
@@ -458,6 +445,158 @@ void StreamingPlane::BuildValidPairs(Instance* instance,
   instance->AdoptValidPairs(std::move(index));
 }
 
+const SolveDelta* StreamingPlane::BuildSolveDelta(const Instance& instance) {
+  if (!config_.warm_start) return nullptr;
+  const int num_workers = instance.num_workers();
+  const int num_tasks = instance.num_tasks();
+  CASC_CHECK_EQ(num_workers, static_cast<int>(pool_worker_handles_.size()));
+  CASC_CHECK_EQ(num_tasks, admitted_count_);
+  CASC_CHECK(instance.valid_pairs_ready())
+      << "BuildSolveDelta must run after BuildValidPairs";
+
+  // One sequence number per solved batch. A handle is "carried" iff its
+  // stamp equals the previous sequence number, i.e. it was part of the
+  // last instance a solver actually saw — which is also why no-work
+  // batches that skip the solve entirely need no special casing here.
+  const int64_t prev_seq = solve_seq_;
+  ++solve_seq_;
+  seed_task_of_worker_.resize(worker_store_.size(), -1);
+  worker_solved_stamp_.resize(worker_store_.size(), -1);
+  task_solved_stamp_.resize(slot_of_handle_.size(), -1);
+
+  delta_.seed_task.assign(static_cast<size_t>(num_workers), kNoTask);
+  delta_.dirty.assign(static_cast<size_t>(num_workers), 0);
+  delta_.num_seeded = 0;
+  delta_.num_dirty = 0;
+  delta_.num_carried = 0;
+  delta_.dirty_task.assign(static_cast<size_t>(num_tasks), 0);
+  delta_.num_dirty_tasks = 0;
+
+  task_instance_of_handle_.assign(slot_of_handle_.size(), -1);
+  for (int i = 0; i < num_tasks; ++i) {
+    const int32_t handle =
+        pool_task_handles_[static_cast<size_t>(admitted_[i])];
+    task_instance_of_handle_[static_cast<size_t>(handle)] = i;
+  }
+  group_lost_.assign(static_cast<size_t>(num_tasks), 0);
+
+  // Worker pass: remap each carried worker's recorded seed through the
+  // handle back-map. Deadline monotonicity means a carried worker/task
+  // pair can only disappear between batches, never appear, so a seed
+  // that is still an instance pair today was exactly the pair played at
+  // the previous equilibrium.
+  for (WorkerIndex w = 0; w < num_workers; ++w) {
+    const int32_t handle = pool_worker_handles_[static_cast<size_t>(w)];
+    const bool carried =
+        worker_solved_stamp_[static_cast<size_t>(handle)] == prev_seq;
+    worker_solved_stamp_[static_cast<size_t>(handle)] = solve_seq_;
+    if (!carried) {
+      // Fresh arrival or returner from a busy spell.
+      delta_.dirty[static_cast<size_t>(w)] = 1;
+      continue;
+    }
+    ++delta_.num_carried;
+    const int32_t seed_handle =
+        seed_task_of_worker_[static_cast<size_t>(handle)];
+    if (seed_handle < 0) continue;  // idle at the previous equilibrium
+    const int32_t t =
+        task_instance_of_handle_[static_cast<size_t>(seed_handle)];
+    bool alive = t >= 0;
+    if (alive) {
+      const std::span<const TaskIndex> row = instance.ValidTasks(w);
+      alive = std::binary_search(row.begin(), row.end(),
+                                 static_cast<TaskIndex>(t));
+    }
+    if (alive) {
+      delta_.seed_task[static_cast<size_t>(w)] = static_cast<TaskIndex>(t);
+      ++delta_.num_seeded;
+    } else {
+      // The previous choice expired, was deferred, or its deadline died:
+      // the worker must re-decide, and its old group lost a member, so
+      // the group's survivors re-decide too (cascaded below — they are
+      // all candidates of the lost seed's task when it is still around).
+      delta_.dirty[static_cast<size_t>(w)] = 1;
+      if (t >= 0) group_lost_[static_cast<size_t>(t)] = 1;
+    }
+  }
+
+  // Arrival pass: a worker that is new to the solved instance (or whose
+  // recorded seed died) changes the group-formation potential of every
+  // task it can serve — the restricted TPG re-seed must eventually
+  // retry those tasks with the newcomer, or a standing task could sit
+  // unstaffed forever while cold solves would have crewed it (the
+  // kEmpty trap at the delta level: best-response rounds alone cannot
+  // form a group from idle workers). Marking every such task dirty
+  // every batch would re-seed the whole standing frontier in
+  // arrival-dense traces, so arrivals only bump a per-handle counter
+  // here; a standing task re-enters the frontier on its round-robin
+  // epoch slot below, once it actually accumulated fresh candidates.
+  // Base-dirty workers only — candidates dirtied by the task cascade
+  // below do not fan back out, so the marking needs no fixpoint
+  // iteration.
+  task_fresh_candidates_.resize(slot_of_handle_.size(), 0);
+  for (WorkerIndex w = 0; w < num_workers; ++w) {
+    if (delta_.dirty[static_cast<size_t>(w)] == 0) continue;
+    for (const TaskIndex t : instance.ValidTasks(w)) {
+      const int32_t handle =
+          pool_task_handles_[static_cast<size_t>(admitted_[t])];
+      ++task_fresh_candidates_[static_cast<size_t>(handle)];
+    }
+  }
+  const int retry_epoch = std::max(1, config_.warm_retry_epoch);
+
+  // Task pass: a task that is new to the solved instance attracts every
+  // candidate; a retained task whose group lost a member changes every
+  // member's marginal and every outsider's join value. Both cascade as
+  // "dirty all candidates" — the solver's verification pass backstops
+  // anything subtler.
+  for (int i = 0; i < num_tasks; ++i) {
+    const int32_t handle =
+        pool_task_handles_[static_cast<size_t>(admitted_[i])];
+    const bool carried =
+        task_solved_stamp_[static_cast<size_t>(handle)] == prev_seq;
+    task_solved_stamp_[static_cast<size_t>(handle)] = solve_seq_;
+    const bool retry_due =
+        task_fresh_candidates_[static_cast<size_t>(handle)] > 0 &&
+        (handle % retry_epoch) ==
+            static_cast<int32_t>(solve_seq_ % retry_epoch);
+    if (carried && group_lost_[static_cast<size_t>(i)] == 0 && !retry_due) {
+      continue;
+    }
+    task_fresh_candidates_[static_cast<size_t>(handle)] = 0;
+    delta_.dirty_task[static_cast<size_t>(i)] = 1;
+    ++delta_.num_dirty_tasks;
+    for (const WorkerIndex c : instance.Candidates(i)) {
+      delta_.dirty[static_cast<size_t>(c)] = 1;
+    }
+  }
+
+  // Seeds never point at a dirty task: a new or regrouped task gets its
+  // group re-formed from scratch by the warm solver's restricted TPG
+  // pass, so its surviving members must be released. They are already
+  // dirty (every candidate of a dirty task is).
+  if (delta_.num_dirty_tasks > 0) {
+    for (WorkerIndex w = 0; w < num_workers; ++w) {
+      const TaskIndex t = delta_.seed_task[static_cast<size_t>(w)];
+      if (t == kNoTask || delta_.dirty_task[static_cast<size_t>(t)] == 0) {
+        continue;
+      }
+      delta_.seed_task[static_cast<size_t>(w)] = kNoTask;
+      --delta_.num_seeded;
+    }
+  }
+
+  for (WorkerIndex w = 0; w < num_workers; ++w) {
+    delta_.num_dirty += delta_.dirty[static_cast<size_t>(w)];
+  }
+  // Zero carry-over: hand the solver nothing at all, so the batch runs
+  // the literal cold path (bit-identical to CASC_NO_WARM_START). A
+  // carried-but-all-idle skeleton IS published — the clean idle workers
+  // are exactly the ones whose re-evaluation the warm rounds save.
+  if (delta_.num_carried == 0) return nullptr;
+  return &delta_;
+}
+
 void StreamingPlane::Commit(const Instance& instance,
                             const Assignment& assignment,
                             double release_time) {
@@ -474,9 +613,39 @@ void StreamingPlane::Commit(const Instance& instance,
   std::vector<int32_t>& task_started = instance_index_of_slot_;
   for (TaskIndex t = 0; t < num_tasks; ++t) {
     if (assignment.GroupSize(t) < instance.min_group_size()) continue;
+    // A crew that produces no value under the active objective (e.g. a
+    // multiskill group that misses a required skill) must not start: it
+    // would burn its workers' time on a worthless execution. Under the
+    // default objective any group of >= B scores positive, so this gate
+    // only bites for variant objectives with feasibility predicates.
+    if (GroupScore(instance, t, assignment.GroupOf(t)) <= 0.0) continue;
     task_started[static_cast<size_t>(t)] = 1;
     for (const WorkerIndex w : assignment.GroupOf(t)) {
       worker_started[static_cast<size_t>(w)] = 1;
+    }
+  }
+
+  // Record the solved equilibrium's skeleton by handle before the pools
+  // are rebuilt (the admitted_/pool_task_handles_ maps are still those of
+  // the solved instance here). Started workers leave with their whole
+  // group, so their stamp is invalidated: when they return from the busy
+  // queue — even within one inter-solve gap — they read as fresh.
+  if (config_.warm_start) {
+    seed_task_of_worker_.resize(worker_store_.size(), -1);
+    worker_solved_stamp_.resize(worker_store_.size(), -1);
+    for (WorkerIndex w = 0; w < num_workers; ++w) {
+      const int32_t handle = pool_worker_handles_[static_cast<size_t>(w)];
+      if (worker_started[static_cast<size_t>(w)] != 0) {
+        seed_task_of_worker_[static_cast<size_t>(handle)] = -1;
+        worker_solved_stamp_[static_cast<size_t>(handle)] = -1;
+        continue;
+      }
+      const TaskIndex t = assignment.TaskOf(w);
+      seed_task_of_worker_[static_cast<size_t>(handle)] =
+          t == kNoTask
+              ? -1
+              : pool_task_handles_[static_cast<size_t>(
+                    admitted_[static_cast<size_t>(t)])];
     }
   }
 

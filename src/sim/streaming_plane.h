@@ -11,6 +11,7 @@
 #include "model/assignment.h"
 #include "model/batch_workspace.h"
 #include "model/instance.h"
+#include "model/solve_delta.h"
 #include "model/task.h"
 #include "model/worker.h"
 #include "spatial/spatial_index.h"
@@ -58,11 +59,42 @@ struct StreamingPlaneConfig {
   /// Ignored when parallel_ingest is false. Env: CASC_INGEST_THREADS.
   int ingest_threads = 0;
 
+  /// Track the cross-batch assignment skeleton and publish a SolveDelta
+  /// each batch (BuildSolveDelta) so warm-capable solvers seed from the
+  /// previous equilibrium. Works identically in incremental and scratch
+  /// modes — the delta is a pure function of the pool bookkeeping and the
+  /// built instance, never of how the valid pairs were computed, which is
+  /// what keeps warm runs bit-identical across every mode/thread combo.
+  /// Kill switch: CASC_NO_WARM_START (restores pre-warm behavior
+  /// exactly: BuildSolveDelta returns null and solvers run cold).
+  bool warm_start = true;
+
+  /// Bounded-staleness re-seed for standing tasks. A retained open task
+  /// whose group survived is normally clean, but fresh candidate
+  /// arrivals change its group-formation potential — best-response
+  /// rounds alone can never staff it (the kEmpty trap), so it must
+  /// periodically re-enter the restricted TPG re-seed. Re-marking it
+  /// every batch would put the whole standing frontier back in the
+  /// dirty set in arrival-dense traces, erasing the warm start's win;
+  /// instead each task re-enters on its round-robin slot (handle modulo
+  /// this many batches) and only when it actually accumulated fresh
+  /// candidates since it was last seeded. Staffing staleness is bounded
+  /// by this epoch length; zero-churn batches stay exactly clean (no
+  /// arrivals means no counters, so no task re-enters). 1 restores
+  /// every-batch retry; values < 1 are clamped to 1. The default is the
+  /// largest epoch that held solution quality within a few percent of
+  /// cold on the pr10 feasibility-gap trace (longer epochs kept cutting
+  /// solve time but delayed staffing enough to lose deadline-tight
+  /// tasks); override with CASC_WARM_RETRY_EPOCH.
+  int warm_retry_epoch = 4;
+
   /// Defaults plus the process-wide runtime switches: backend from
   /// DefaultSpatialBackend(), incremental off when CASC_NO_INCREMENTAL is
   /// set, audit on when CASC_STREAM_AUDIT is set, parallel ingest off
   /// when CASC_NO_PARALLEL_INGEST is set, thread count from
-  /// CASC_INGEST_THREADS when positive.
+  /// CASC_INGEST_THREADS when positive, warm start off when
+  /// CASC_NO_WARM_START is set, retry epoch from CASC_WARM_RETRY_EPOCH
+  /// when set.
   static StreamingPlaneConfig FromEnv();
 };
 
@@ -222,6 +254,20 @@ class StreamingPlane {
   /// from-scratch build in either mode.
   void BuildValidPairs(Instance* instance, BatchWorkspace* workspace);
 
+  /// Publishes the cross-batch warm-start delta for the instance about to
+  /// be solved: the previous equilibrium's skeleton remapped through the
+  /// slot back-map onto this batch's indices, plus the dirty frontier
+  /// (fresh workers, returners, workers whose seed pair died, and every
+  /// candidate of a task that is new to the instance or whose retained
+  /// group lost a member). Call after BuildValidPairs() and before the
+  /// solve; returns null (cold) when warm start is disabled or no worker
+  /// carries over — including always on the first batch — so the cold
+  /// path stays bit-identical to pre-warm behavior. The returned pointer
+  /// stays valid until the next BuildSolveDelta() call; the pipelined
+  /// overlap may run the next Ingest() while a solver reads it (ingest
+  /// never touches the delta).
+  const SolveDelta* BuildSolveDelta(const Instance& instance);
+
   /// Commits the solved batch: workers of started groups (>= B members)
   /// go busy until `release_time`; started tasks leave the pool (and the
   /// persistent index); non-started admitted tasks, deferred tasks and
@@ -330,6 +376,23 @@ class StreamingPlane {
   std::vector<SpatialItem> rebuild_items_;
   std::vector<Task> scratch_tasks_;
   std::vector<int32_t> scratch_handles_;
+
+  /// Warm-start skeleton state (config_.warm_start). Seeds and presence
+  /// stamps are keyed by handle, like rows_/slot_of_handle_: a worker
+  /// (task) is carried into the next solve iff its stamp equals the
+  /// previous BuildSolveDelta() sequence number, which makes returners
+  /// from busy spells, skipped no-work batches and overlap arrivals all
+  /// read as fresh/dirty without any per-batch set differencing.
+  std::vector<int32_t> seed_task_of_worker_;  ///< by worker handle; -1 idle
+  std::vector<int64_t> worker_solved_stamp_;  ///< by worker handle
+  std::vector<int64_t> task_solved_stamp_;    ///< by task handle
+  /// Fresh candidates a standing task accumulated since its last
+  /// re-seed, by task handle — drives the warm_retry_epoch re-entry.
+  std::vector<int32_t> task_fresh_candidates_;
+  int64_t solve_seq_ = 0;
+  std::vector<int32_t> task_instance_of_handle_;  ///< per-batch scratch
+  std::vector<uint8_t> group_lost_;               ///< per-batch scratch
+  SolveDelta delta_;
 
   /// Parallel-ingest machinery: an owned pool (null when the resolved
   /// width is 1), one scratch slot per chunk, and the per-worker emitted

@@ -1,0 +1,28 @@
+#include "spatial/probe_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spatial/grid_index.h"
+#include "spatial/linear_scan.h"
+
+namespace casc {
+
+int ProbeGridCells(size_t n) {
+  return std::clamp(static_cast<int>(std::sqrt(static_cast<double>(n))), 8,
+                    64);
+}
+
+std::unique_ptr<SpatialIndex> MakeProbeIndex(
+    const std::vector<SpatialItem>& items) {
+  if (items.size() < kProbeLinearScanCutoff) {
+    auto linear = std::make_unique<LinearScan>();
+    linear->Build(items);
+    return linear;
+  }
+  auto grid = std::make_unique<GridIndex>(ProbeGridCells(items.size()));
+  grid->Build(items);
+  return grid;
+}
+
+}  // namespace casc

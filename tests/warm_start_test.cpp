@@ -1,0 +1,560 @@
+// Property tests for the cross-batch warm-start solve path: a warm batch
+// must produce a certified Nash equilibrium, zero-churn batches must make
+// no moves and repeat the previous commit, zero-carry-over batches must be
+// bit-identical to a cold run, and the warm path must be bit-identical
+// across solver threads, shard threads and both pipeline modes. The
+// CASC_NO_WARM_START kill switch must restore cold behavior exactly.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "algo/best_response.h"
+#include "algo/gt_assigner.h"
+#include "common/rng.h"
+#include "gen/trace.h"
+#include "model/cooperation_matrix.h"
+#include "service/dispatch_service.h"
+#include "sim/batch_runner.h"
+#include "sim/event_stream.h"
+
+namespace casc {
+namespace {
+
+// Scoped environment override; restores the prior state on destruction
+// so env-driven kill switches never leak across tests.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_, old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_old_;
+  std::string old_;
+};
+
+/// GtAssigner wrapper that certifies every returned batch assignment
+/// with the full Nash-equilibrium check and records the assignment as
+/// stable (worker id, task id) pairs, so batches of different runs and
+/// different instances can be compared exactly.
+class RecordingGtAssigner : public Assigner {
+ public:
+  struct Record {
+    bool nash = false;
+    bool converged = false;
+    bool warm = false;
+    int64_t evals = 0;
+    int rounds = 0;
+    int64_t moves = 0;
+    int64_t dirty_workers = 0;
+    std::vector<std::pair<int64_t, int64_t>> pairs;  // (worker id, task id)
+  };
+
+  explicit RecordingGtAssigner(GtOptions options = {}) : inner_(options) {}
+
+  std::string Name() const override { return inner_.Name(); }
+
+  Assignment Run(const Instance& instance) override {
+    inner_.set_workspace(workspace());
+    inner_.set_solve_delta(solve_delta());
+    Assignment result = inner_.Run(instance);
+    inner_.set_solve_delta(nullptr);
+    inner_.set_workspace(nullptr);
+    stats_ = inner_.stats();
+
+    Record record;
+    record.nash = IsNashEquilibrium(instance, result, 1e-9);
+    record.converged = stats_.converged;
+    record.warm = stats_.warm_started;
+    record.evals = stats_.best_response_evals;
+    record.rounds = stats_.rounds;
+    record.moves = stats_.moves;
+    record.dirty_workers = stats_.dirty_workers;
+    record.pairs.reserve(static_cast<size_t>(instance.num_workers()));
+    for (WorkerIndex w = 0; w < instance.num_workers(); ++w) {
+      const TaskIndex t = result.TaskOf(w);
+      record.pairs.emplace_back(
+          instance.workers()[static_cast<size_t>(w)].id,
+          t == kNoTask ? -1 : instance.tasks()[static_cast<size_t>(t)].id);
+    }
+    records_.push_back(std::move(record));
+    return result;
+  }
+
+  const std::vector<Record>& records() const { return records_; }
+
+ private:
+  GtAssigner inner_;
+  std::vector<Record> records_;
+};
+
+struct StreamFixture {
+  Trace trace;
+  CooperationMatrix coop{0};
+};
+
+/// A long carry-over-heavy trace (same family as the incremental tests):
+/// generous task lifetimes keep open tasks and idle workers persisting
+/// across many batches, which is what feeds the warm-start skeleton.
+StreamFixture MakeLongFixture(uint64_t seed, double horizon = 270.0) {
+  StreamFixture fixture;
+  Rng rng(seed);
+  TraceConfig config;
+  config.horizon = horizon;
+  config.worker_rate = 3.0;
+  config.task_rate = 1.5;
+  config.worker.radius_min = 0.15;
+  config.worker.radius_max = 0.30;
+  config.worker.speed_min = 0.05;
+  config.worker.speed_max = 0.10;
+  config.task.remaining_time = 6.0;
+  config.task.capacity = 4;
+  fixture.trace = GenerateTrace(config, &rng);
+  const int m = static_cast<int>(fixture.trace.workers.size());
+  fixture.coop = CooperationMatrix(m);
+  for (int i = 0; i < m; ++i) {
+    for (int k = i + 1; k < m; ++k) {
+      fixture.coop.SetSymmetric(i, k, rng.Uniform());
+    }
+  }
+  return fixture;
+}
+
+/// Exact BatchMetrics equality over everything except wall times,
+/// including the solver convergence telemetry.
+void ExpectIdenticalBatches(const RunSummary& expected,
+                            const RunSummary& actual,
+                            const std::string& label) {
+  ASSERT_EQ(expected.batches.size(), actual.batches.size()) << label;
+  for (size_t i = 0; i < expected.batches.size(); ++i) {
+    const BatchMetrics& e = expected.batches[i];
+    const BatchMetrics& a = actual.batches[i];
+    ASSERT_EQ(e.num_workers, a.num_workers) << label << " batch " << i;
+    ASSERT_EQ(e.num_tasks, a.num_tasks) << label << " batch " << i;
+    ASSERT_EQ(e.valid_pairs, a.valid_pairs) << label << " batch " << i;
+    ASSERT_EQ(e.score, a.score) << label << " batch " << i;  // bitwise
+    ASSERT_EQ(e.assigned_workers, a.assigned_workers)
+        << label << " batch " << i;
+    ASSERT_EQ(e.completed_tasks, a.completed_tasks)
+        << label << " batch " << i;
+    ASSERT_EQ(e.gt_rounds, a.gt_rounds) << label << " batch " << i;
+    ASSERT_EQ(e.solve_moves, a.solve_moves) << label << " batch " << i;
+    ASSERT_EQ(e.dirty_workers, a.dirty_workers) << label << " batch " << i;
+    ASSERT_EQ(e.warm_started, a.warm_started) << label << " batch " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// (a) Zero churn: warm batches make no moves and repeat the previous
+// commit bit-for-bit (monolithic path).
+// ---------------------------------------------------------------------------
+
+TEST(WarmStartTest, ZeroChurnBatchesMakeNoMovesAndRepeatTheCommit) {
+  // Cluster A (starts in batch 0 and leaves for the whole run): task T0
+  // with three co-located workers. Cluster B (carries over unchanged):
+  // one task with only two workers in range — below B, so it can never
+  // be staffed or started, and the pool repeats identically. A final
+  // already-expired task extends the horizon without perturbing anything.
+  std::vector<Worker> workers = {
+      {0, {0.2, 0.2}, 1.0, 0.1, 0.0}, {1, {0.2, 0.2}, 1.0, 0.1, 0.0},
+      {2, {0.2, 0.2}, 1.0, 0.1, 0.0}, {3, {0.8, 0.8}, 1.0, 0.1, 0.0},
+      {4, {0.8, 0.8}, 1.0, 0.1, 0.0},
+  };
+  std::vector<Task> tasks = {
+      {100, {0.2, 0.2}, 0.0, 100.0, 3},
+      {101, {0.8, 0.8}, 0.0, 1000.0, 3},
+      {102, {0.5, 0.5}, 8.0, 7.5, 3},  // expired on arrival (horizon pad)
+  };
+  CooperationMatrix coop(5);
+  Rng rng(11);
+  for (int i = 0; i < 5; ++i) {
+    for (int k = i + 1; k < 5; ++k) {
+      coop.SetSymmetric(i, k, 0.3 + 0.5 * rng.Uniform());
+    }
+  }
+  const EventStream stream(workers, tasks);
+
+  BatchRunnerConfig config;
+  config.min_group_size = 3;
+  config.task_duration = 100.0;  // cluster A never returns in this run
+  const BatchRunner runner(config);
+  RecordingGtAssigner recorder;
+  const RunSummary summary = runner.RunStreaming(stream, coop, &recorder);
+
+  ASSERT_GE(summary.batches.size(), 8u);
+  ASSERT_EQ(summary.batches.size(), recorder.records().size());
+
+  // Batch 0 is cold and starts cluster A.
+  EXPECT_FALSE(summary.batches[0].warm_started);
+  EXPECT_EQ(summary.batches[0].completed_tasks, 1);
+  EXPECT_EQ(summary.batches[0].assigned_workers, 3);
+  EXPECT_TRUE(recorder.records()[0].nash);
+
+  // Every later batch sees the identical cluster-B pool: warm, no dirty
+  // workers, no moves, one (verification-only) round, and the committed
+  // assignment repeats the previous one exactly.
+  for (size_t i = 1; i < summary.batches.size(); ++i) {
+    const BatchMetrics& batch = summary.batches[i];
+    EXPECT_TRUE(batch.warm_started) << "batch " << i;
+    EXPECT_EQ(batch.solve_moves, 0) << "batch " << i;
+    EXPECT_EQ(batch.dirty_workers, 0) << "batch " << i;
+    EXPECT_EQ(batch.gt_rounds, 1) << "batch " << i;
+    const RecordingGtAssigner::Record& record = recorder.records()[i];
+    EXPECT_TRUE(record.nash) << "batch " << i;
+    EXPECT_TRUE(record.converged) << "batch " << i;
+    if (i >= 2) {
+      EXPECT_EQ(record.pairs, recorder.records()[i - 1].pairs)
+          << "batch " << i << " diverged from the previous commit";
+      EXPECT_EQ(batch.score, summary.batches[i - 1].score) << "batch " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// (b) All-fresh batches: zero carry-over falls back to the literal cold
+// path, bit-identical to CASC_NO_WARM_START.
+// ---------------------------------------------------------------------------
+
+TEST(WarmStartTest, AllFreshBatchesAreBitIdenticalToCold) {
+  // Waves of 3 co-located workers plus one capacity-3 task, far apart in
+  // time: every wave's group starts and leaves, so each batch begins with
+  // an empty pool and nothing ever carries over.
+  std::vector<Worker> workers;
+  std::vector<Task> tasks;
+  const int kWaves = 12;
+  Rng geo(23);
+  for (int k = 0; k < kWaves; ++k) {
+    const double t = 2.0 * k;
+    const Point center{0.1 + 0.8 * geo.Uniform(), 0.1 + 0.8 * geo.Uniform()};
+    for (int j = 0; j < 3; ++j) {
+      workers.push_back({3 * k + j, center, 1.0, 0.1, t});
+    }
+    tasks.push_back({1000 + k, center, t, t + 1.5, 3});
+  }
+  CooperationMatrix coop(3 * kWaves);
+  Rng rng(29);
+  for (int i = 0; i < 3 * kWaves; ++i) {
+    for (int k = i + 1; k < 3 * kWaves; ++k) {
+      coop.SetSymmetric(i, k, 0.2 + 0.6 * rng.Uniform());
+    }
+  }
+  const EventStream stream(workers, tasks);
+
+  BatchRunnerConfig config;
+  config.min_group_size = 3;
+  config.task_duration = 1000.0;  // started workers never come back
+  const BatchRunner runner(config);
+
+  RecordingGtAssigner warm_recorder;
+  const RunSummary warm = runner.RunStreaming(stream, coop, &warm_recorder);
+  ASSERT_GE(warm.batches.size(), static_cast<size_t>(kWaves));
+  for (size_t i = 0; i < warm.batches.size(); ++i) {
+    // Zero carry-over: the delta is never published, every batch is cold.
+    EXPECT_FALSE(warm.batches[i].warm_started) << "batch " << i;
+    EXPECT_TRUE(warm_recorder.records()[i].nash) << "batch " << i;
+  }
+
+  RecordingGtAssigner cold_recorder;
+  RunSummary cold;
+  {
+    ScopedEnv off("CASC_NO_WARM_START", "1");
+    cold = runner.RunStreaming(stream, coop, &cold_recorder);
+  }
+  ExpectIdenticalBatches(cold, warm, "all-fresh warm vs cold");
+  ASSERT_EQ(cold_recorder.records().size(), warm_recorder.records().size());
+  for (size_t i = 0; i < cold_recorder.records().size(); ++i) {
+    EXPECT_EQ(cold_recorder.records()[i].pairs,
+              warm_recorder.records()[i].pairs)
+        << "batch " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// (c) 200+-batch audited trace: every batch (warm or cold) must be a
+// certified Nash equilibrium, warm batches must be common, and the warm
+// run must do strictly less best-response work than the cold run.
+// ---------------------------------------------------------------------------
+
+TEST(WarmStartTest, LongAuditedTraceCertifiesEveryBatch) {
+  const StreamFixture fixture = MakeLongFixture(701);
+  ASSERT_FALSE(fixture.trace.workers.empty());
+  ASSERT_FALSE(fixture.trace.tasks.empty());
+  const EventStream stream(fixture.trace.workers, fixture.trace.tasks);
+  // The audit mode additionally CHECKs every incrementally-built CSR
+  // index byte-for-byte against a from-scratch build inside the run.
+  ScopedEnv audit("CASC_STREAM_AUDIT", "1");
+
+  BatchRunnerConfig config;
+  config.min_group_size = 3;
+  config.task_duration = 2.0;
+  const BatchRunner runner(config);
+
+  RecordingGtAssigner warm_recorder;
+  const RunSummary warm =
+      runner.RunStreaming(stream, fixture.coop, &warm_recorder);
+  ASSERT_GE(warm.batches.size(), 200u) << "trace too short for the test";
+
+  int64_t warm_evals = 0;
+  int warm_batches = 0;
+  for (size_t i = 0; i < warm_recorder.records().size(); ++i) {
+    const RecordingGtAssigner::Record& record = warm_recorder.records()[i];
+    ASSERT_TRUE(record.nash) << "batch " << i << " is not an equilibrium";
+    ASSERT_TRUE(record.converged) << "batch " << i;
+    warm_evals += record.evals;
+    if (record.warm) ++warm_batches;
+  }
+  // The carry-over-heavy trace must actually exercise the warm path.
+  EXPECT_GT(warm_batches, static_cast<int>(warm.batches.size()) / 2);
+
+  RecordingGtAssigner cold_recorder;
+  RunSummary cold;
+  {
+    ScopedEnv off("CASC_NO_WARM_START", "1");
+    cold = runner.RunStreaming(stream, fixture.coop, &cold_recorder);
+  }
+  int64_t cold_evals = 0;
+  for (const RecordingGtAssigner::Record& record :
+       cold_recorder.records()) {
+    ASSERT_TRUE(record.nash);
+    cold_evals += record.evals;
+    EXPECT_FALSE(record.warm);
+  }
+  // The point of the warm start: strictly less best-response work.
+  EXPECT_LT(warm_evals, cold_evals);
+  // And comparable solution quality (different equilibria are allowed;
+  // a collapse to trivial equilibria is not).
+  EXPECT_GT(warm.TotalScore(), 0.8 * cold.TotalScore());
+}
+
+// ---------------------------------------------------------------------------
+// Warm solves are bit-identical across solver thread counts.
+// ---------------------------------------------------------------------------
+
+TEST(WarmStartTest, SolverThreadSweepBitIdenticalWhileWarm) {
+  const StreamFixture fixture = MakeLongFixture(702, /*horizon=*/80.0);
+  const EventStream stream(fixture.trace.workers, fixture.trace.tasks);
+  BatchRunnerConfig config;
+  config.min_group_size = 3;
+  config.task_duration = 2.0;
+  const BatchRunner runner(config);
+
+  std::vector<RecordingGtAssigner::Record> baseline;
+  RunSummary baseline_summary;
+  for (const int threads : {1, 2, 4, 8}) {
+    GtOptions options;
+    options.num_threads = threads;
+    RecordingGtAssigner recorder(options);
+    const RunSummary summary =
+        runner.RunStreaming(stream, fixture.coop, &recorder);
+    int warm_batches = 0;
+    for (const RecordingGtAssigner::Record& record : recorder.records()) {
+      ASSERT_TRUE(record.nash);
+      if (record.warm) ++warm_batches;
+    }
+    EXPECT_GT(warm_batches, 0) << "threads=" << threads;
+    if (threads == 1) {
+      baseline = recorder.records();
+      baseline_summary = summary;
+      continue;
+    }
+    const std::string label = "threads=" + std::to_string(threads);
+    ExpectIdenticalBatches(baseline_summary, summary, label);
+    ASSERT_EQ(baseline.size(), recorder.records().size()) << label;
+    for (size_t i = 0; i < baseline.size(); ++i) {
+      ASSERT_EQ(baseline[i].pairs, recorder.records()[i].pairs)
+          << label << " batch " << i;
+      ASSERT_EQ(baseline[i].rounds, recorder.records()[i].rounds)
+          << label << " batch " << i;
+      ASSERT_EQ(baseline[i].moves, recorder.records()[i].moves)
+          << label << " batch " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// (d) Dispatch sweep: {incremental, pipeline} x shard threads {1,2,4,8}
+// x {warm on, warm off} — bit-identical within each warm mode.
+// ---------------------------------------------------------------------------
+
+TEST(WarmStartTest, DispatchSweepBitIdenticalWithinEachWarmMode) {
+  const StreamFixture fixture = MakeLongFixture(703, /*horizon=*/140.0);
+  const EventStream stream(fixture.trace.workers, fixture.trace.tasks);
+  ScopedEnv no_inc("CASC_NO_INCREMENTAL", nullptr);
+  ScopedEnv no_pipe("CASC_NO_PIPELINE", nullptr);
+  ScopedEnv no_warm("CASC_NO_WARM_START", nullptr);
+
+  auto run = [&](bool warm, bool incremental, bool pipeline, int threads,
+                 std::vector<ServiceMetrics>* service_out) {
+    DispatchConfig config;
+    config.sharded.shards_per_side = 2;
+    config.sharded.num_threads = threads;
+    config.min_group_size = 3;
+    config.task_duration = 2.0;
+    config.max_tasks_per_batch = 4;  // exercise deferral carry-over
+    config.enable_incremental = incremental;
+    config.enable_pipeline = pipeline;
+    config.enable_warm_start = warm;
+    DispatchService service(
+        config, &fixture.coop,
+        [] { return std::make_unique<GtAssigner>(); });
+    RunSummary summary = service.Run(stream);
+    if (service_out != nullptr) *service_out = service.batch_metrics();
+    return summary;
+  };
+
+  struct Combo {
+    bool incremental;
+    bool pipeline;
+    int threads;
+  };
+  const std::vector<Combo> combos = {
+      {true, true, 1}, {false, false, 2}, {true, false, 4},
+      {false, true, 4}, {true, true, 8},
+  };
+
+  for (const bool warm : {true, false}) {
+    std::vector<ServiceMetrics> baseline_service;
+    const RunSummary baseline =
+        run(warm, /*incremental=*/true, /*pipeline=*/false, 1,
+            &baseline_service);
+    ASSERT_GE(baseline.batches.size(), 80u) << "trace too short";
+
+    int warm_batches = 0;
+    for (const BatchMetrics& batch : baseline.batches) {
+      if (batch.warm_started) ++warm_batches;
+    }
+    if (warm) {
+      EXPECT_GT(warm_batches, 0) << "warm mode never engaged";
+    } else {
+      EXPECT_EQ(warm_batches, 0) << "warm engaged with the switch off";
+    }
+
+    for (const Combo& combo : combos) {
+      const std::string label =
+          std::string("warm=") + (warm ? "1" : "0") +
+          " inc=" + (combo.incremental ? "1" : "0") +
+          " pipe=" + (combo.pipeline ? "1" : "0") +
+          " threads=" + std::to_string(combo.threads);
+      std::vector<ServiceMetrics> service_metrics;
+      const RunSummary actual = run(warm, combo.incremental, combo.pipeline,
+                                    combo.threads, &service_metrics);
+      ExpectIdenticalBatches(baseline, actual, label);
+      ASSERT_EQ(service_metrics.size(), baseline_service.size()) << label;
+      for (size_t i = 0; i < service_metrics.size(); ++i) {
+        const ServiceMetrics& e = baseline_service[i];
+        const ServiceMetrics& a = service_metrics[i];
+        ASSERT_EQ(e.solve_rounds, a.solve_rounds) << label << " batch " << i;
+        ASSERT_EQ(e.solve_moves, a.solve_moves) << label << " batch " << i;
+        ASSERT_EQ(e.dirty_workers, a.dirty_workers)
+            << label << " batch " << i;
+        ASSERT_EQ(e.warm_started, a.warm_started) << label << " batch " << i;
+        ASSERT_EQ(e.adopted_boundary, a.adopted_boundary)
+            << label << " batch " << i;
+        ASSERT_EQ(e.polish_moves, a.polish_moves) << label << " batch " << i;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Kill switch: CASC_NO_WARM_START is exactly enable_warm_start = false.
+// ---------------------------------------------------------------------------
+
+TEST(WarmStartTest, KillSwitchMatchesConfigOff) {
+  const StreamFixture fixture = MakeLongFixture(704, /*horizon=*/40.0);
+  const EventStream stream(fixture.trace.workers, fixture.trace.tasks);
+
+  auto run = [&](bool config_warm) {
+    DispatchConfig config;
+    config.sharded.shards_per_side = 2;
+    config.min_group_size = 3;
+    config.task_duration = 2.0;
+    config.enable_warm_start = config_warm;
+    DispatchService service(
+        config, &fixture.coop,
+        [] { return std::make_unique<GtAssigner>(); });
+    return service.Run(stream);
+  };
+
+  RunSummary env_off;
+  {
+    ScopedEnv off("CASC_NO_WARM_START", "1");
+    env_off = run(/*config_warm=*/true);
+  }
+  RunSummary config_off;
+  {
+    ScopedEnv on("CASC_NO_WARM_START", nullptr);
+    config_off = run(/*config_warm=*/false);
+  }
+  ASSERT_FALSE(env_off.batches.empty());
+  for (const BatchMetrics& batch : env_off.batches) {
+    EXPECT_FALSE(batch.warm_started);
+  }
+  ExpectIdenticalBatches(config_off, env_off, "env kill switch vs config");
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry: the convergence counters surface in every JSON layer.
+// ---------------------------------------------------------------------------
+
+TEST(WarmStartTest, ConvergenceTelemetrySurfacesInJson) {
+  const StreamFixture fixture = MakeLongFixture(705, /*horizon=*/40.0);
+  const EventStream stream(fixture.trace.workers, fixture.trace.tasks);
+  DispatchConfig config;
+  config.sharded.shards_per_side = 2;
+  config.min_group_size = 3;
+  config.task_duration = 2.0;
+  DispatchService service(config, &fixture.coop,
+                          [] { return std::make_unique<GtAssigner>(); });
+  const RunSummary summary = service.Run(stream);
+
+  ASSERT_FALSE(summary.batches.empty());
+  bool saw_warm = false;
+  for (const BatchMetrics& batch : summary.batches) {
+    const std::string json = ToJson(batch);
+    EXPECT_NE(json.find("\"solve_moves\""), std::string::npos);
+    EXPECT_NE(json.find("\"dirty_workers\""), std::string::npos);
+    EXPECT_NE(json.find("\"dirty_fraction\""), std::string::npos);
+    EXPECT_NE(json.find("\"warm_started\""), std::string::npos);
+    saw_warm = saw_warm || batch.warm_started;
+  }
+  EXPECT_TRUE(saw_warm);
+
+  ASSERT_FALSE(service.batch_metrics().empty());
+  const std::string service_json = service.batch_metrics().back().ToJson();
+  EXPECT_NE(service_json.find("\"solve_rounds\""), std::string::npos);
+  EXPECT_NE(service_json.find("\"solve_moves\""), std::string::npos);
+  EXPECT_NE(service_json.find("\"dirty_workers\""), std::string::npos);
+  EXPECT_NE(service_json.find("\"dirty_fraction\""), std::string::npos);
+  EXPECT_NE(service_json.find("\"warm_started\""), std::string::npos);
+  EXPECT_NE(service_json.find("\"adopted_boundary\""), std::string::npos);
+
+  const RunLatencyStats& latency = service.run_latency();
+  const std::string latency_json = latency.ToJson();
+  EXPECT_NE(latency_json.find("\"solve_rounds_p50\""), std::string::npos);
+  EXPECT_NE(latency_json.find("\"solve_rounds_p99\""), std::string::npos);
+  EXPECT_GE(latency.solve_rounds_p99, latency.solve_rounds_p50);
+}
+
+}  // namespace
+}  // namespace casc

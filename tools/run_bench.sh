@@ -26,13 +26,18 @@
 #        path -- the binary aborts unless a skill-free multiskill run is
 #        bit-identical to casc -- plus the multi-skill variant's score
 #        retention, coverage rate and join-gate rejects on skilled twins)
+#   PR10 cross-batch warm-start solve (feasibility-gap trace with a
+#        large standing pool: cold full re-solve vs warm dirty-frontier
+#        solve at threads {1,2,4,8} and both pipeline modes; the binary
+#        aborts unless the warm family is bit-identical batch for batch
+#        and warm quality stays within 20% of cold)
 #   PR9  parallel incremental ingest (sustained 1M-worker rush-hour
 #        trace: serial PR-6 ingest vs CASC_INGEST_THREADS in {1,2,4,8}
 #        plus a pipelined run, per-phase ingest split and per-batch
 #        p50/p99; the binary aborts if any configuration changes a
 #        batch output)
 #
-# Usage: tools/run_bench.sh [pr1|pr2|pr3|pr5|pr6|pr7|pr8|pr9|all] [OUT_JSON]
+# Usage: tools/run_bench.sh [pr1|pr2|pr3|pr5|pr6|pr7|pr8|pr9|pr10|all] [OUT_JSON]
 #   pr1|pr2|all  which suite to run (default all)
 #   OUT_JSON     output override for a single suite
 # Env:
@@ -117,6 +122,16 @@ run_pr9() {
   echo "wrote $out"
 }
 
+run_pr10() {
+  local out="${1:-BENCH_PR10.json}"
+  cmake --build "$BUILD_DIR" -j --target bench_streaming_pipeline >/dev/null
+  # Trace geometry (rates, radii, skills, deadlines) is baked into the
+  # pr10 mode -- the regime is tuned, not a knob.
+  "$BUILD_DIR/bench/bench_streaming_pipeline" \
+    --mode pr10 --json="$out" ${BENCH_ARGS:-}
+  echo "wrote $out"
+}
+
 case "$SUITE" in
   pr1) run_pr1 "${2:-}" ;;
   pr2) run_pr2 "${2:-}" ;;
@@ -126,6 +141,7 @@ case "$SUITE" in
   pr7) run_pr7 "${2:-}" ;;
   pr8) run_pr8 "${2:-}" ;;
   pr9) run_pr9 "${2:-}" ;;
+  pr10) run_pr10 "${2:-}" ;;
   all)
     run_pr1
     run_pr2
@@ -135,9 +151,10 @@ case "$SUITE" in
     run_pr7
     run_pr8
     run_pr9
+    run_pr10
     ;;
   *)
-    echo "usage: tools/run_bench.sh [pr1|pr2|pr3|pr5|pr6|pr7|pr8|pr9|all] [OUT_JSON]" >&2
+    echo "usage: tools/run_bench.sh [pr1|pr2|pr3|pr5|pr6|pr7|pr8|pr9|pr10|all] [OUT_JSON]" >&2
     exit 1
     ;;
 esac
